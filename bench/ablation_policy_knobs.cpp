@@ -1,0 +1,89 @@
+//===-- bench/ablation_policy_knobs.cpp - model design ablation -----------===//
+///
+/// \file
+/// A — ablation of the memory-model design choices DESIGN.md calls out.
+/// Starting from the candidate de facto model, each knob is flipped alone
+/// and the de facto suite re-run; the delta shows exactly which tests each
+/// §2 design decision decides. This regenerates, in executable form, the
+/// paper's per-question discussion ("one could argue ... one could turn
+/// off ... none of these are wholly satisfactory").
+///
+//===----------------------------------------------------------------------===//
+
+#include "defacto/Suite.h"
+#include "support/Format.h"
+
+#include <cstdio>
+#include <functional>
+#include <map>
+#include <vector>
+
+int main() {
+  using namespace cerb;
+  using namespace cerb::defacto;
+
+  std::printf("A: single-knob ablation of the candidate de facto model\n");
+  std::printf("=======================================================\n\n");
+
+  struct Knob {
+    const char *Name;
+    const char *Question;
+    std::function<void(mem::MemoryPolicy &)> Flip;
+  };
+  const std::vector<Knob> Knobs = {
+      {"TrackProvenance=off (pure concrete addressing)", "DR260",
+       [](mem::MemoryPolicy &P) { P.TrackProvenance = false; }},
+      {"PermitOOBConstruction=off (UB at the arithmetic)", "Q31",
+       [](mem::MemoryPolicy &P) { P.PermitOOBConstruction = false; }},
+      {"RelationalAcrossObjectsUB=on (ISO 6.5.8p5)", "Q25",
+       [](mem::MemoryPolicy &P) { P.RelationalAcrossObjectsUB = true; }},
+      {"EqMayConsultProvenance=off (pure address equality)", "Q2",
+       [](mem::MemoryPolicy &P) { P.EqMayConsultProvenance = false; }},
+      {"PtrDiffAcrossObjectsUB=off (permit inter-object diffs)", "Q9",
+       [](mem::MemoryPolicy &P) { P.PtrDiffAcrossObjectsUB = false; }},
+      {"StrictEffectiveTypes=on (TBAA)", "Q75",
+       [](mem::MemoryPolicy &P) { P.StrictEffectiveTypes = true; }},
+      {"UninitReadIsUB=on (§2.4 option 1)", "Q48",
+       [](mem::MemoryPolicy &P) { P.UninitReadIsUB = true; }},
+      {"ReverseGlobalLayout=off (declaration-order layout)", "layout",
+       [](mem::MemoryPolicy &P) { P.ReverseGlobalLayout = false; }},
+  };
+
+  // Baseline verdicts.
+  std::map<std::string, std::string> Baseline;
+  for (const TestResult &R : runSuite(mem::MemoryPolicy::defacto())) {
+    std::string V;
+    for (const exec::Outcome &O : R.Outcomes.Distinct)
+      V += (V.empty() ? "" : " | ") + O.str();
+    Baseline[R.Test->Name] = V;
+  }
+
+  for (const Knob &K : Knobs) {
+    mem::MemoryPolicy P = mem::MemoryPolicy::defacto();
+    P.Name = "defacto"; // keep suite expectations keyed consistently
+    K.Flip(P);
+    unsigned Changed = 0;
+    std::string Details;
+    for (const TestResult &R : runSuite(P)) {
+      std::string V;
+      for (const exec::Outcome &O : R.Outcomes.Distinct)
+        V += (V.empty() ? "" : " | ") + O.str();
+      if (V != Baseline[R.Test->Name]) {
+        ++Changed;
+        if (Changed <= 6)
+          Details += fmt("      {0}\n        now: {1}\n", R.Test->Name, V);
+      }
+    }
+    std::printf("%-52s [%s]\n    changes %u test verdict(s)\n%s",
+                K.Name, K.Question, Changed, Details.c_str());
+    if (Changed > 6)
+      std::printf("      ... and %u more\n", Changed - 6);
+    std::printf("\n");
+  }
+
+  std::printf("Reading: each knob's delta is exactly the set of idioms the "
+              "corresponding\n§2 design question governs — flipping any of "
+              "them moves real code between\n'works' and 'UB', which is "
+              "the paper's core point.\n");
+  return 0;
+}

@@ -1,0 +1,109 @@
+//===-- bench/fig1_architecture.cpp - regenerate paper Fig. 1 -------------===//
+///
+/// \file
+/// Prints the Cerberus pipeline architecture diagram with per-stage
+/// non-comment line counts of *this* implementation, mirroring the paper's
+/// Fig. 1 (which reports LOS counts for each Lem specification stage).
+///
+//===----------------------------------------------------------------------===//
+
+#include "support/Format.h"
+
+#include <cstdio>
+#include <cstring>
+#include <dirent.h>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#ifndef CERB_SOURCE_DIR
+#define CERB_SOURCE_DIR "."
+#endif
+
+namespace {
+
+/// Counts non-comment, non-blank lines across the .h/.cpp/.inc files of a
+/// source directory (the analogue of the paper's "lines of specification").
+unsigned countLoc(const std::string &Dir) {
+  unsigned Total = 0;
+  DIR *D = opendir(Dir.c_str());
+  if (!D)
+    return 0;
+  while (dirent *E = readdir(D)) {
+    std::string Name = E->d_name;
+    auto EndsWith = [&](const char *Suffix) {
+      size_t N = strlen(Suffix);
+      return Name.size() >= N && Name.compare(Name.size() - N, N, Suffix) == 0;
+    };
+    if (!EndsWith(".h") && !EndsWith(".cpp") && !EndsWith(".inc"))
+      continue;
+    std::ifstream F(Dir + "/" + Name);
+    std::string Line;
+    bool InBlock = false;
+    while (std::getline(F, Line)) {
+      // Strip leading whitespace.
+      size_t I = Line.find_first_not_of(" \t");
+      if (I == std::string::npos)
+        continue;
+      std::string T = Line.substr(I);
+      if (InBlock) {
+        if (T.find("*/") != std::string::npos)
+          InBlock = false;
+        continue;
+      }
+      if (T.rfind("//", 0) == 0)
+        continue;
+      if (T.rfind("/*", 0) == 0) {
+        if (T.find("*/") == std::string::npos)
+          InBlock = true;
+        continue;
+      }
+      ++Total;
+    }
+  }
+  closedir(D);
+  return Total;
+}
+
+} // namespace
+
+int main() {
+  std::string Src = std::string(CERB_SOURCE_DIR) + "/src/";
+  struct Stage {
+    const char *Paper;      ///< paper Fig. 1 stage (with its LOS count)
+    const char *Dir;        ///< our module
+  };
+  const Stage Stages[] = {
+      {"parsing (2600)", "cabs"},
+      {"Cabs_to_Ail desugaring (2800+600+1100)", "ail"},
+      {"type inference/checking (2800)", "typing"},
+      {"elaboration (1700)", "elab"},
+      {"Core + Core-to-Core transformation (1400+600)", "core"},
+      {"Core operational semantics (3100)", "exec"},
+      {"memory object model (1500)", "mem"},
+      {"operational concurrency model (elsewhere)", "conc"},
+  };
+
+  std::printf("Figure 1: pipeline architecture with line counts\n");
+  std::printf("(paper stage and its Lem LOS count  ->  this C++ "
+              "reproduction)\n");
+  std::printf("%s\n", std::string(74, '-').c_str());
+  std::printf("C source\n");
+  unsigned Total = 0;
+  for (const Stage &S : Stages) {
+    unsigned Loc = countLoc(Src + S.Dir);
+    Total += Loc;
+    std::printf("  | %-48s src/%-7s %6u LoC\n", S.Paper, S.Dir, Loc);
+  }
+  std::printf("  v\nexecutions (exhaustive set / pseudorandom single "
+              "path)\n");
+  std::printf("%s\n", std::string(74, '-').c_str());
+  unsigned Support = countLoc(Src + "support");
+  unsigned Extra = countLoc(Src + "defacto") + countLoc(Src + "survey") +
+                   countLoc(Src + "tools") + countLoc(Src + "csmith");
+  std::printf("pipeline total: %u LoC  (+ support %u, experiment apparatus "
+              "%u)\n",
+              Total, Support, Extra);
+  std::printf("paper total:    ~19000 LOS of Lem + 2600 lines of parser\n");
+  return 0;
+}

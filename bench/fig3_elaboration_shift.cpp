@@ -1,0 +1,72 @@
+//===-- bench/fig3_elaboration_shift.cpp - regenerate paper Fig. 3 --------===//
+///
+/// \file
+/// Fig. 3 shows the elaboration of C left-shift (e1 << e2) next to ISO C11
+/// 6.5.7. This bench elaborates a left-shift expression and prints the
+/// resulting Core, annotated with the clause each undef() realises; it then
+/// demonstrates the clauses dynamically (each UB is actually detected).
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/Core.h"
+#include "exec/Pipeline.h"
+
+#include <cstdio>
+
+using namespace cerb;
+
+int main() {
+  std::printf("Figure 3: the elaboration of e1 << e2 (ISO C11 6.5.7)\n");
+  std::printf("=====================================================\n\n");
+  std::printf("ISO 6.5.7p3: promotions on each operand separately; UB if "
+              "the shift\n  count is negative or >= the width "
+              "(Negative_shift / Shift_too_large).\n");
+  std::printf("ISO 6.5.7p4: unsigned E1: E1 x 2^E2 reduced modulo max+1; "
+              "signed E1 < 0\n  or unrepresentable result: UB "
+              "(Exceptional_condition).\n");
+  std::printf("Fig. 3 de facto choice (Q43/Q52): unspecified operands are "
+              "daemonic; an\n  unsigned result stays Unspecified, a signed "
+              "one is undef.\n\n");
+
+  auto P = exec::compile(R"(
+int shl(int e1, int e2) { return e1 << e2; }
+unsigned int shlu(unsigned int e1, int e2) { return e1 << e2; }
+int main(void) { return shl(1, 2) + (int)shlu(1u, 2); }
+)");
+  if (!P) {
+    std::printf("compile error: %s\n", P.error().str().c_str());
+    return 1;
+  }
+
+  for (const auto &[Id, Proc] : P->Procs) {
+    std::string Name = P->Syms.nameOf(Proc.Name);
+    if (Name != "shl" && Name != "shlu")
+      continue;
+    std::printf("---- [[%s: e1 << e2]] elaborates to ----\n", Name.c_str());
+    std::printf("%s\n\n", core::printExpr(*Proc.Body, P->Syms, 0).c_str());
+  }
+
+  std::printf("---- dynamic witnesses of each 6.5.7 undef ----\n");
+  struct Witness {
+    const char *Src;
+    const char *Clause;
+  };
+  const Witness Ws[] = {
+      {"int main(void){ int s = -1; return 1 << s; }",
+       "6.5.7p3 negative shift"},
+      {"int main(void){ int s = 32; return 1 << s; }",
+       "6.5.7p3 count >= width"},
+      {"int main(void){ int x = -1; return x << 1; }",
+       "6.5.7p4 negative E1"},
+      {"int main(void){ int x = 1; return x << 30 << 2; }",
+       "6.5.7p4 unrepresentable"},
+      {"int main(void){ unsigned x = 3u; return (x << 31) != 0u ? 0 : 1; }",
+       "6.5.7p4 unsigned reduces modulo 2^N (defined)"},
+  };
+  for (const Witness &W : Ws) {
+    auto R = exec::evaluateOnce(W.Src);
+    std::printf("  %-46s -> %s\n", W.Clause,
+                R ? R->str().c_str() : R.error().str().c_str());
+  }
+  return 0;
+}

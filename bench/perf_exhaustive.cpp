@@ -1,0 +1,73 @@
+//===-- bench/perf_exhaustive.cpp - exhaustive-exploration blowup (P1) ----===//
+///
+/// \file
+/// §6: "that very looseness makes execution combinatorially challenging".
+/// This bench measures the number of explored paths and wall time of
+/// exhaustive mode as the number of indeterminately sequenced calls per
+/// expression grows. Our dynamics explores the orders consistent with the
+/// expression tree's unseq nesting (2^(n-1) for a left-nested n-operand
+/// sum; see DESIGN.md on the indeterminate-sequencing approximation), so
+/// the series must grow exponentially while single-path evaluation of the
+/// same programs stays linear.
+///
+//===----------------------------------------------------------------------===//
+
+#include "exec/Pipeline.h"
+#include "support/Format.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace cerb;
+
+namespace {
+
+/// A program whose main expression has N indeterminately sequenced calls.
+std::string nCallsProgram(unsigned N) {
+  std::string Src = "int g;\nint s(int v) { g = v; return 0; }\n"
+                    "int main(void) { int r = ";
+  for (unsigned I = 0; I < N; ++I) {
+    if (I)
+      Src += " + ";
+    Src += fmt("s({0})", I);
+  }
+  Src += "; return r; }\n";
+  return Src;
+}
+
+} // namespace
+
+static void BM_ExhaustivePaths(benchmark::State &State) {
+  unsigned N = static_cast<unsigned>(State.range(0));
+  auto Prog = exec::compile(nCallsProgram(N));
+  exec::RunOptions Opts;
+  Opts.MaxPaths = 100000;
+  uint64_t Paths = 0;
+  for (auto _ : State) {
+    auto R = exec::runExhaustive(*Prog, Opts);
+    Paths = R.PathsExplored;
+    benchmark::DoNotOptimize(R);
+  }
+  State.counters["paths"] =
+      benchmark::Counter(static_cast<double>(Paths));
+}
+BENCHMARK(BM_ExhaustivePaths)
+    ->Arg(1)->Arg(2)->Arg(3)->Arg(4)->Arg(5)
+    ->Unit(benchmark::kMillisecond);
+
+static void BM_SinglePathSameProgram(benchmark::State &State) {
+  // The comparison series: one pseudorandom path of the same programs
+  // stays flat — the blowup is exploration, not evaluation.
+  unsigned N = static_cast<unsigned>(State.range(0));
+  auto Prog = exec::compile(nCallsProgram(N));
+  exec::RunOptions Opts;
+  uint64_t Seed = 1;
+  for (auto _ : State) {
+    exec::Outcome O = exec::runRandom(*Prog, Opts, Seed++);
+    benchmark::DoNotOptimize(O);
+  }
+}
+BENCHMARK(BM_SinglePathSameProgram)
+    ->Arg(1)->Arg(2)->Arg(3)->Arg(4)->Arg(5)
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,76 @@
+//===-- bench/perf_memory_models.cpp - memory-model overhead (P3) ---------===//
+///
+/// \file
+/// The cost of the memory-model parameterisation: the same pointer-heavy
+/// program executed under each instantiation. Provenance tracking, the
+/// strict checks, and CHERI capability checks each add work per access;
+/// the series quantifies it.
+///
+//===----------------------------------------------------------------------===//
+
+#include "exec/Pipeline.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace cerb;
+
+namespace {
+
+const char *PointerHeavy = R"(
+#include <stdlib.h>
+#include <string.h>
+int main(void) {
+  int i, j;
+  int *slots[8];
+  for (i = 0; i < 8; i++) {
+    slots[i] = malloc(16 * sizeof(int));
+    for (j = 0; j < 16; j++)
+      slots[i][j] = i * j;
+  }
+  int acc = 0;
+  for (i = 0; i < 8; i++)
+    for (j = 0; j < 16; j++)
+      acc += *(slots[i] + j);
+  for (i = 0; i < 7; i++)
+    memcpy(slots[i + 1], slots[i], 16 * sizeof(int));
+  for (i = 0; i < 8; i++)
+    free(slots[i]);
+  return acc & 0x7f;
+}
+)";
+
+void runUnder(benchmark::State &State, mem::MemoryPolicy Policy) {
+  auto Prog = exec::compile(PointerHeavy);
+  if (!Prog) {
+    State.SkipWithError("compile failed");
+    return;
+  }
+  exec::RunOptions Opts;
+  Opts.Policy = std::move(Policy);
+  for (auto _ : State) {
+    exec::Outcome O = exec::runOnce(*Prog, Opts);
+    benchmark::DoNotOptimize(O);
+  }
+}
+
+} // namespace
+
+static void BM_Concrete(benchmark::State &S) {
+  runUnder(S, mem::MemoryPolicy::concrete());
+}
+static void BM_DeFacto(benchmark::State &S) {
+  runUnder(S, mem::MemoryPolicy::defacto());
+}
+static void BM_StrictIso(benchmark::State &S) {
+  runUnder(S, mem::MemoryPolicy::strictIso());
+}
+static void BM_Cheri(benchmark::State &S) {
+  runUnder(S, mem::MemoryPolicy::cheri());
+}
+
+BENCHMARK(BM_Concrete)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_DeFacto)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_StrictIso)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Cheri)->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

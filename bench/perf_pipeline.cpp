@@ -1,0 +1,75 @@
+//===-- bench/perf_pipeline.cpp - pipeline stage throughput (P2) ----------===//
+///
+/// \file
+/// google-benchmark timings for each pipeline stage (parse, desugar,
+/// typecheck, elaborate, execute) over generated programs of growing size.
+/// Supports the §6 observation that Cerberus is a test oracle for small
+/// programs, not a production interpreter.
+///
+//===----------------------------------------------------------------------===//
+
+#include "ail/Desugar.h"
+#include "cabs/Parser.h"
+#include "csmith/Generator.h"
+#include "elab/Elaborate.h"
+#include "exec/Pipeline.h"
+#include "typing/TypeCheck.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace cerb;
+
+namespace {
+
+std::string programOfSize(unsigned Size) {
+  csmith::GenOptions O;
+  O.Seed = 7;
+  O.Size = Size;
+  return csmith::generateProgram(O);
+}
+
+} // namespace
+
+static void BM_Parse(benchmark::State &State) {
+  std::string Src = programOfSize(static_cast<unsigned>(State.range(0)));
+  for (auto _ : State) {
+    auto R = cabs::parseTranslationUnit(Src);
+    benchmark::DoNotOptimize(R);
+  }
+  State.SetBytesProcessed(State.iterations() * Src.size());
+}
+BENCHMARK(BM_Parse)->Arg(12)->Arg(48)->Unit(benchmark::kMicrosecond);
+
+static void BM_FrontEndToTypedAil(benchmark::State &State) {
+  std::string Src = programOfSize(static_cast<unsigned>(State.range(0)));
+  for (auto _ : State) {
+    auto U = cabs::parseTranslationUnit(Src);
+    auto A = ail::desugar(*U);
+    auto T = typing::typeCheck(*A);
+    benchmark::DoNotOptimize(T);
+  }
+}
+BENCHMARK(BM_FrontEndToTypedAil)->Arg(12)->Arg(48)
+    ->Unit(benchmark::kMicrosecond);
+
+static void BM_Elaborate(benchmark::State &State) {
+  std::string Src = programOfSize(static_cast<unsigned>(State.range(0)));
+  for (auto _ : State) {
+    auto R = exec::compile(Src);
+    benchmark::DoNotOptimize(R);
+  }
+}
+BENCHMARK(BM_Elaborate)->Arg(12)->Arg(48)->Unit(benchmark::kMicrosecond);
+
+static void BM_Execute(benchmark::State &State) {
+  std::string Src = programOfSize(static_cast<unsigned>(State.range(0)));
+  auto Prog = exec::compile(Src);
+  exec::RunOptions Opts;
+  for (auto _ : State) {
+    exec::Outcome O = exec::runOnce(*Prog, Opts);
+    benchmark::DoNotOptimize(O);
+  }
+}
+BENCHMARK(BM_Execute)->Arg(12)->Arg(48)->Unit(benchmark::kMicrosecond);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,52 @@
+//===-- bench/table_provenance_example.cpp - the §2.1 headline result -----===//
+///
+/// \file
+/// T4 — runs provenance_basic_global_yx.c (adapted from DR260) under every
+/// memory object model instantiation and prints the observed behaviours
+/// next to the paper's reported compiler behaviours:
+///   concrete expectation:  x=1 y=11 *p=11 *q=11
+///   GCC:                   x=1 y=2  *p=11 *q=2   (provenance-based alias
+///                          reasoning -> the access is treated as UB)
+///   ICC:                   x=1 y=2  *p=11 *q=11
+///
+//===----------------------------------------------------------------------===//
+
+#include "defacto/Suite.h"
+
+#include <cstdio>
+
+int main() {
+  using namespace cerb;
+  using namespace cerb::defacto;
+
+  std::printf("T4: provenance_basic_global_yx.c across the memory object "
+              "models (§2.1)\n");
+  std::printf("========================================================================\n");
+  const TestCase *T = findTest("provenance_basic_global_yx");
+  if (!T) {
+    std::printf("test missing!\n");
+    return 1;
+  }
+  std::printf("%s\n", T->Source.c_str());
+
+  for (auto P : {mem::MemoryPolicy::concrete(), mem::MemoryPolicy::defacto(),
+                 mem::MemoryPolicy::strictIso(), mem::MemoryPolicy::cheri()}) {
+    TestResult R = runTest(*T, P);
+    std::printf("--- model %-10s (%llu paths explored)\n", P.Name.c_str(),
+                static_cast<unsigned long long>(R.Outcomes.PathsExplored));
+    for (const exec::Outcome &O : R.Outcomes.Distinct)
+      std::printf("    %s\n", O.str().c_str());
+  }
+
+  std::printf("\npaper-reported behaviours of real implementations:\n");
+  std::printf("    concrete semantics expectation: x=1 y=11 *p=11 *q=11\n");
+  std::printf("    GCC: x=1 y=2 *p=11 *q=2   (exploits DR260 provenance; "
+              "the de facto\n");
+  std::printf("         model makes the justifying UB explicit — our "
+              "'defacto' row)\n");
+  std::printf("    ICC: x=1 y=2 *p=11 *q=11\n");
+  std::printf("\nshape check: 'concrete' must print the concrete "
+              "expectation, and the\nprovenance-tracking models must "
+              "report Access_out_of_bounds at *p=11.\n");
+  return 0;
+}

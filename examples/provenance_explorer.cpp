@@ -1,0 +1,65 @@
+//===-- examples/provenance_explorer.cpp - §2 design space, live ----------===//
+///
+/// \file
+/// The paper's §2 investigation as an interactive demo: a handful of
+/// contentious pointer-provenance idioms, each executed under all four
+/// memory object model instantiations, printing the verdict matrix. Run a
+/// test from the built-in de facto suite by name:
+///
+///   provenance_explorer                      # the default tour
+///   provenance_explorer percpu_offset_idiom  # one suite test, all models
+///
+//===----------------------------------------------------------------------===//
+
+#include "defacto/Questions.h"
+#include "defacto/Suite.h"
+
+#include <cstdio>
+
+using namespace cerb;
+using namespace cerb::defacto;
+
+static void showTest(const TestCase &T) {
+  std::printf("=== %s  [%s]\n", T.Name.c_str(), T.QuestionId.c_str());
+  if (const Question *Q = findQuestion(T.QuestionId))
+    std::printf("    question: %s\n", Q->Title.c_str());
+  std::printf("    %s\n\n%s\n", T.Description.c_str(), T.Source.c_str());
+  for (auto P : {mem::MemoryPolicy::concrete(), mem::MemoryPolicy::defacto(),
+                 mem::MemoryPolicy::strictIso(), mem::MemoryPolicy::cheri()}) {
+    TestResult R = runTest(T, P);
+    std::printf("  %-10s ->", P.Name.c_str());
+    if (!R.CompileOk) {
+      std::printf(" compile error: %s\n", R.CompileError.c_str());
+      continue;
+    }
+    for (const exec::Outcome &O : R.Outcomes.Distinct)
+      std::printf(" %s", O.str().c_str());
+    std::printf("\n");
+  }
+  std::printf("\n");
+}
+
+int main(int argc, char **argv) {
+  if (argc > 1) {
+    const TestCase *T = findTest(argv[1]);
+    if (!T) {
+      std::printf("unknown test '%s'; available tests:\n", argv[1]);
+      for (const TestCase &Each : testSuite())
+        std::printf("  %s\n", Each.Name.c_str());
+      return 1;
+    }
+    showTest(*T);
+    return 0;
+  }
+
+  // The default tour: the §2 flashpoints.
+  for (const char *Name :
+       {"provenance_basic_global_yx", "percpu_offset_idiom",
+        "ptr_copy_memcpy", "ptr_rel_distinct_objects", "oob_transient",
+        "effective_char_array_storage"})
+    showTest(*findTest(Name));
+
+  std::printf("Run with a test name to explore others; `ub_hunter file.c` "
+              "runs your own\nprograms through the same oracle.\n");
+  return 0;
+}

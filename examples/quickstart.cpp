@@ -1,0 +1,64 @@
+//===-- examples/quickstart.cpp - Using the library in 60 lines -----------===//
+///
+/// \file
+/// Quickstart: compile a C program through the full Cerberus-style pipeline
+/// (parse -> desugar -> typecheck -> elaborate to Core -> Core dynamics +
+/// memory object model), print the elaborated Core, and run it both as a
+/// single execution and exhaustively.
+///
+//===----------------------------------------------------------------------===//
+
+#include "exec/Pipeline.h"
+
+#include <cstdio>
+
+static const char *Program = R"(
+#include <stdio.h>
+
+int fib(int n) {
+  if (n < 2) return n;
+  return fib(n - 1) + fib(n - 2);
+}
+
+int main(void) {
+  int i;
+  for (i = 0; i < 8; i++)
+    printf("fib(%d)=%d\n", i, fib(i));
+  return 0;
+}
+)";
+
+int main() {
+  using namespace cerb;
+
+  // 1. Compile (the whole Fig. 1 front half).
+  auto ProgOr = exec::compileWithStats(Program);
+  if (!ProgOr) {
+    std::printf("compile error: %s\n", ProgOr.error().str().c_str());
+    return 1;
+  }
+
+  // 2. Look at the elaborated Core for one procedure (what Fig. 3 shows
+  //    for left-shift, here for fib).
+  std::printf("=== elaborated Core (excerpt) ===\n");
+  std::string Core = core::printProgram(ProgOr->Prog);
+  std::printf("%.1200s\n... (%zu bytes total)\n\n", Core.c_str(),
+              Core.size());
+
+  // 3. Run once under the candidate de facto memory object model.
+  exec::RunOptions Opts;
+  exec::Outcome O = exec::runOnce(ProgOr->Prog, Opts);
+  std::printf("=== one execution (de facto model) ===\n%s(exit %d)\n\n",
+              O.Stdout.c_str(), O.ExitCode);
+
+  // 4. Explore all allowed executions (this program is deterministic, so
+  //    there is exactly one distinct outcome).
+  auto Ex = exec::runExhaustive(ProgOr->Prog, Opts);
+  std::printf("=== exhaustive exploration ===\n"
+              "paths explored: %llu, distinct outcomes: %zu\n",
+              static_cast<unsigned long long>(Ex.PathsExplored),
+              Ex.Distinct.size());
+  for (const exec::Outcome &D : Ex.Distinct)
+    std::printf("  %s\n", D.str().c_str());
+  return 0;
+}

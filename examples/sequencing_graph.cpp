@@ -1,0 +1,92 @@
+//===-- examples/sequencing_graph.cpp - the §5.6 sequencing example -------===//
+///
+/// \file
+/// §5.6 analyses `w = x++ + f(z,2);` — its memory actions and their
+/// sequenced-before structure. This example elaborates exactly that
+/// statement and (1) prints the Core, in which every sequencing decision is
+/// syntax (unseq / let weak / let strong / let atomic / indet), and (2)
+/// exhaustively executes it, demonstrating that the postfix increment is
+/// atomic and the call body indeterminately sequenced — and that a racy
+/// variant is detected as an unsequenced race.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/Core.h"
+#include "core/SeqGraph.h"
+#include "exec/Pipeline.h"
+
+#include <cstdio>
+
+using namespace cerb;
+
+static const char *Program = R"(
+#include <stdio.h>
+int w, x = 10, z = 5;
+int f(int a, int b) { return a + b; }
+int main(void) {
+  w = x++ + f(z, 2);
+  printf("w=%d x=%d\n", w, x);
+  return 0;
+}
+)";
+
+int main() {
+  std::printf("The paper's §5.6 running example:  w = x++ + f(z,2);\n");
+  std::printf("====================================================\n\n");
+  std::printf("Actions per §5.6: R x / W x atomic (postfix ++), f's body "
+              "indeterminately\nsequenced with them, everything sequenced "
+              "before W w.\n\n");
+
+  auto P = exec::compileWithStats(Program);
+  if (!P) {
+    std::printf("compile error: %s\n", P.error().str().c_str());
+    return 1;
+  }
+
+  std::printf("---- elaborated Core for main ----\n");
+  for (const auto &[Id, Proc] : P->Prog.Procs)
+    if (P->Prog.Syms.nameOf(Proc.Name) == "main")
+      std::printf("%s\n",
+                  core::printExpr(*Proc.Body, P->Prog.Syms, 0).c_str());
+
+  std::printf("\n(note the `let atomic` for x++, the `unseq` of the + "
+              "operands, the\n`indet[n](pcall(f, ...))` for the call, and "
+              "the negative-polarity\n`neg(store(...))` of the "
+              "assignment)\n\n");
+
+  // The §5.6 graph itself, recovered from the Core term: solid
+  // sequenced-before arrows, the double arrow of the atomic R x / W x
+  // pair, dotted indeterminate sequencing of f's body.
+  std::printf("---- the sequenced-before graph (the paper's §5.6 figure) "
+              "----\n");
+  for (const auto &[Id, Proc] : P->Prog.Procs)
+    if (P->Prog.Syms.nameOf(Proc.Name) == "main") {
+      core::SeqGraph G = core::buildSeqGraph(*Proc.Body, P->Prog.Syms);
+      std::printf("%s\n", G.str().c_str());
+    }
+
+  exec::RunOptions Opts;
+  auto Ex = exec::runExhaustive(P->Prog, Opts);
+  std::printf("---- exhaustive execution: %llu paths, %zu distinct "
+              "outcome(s) ----\n",
+              static_cast<unsigned long long>(Ex.PathsExplored),
+              Ex.Distinct.size());
+  for (const exec::Outcome &O : Ex.Distinct)
+    std::printf("  %s\n", O.str().c_str());
+
+  std::printf("\n---- the racy variant:  w = x++ + x;  ----\n");
+  auto Racy = exec::evaluateExhaustive(R"(
+int w, x = 10;
+int main(void) {
+  w = x++ + x;
+  return 0;
+}
+)");
+  if (Racy)
+    for (const exec::Outcome &O : Racy->Distinct)
+      std::printf("  %s\n", O.str().c_str());
+  std::printf("\n(6.5p2: the read of x in the right operand is unsequenced "
+              "with the\nincrementing store — an unsequenced race, hence "
+              "undefined behaviour.)\n");
+  return 0;
+}

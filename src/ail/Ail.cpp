@@ -1,0 +1,20 @@
+//===-- ail/Ail.cpp -------------------------------------------------------===//
+
+#include "ail/Ail.h"
+
+using namespace cerb;
+using namespace cerb::ail;
+
+AilExprPtr cerb::ail::makeAilExpr(AilExprKind K, SourceLoc Loc) {
+  auto E = std::make_unique<AilExpr>();
+  E->Kind = K;
+  E->Loc = Loc;
+  return E;
+}
+
+AilStmtPtr cerb::ail::makeAilStmt(AilStmtKind K, SourceLoc Loc) {
+  auto S = std::make_unique<AilStmt>();
+  S->Kind = K;
+  S->Loc = Loc;
+  return S;
+}

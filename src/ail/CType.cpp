@@ -1,0 +1,388 @@
+//===-- ail/CType.cpp -----------------------------------------------------===//
+
+#include "ail/CType.h"
+
+#include <algorithm>
+
+using namespace cerb;
+using namespace cerb::ail;
+
+std::string_view cerb::ail::intKindName(IntKind K) {
+  switch (K) {
+  case IntKind::Bool:
+    return "_Bool";
+  case IntKind::Char:
+    return "char";
+  case IntKind::SChar:
+    return "signed char";
+  case IntKind::UChar:
+    return "unsigned char";
+  case IntKind::Short:
+    return "short";
+  case IntKind::UShort:
+    return "unsigned short";
+  case IntKind::Int:
+    return "int";
+  case IntKind::UInt:
+    return "unsigned int";
+  case IntKind::Long:
+    return "long";
+  case IntKind::ULong:
+    return "unsigned long";
+  case IntKind::LongLong:
+    return "long long";
+  case IntKind::ULongLong:
+    return "unsigned long long";
+  }
+  return "<bad-int-kind>";
+}
+
+bool cerb::ail::isUnsignedKind(IntKind K) {
+  switch (K) {
+  case IntKind::Bool:
+  case IntKind::UChar:
+  case IntKind::UShort:
+  case IntKind::UInt:
+  case IntKind::ULong:
+  case IntKind::ULongLong:
+    return true;
+  case IntKind::Char:
+    return false; // plain char is signed in our ImplEnv
+  case IntKind::SChar:
+  case IntKind::Short:
+  case IntKind::Int:
+  case IntKind::Long:
+  case IntKind::LongLong:
+    return false;
+  }
+  return false;
+}
+
+//===----------------------------------------------------------------------===//
+// CType
+//===----------------------------------------------------------------------===//
+
+std::vector<CType> CType::paramTypes() const {
+  assert(isFunction() && "paramTypes() on non-function");
+  std::vector<CType> Out;
+  Out.reserve(Node->Params.size());
+  for (const auto &P : Node->Params)
+    Out.push_back(CType(P));
+  return Out;
+}
+
+bool cerb::ail::operator==(const CType &A, const CType &B) {
+  if (A.Node == B.Node)
+    return true;
+  if (!A.isValid() || !B.isValid())
+    return A.isValid() == B.isValid();
+  if (A.kind() != B.kind())
+    return false;
+  switch (A.kind()) {
+  case CTypeKind::Void:
+    return true;
+  case CTypeKind::Integer:
+    return A.intKind() == B.intKind();
+  case CTypeKind::Pointer:
+    return A.pointee() == B.pointee();
+  case CTypeKind::Array:
+    return A.arraySize() == B.arraySize() && A.element() == B.element();
+  case CTypeKind::Function: {
+    if (A.returnType() != B.returnType() || A.isVariadic() != B.isVariadic())
+      return false;
+    auto PA = A.paramTypes(), PB = B.paramTypes();
+    return PA.size() == PB.size() && std::equal(PA.begin(), PA.end(),
+                                                PB.begin());
+  }
+  case CTypeKind::Struct:
+  case CTypeKind::Union:
+    return A.tag() == B.tag();
+  }
+  return false;
+}
+
+std::string CType::str() const {
+  if (!isValid())
+    return "<invalid-type>";
+  switch (kind()) {
+  case CTypeKind::Void:
+    return "void";
+  case CTypeKind::Integer:
+    return std::string(intKindName(intKind()));
+  case CTypeKind::Pointer:
+    return pointee().str() + "*";
+  case CTypeKind::Array:
+    return element().str() +
+           (arraySize() ? fmt("[{0}]", *arraySize()) : std::string("[]"));
+  case CTypeKind::Function: {
+    std::vector<std::string> Parts;
+    for (const CType &P : paramTypes())
+      Parts.push_back(P.str());
+    if (isVariadic())
+      Parts.push_back("...");
+    return returnType().str() + "(" + join(Parts, ", ") + ")";
+  }
+  case CTypeKind::Struct:
+    return fmt("struct#{0}", tag());
+  case CTypeKind::Union:
+    return fmt("union#{0}", tag());
+  }
+  return "<bad-type>";
+}
+
+static CType wrap(CTypeNode Node) {
+  return CType(std::make_shared<const CTypeNode>(std::move(Node)));
+}
+
+CType CType::makeVoid() {
+  CTypeNode N;
+  N.Kind = CTypeKind::Void;
+  return wrap(std::move(N));
+}
+
+CType CType::makeInteger(IntKind K) {
+  CTypeNode N;
+  N.Kind = CTypeKind::Integer;
+  N.Int = K;
+  return wrap(std::move(N));
+}
+
+CType CType::makePointer(CType Pointee) {
+  assert(Pointee.isValid() && "pointer to invalid type");
+  CTypeNode N;
+  N.Kind = CTypeKind::Pointer;
+  N.Inner = Pointee.Node;
+  return wrap(std::move(N));
+}
+
+CType CType::makeArray(CType Elem, std::optional<uint64_t> Size) {
+  assert(Elem.isValid() && "array of invalid type");
+  CTypeNode N;
+  N.Kind = CTypeKind::Array;
+  N.Inner = Elem.Node;
+  N.ArraySize = Size;
+  return wrap(std::move(N));
+}
+
+CType CType::makeFunction(CType Ret, std::vector<CType> Params,
+                          bool Variadic) {
+  assert(Ret.isValid() && "function returning invalid type");
+  CTypeNode N;
+  N.Kind = CTypeKind::Function;
+  N.Inner = Ret.Node;
+  for (const CType &P : Params) {
+    assert(P.isValid() && "invalid parameter type");
+    N.Params.push_back(P.Node);
+  }
+  N.Variadic = Variadic;
+  return wrap(std::move(N));
+}
+
+CType CType::makeStruct(unsigned Tag) {
+  CTypeNode N;
+  N.Kind = CTypeKind::Struct;
+  N.Tag = Tag;
+  return wrap(std::move(N));
+}
+
+CType CType::makeUnion(unsigned Tag) {
+  CTypeNode N;
+  N.Kind = CTypeKind::Union;
+  N.Tag = Tag;
+  return wrap(std::move(N));
+}
+
+//===----------------------------------------------------------------------===//
+// TagTable
+//===----------------------------------------------------------------------===//
+
+std::optional<size_t> TagDef::memberIndex(std::string_view MemberName) const {
+  for (size_t I = 0; I != Members.size(); ++I)
+    if (Members[I].Name == MemberName)
+      return I;
+  return std::nullopt;
+}
+
+unsigned TagTable::createTag(bool IsUnion, std::string Name) {
+  TagDef D;
+  D.IsUnion = IsUnion;
+  D.Name = std::move(Name);
+  Defs.push_back(std::move(D));
+  return static_cast<unsigned>(Defs.size() - 1);
+}
+
+void TagTable::complete(unsigned Tag, std::vector<TagMember> Members) {
+  TagDef &D = get(Tag);
+  assert(!D.Complete && "completing an already-complete tag");
+  D.Members = std::move(Members);
+  D.Complete = true;
+}
+
+const TagDef &TagTable::get(unsigned Tag) const {
+  assert(Tag < Defs.size() && "tag id out of range");
+  return Defs[Tag];
+}
+
+TagDef &TagTable::get(unsigned Tag) {
+  assert(Tag < Defs.size() && "tag id out of range");
+  return Defs[Tag];
+}
+
+//===----------------------------------------------------------------------===//
+// ImplEnv
+//===----------------------------------------------------------------------===//
+
+unsigned ImplEnv::widthOf(IntKind K) const {
+  switch (K) {
+  case IntKind::Bool:
+    return 8; // storage width; value range is {0,1}
+  case IntKind::Char:
+  case IntKind::SChar:
+  case IntKind::UChar:
+    return 8;
+  case IntKind::Short:
+  case IntKind::UShort:
+    return 16;
+  case IntKind::Int:
+  case IntKind::UInt:
+    return 32;
+  case IntKind::Long:
+  case IntKind::ULong:
+  case IntKind::LongLong:
+  case IntKind::ULongLong:
+    return 64;
+  }
+  return 0;
+}
+
+Int128 ImplEnv::minOf(IntKind K) const {
+  if (isUnsignedKind(K))
+    return 0;
+  unsigned W = widthOf(K);
+  return -(Int128(1) << (W - 1));
+}
+
+Int128 ImplEnv::maxOf(IntKind K) const {
+  if (K == IntKind::Bool)
+    return 1;
+  unsigned W = widthOf(K);
+  if (isUnsignedKind(K))
+    return (Int128(1) << W) - 1;
+  return (Int128(1) << (W - 1)) - 1;
+}
+
+bool ImplEnv::inRange(IntKind K, Int128 V) const {
+  return V >= minOf(K) && V <= maxOf(K);
+}
+
+Int128 ImplEnv::wrapUnsigned(IntKind K, Int128 V) const {
+  assert(isUnsignedKind(K) && "wrapUnsigned on signed kind");
+  if (K == IntKind::Bool)
+    return V != 0 ? 1 : 0;
+  UInt128 Mask = (UInt128(1) << widthOf(K)) - 1;
+  return static_cast<Int128>(static_cast<UInt128>(V) & Mask);
+}
+
+Int128 ImplEnv::convert(IntKind K, Int128 V) const {
+  if (K == IntKind::Bool)
+    return V != 0 ? 1 : 0;
+  if (inRange(K, V))
+    return V;
+  if (isUnsignedKind(K))
+    return wrapUnsigned(K, V);
+  // Out-of-range signed conversion: implementation-defined (6.3.1.3p3).
+  // We choose twos-complement wrapping, as all mainstream implementations do.
+  unsigned W = widthOf(K);
+  UInt128 Mask = (UInt128(1) << W) - 1;
+  UInt128 U = static_cast<UInt128>(V) & Mask;
+  if (U >= (UInt128(1) << (W - 1)))
+    return static_cast<Int128>(U) - (Int128(1) << W);
+  return static_cast<Int128>(U);
+}
+
+uint64_t ImplEnv::sizeOf(const CType &Ty) const {
+  assert(Ty.isValid() && "sizeOf invalid type");
+  switch (Ty.kind()) {
+  case CTypeKind::Void:
+    return 1; // GCC extension; used only for void* arithmetic guards
+  case CTypeKind::Integer:
+    return widthOf(Ty.intKind()) / 8;
+  case CTypeKind::Pointer:
+    return 8;
+  case CTypeKind::Array: {
+    assert(Ty.arraySize() && "sizeOf incomplete array");
+    return *Ty.arraySize() * sizeOf(Ty.element());
+  }
+  case CTypeKind::Function:
+    assert(false && "sizeOf function type");
+    return 1;
+  case CTypeKind::Struct: {
+    const TagDef &D = Tags.get(Ty.tag());
+    assert(D.Complete && "sizeOf incomplete struct");
+    if (D.Members.empty())
+      return 1; // empty structs are a GNU extension with size 0; avoid 0
+    uint64_t Off = 0, MaxAlign = 1;
+    for (const TagMember &M : D.Members) {
+      uint64_t A = alignOf(M.Ty);
+      MaxAlign = std::max(MaxAlign, A);
+      Off = (Off + A - 1) / A * A;
+      Off += sizeOf(M.Ty);
+    }
+    return (Off + MaxAlign - 1) / MaxAlign * MaxAlign;
+  }
+  case CTypeKind::Union: {
+    const TagDef &D = Tags.get(Ty.tag());
+    assert(D.Complete && "sizeOf incomplete union");
+    uint64_t Size = 0, MaxAlign = 1;
+    for (const TagMember &M : D.Members) {
+      Size = std::max(Size, sizeOf(M.Ty));
+      MaxAlign = std::max(MaxAlign, alignOf(M.Ty));
+    }
+    if (Size == 0)
+      return 1;
+    return (Size + MaxAlign - 1) / MaxAlign * MaxAlign;
+  }
+  }
+  return 1;
+}
+
+uint64_t ImplEnv::alignOf(const CType &Ty) const {
+  assert(Ty.isValid() && "alignOf invalid type");
+  switch (Ty.kind()) {
+  case CTypeKind::Void:
+    return 1;
+  case CTypeKind::Integer:
+    return widthOf(Ty.intKind()) / 8;
+  case CTypeKind::Pointer:
+    return 8;
+  case CTypeKind::Array:
+    return alignOf(Ty.element());
+  case CTypeKind::Function:
+    return 1;
+  case CTypeKind::Struct:
+  case CTypeKind::Union: {
+    const TagDef &D = Tags.get(Ty.tag());
+    uint64_t MaxAlign = 1;
+    for (const TagMember &M : D.Members)
+      MaxAlign = std::max(MaxAlign, alignOf(M.Ty));
+    return MaxAlign;
+  }
+  }
+  return 1;
+}
+
+uint64_t ImplEnv::offsetOf(unsigned Tag, size_t MemberIdx) const {
+  const TagDef &D = Tags.get(Tag);
+  assert(MemberIdx < D.Members.size() && "offsetOf member out of range");
+  if (D.IsUnion)
+    return 0;
+  uint64_t Off = 0;
+  for (size_t I = 0; I <= MemberIdx; ++I) {
+    uint64_t A = alignOf(D.Members[I].Ty);
+    Off = (Off + A - 1) / A * A;
+    if (I == MemberIdx)
+      return Off;
+    Off += sizeOf(D.Members[I].Ty);
+  }
+  return Off;
+}

@@ -1,0 +1,32 @@
+//===-- ail/Desugar.h - Cabs_to_Ail desugaring pass -------------*- C++ -*-===//
+///
+/// \file
+/// The Cabs_to_Ail pass of the paper (§5.1): identifier scoping (linkage,
+/// storage classes, namespaces, identifier kinds), function prototypes and
+/// definitions, normalisation of syntactic C types into canonical forms,
+/// string literals (implicitly allocated objects), enums (replaced by
+/// integers), and desugaring of `for` and `do-while` loops into `while`.
+/// On failure it identifies exactly what part of the standard is violated.
+///
+//===----------------------------------------------------------------------===//
+#ifndef CERB_AIL_DESUGAR_H
+#define CERB_AIL_DESUGAR_H
+
+#include "ail/Ail.h"
+#include "cabs/Cabs.h"
+#include "support/Expected.h"
+
+namespace cerb::ail {
+
+/// Desugars a parsed translation unit into an Ail program. The standard
+/// library builtins (printf, malloc, ...) are declared implicitly.
+Expected<AilProgram> desugar(const cabs::CabsTranslationUnit &Unit);
+
+/// Decodes an integer-constant spelling (e.g. "0x1fUL") into its value and
+/// C type per the ladder of ISO 6.4.4.1p5.
+Expected<std::pair<Int128, CType>> decodeIntConst(std::string_view Spelling,
+                                                  SourceLoc Loc);
+
+} // namespace cerb::ail
+
+#endif // CERB_AIL_DESUGAR_H

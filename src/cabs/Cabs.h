@@ -1,0 +1,242 @@
+//===-- cabs/Cabs.h - Cabs: the parse-tree AST ------------------*- C++ -*-===//
+///
+/// \file
+/// Cabs is the AST produced by the parser, "closely following the ISO
+/// grammar" (§5.1, Fig. 1). Identifiers are unresolved, types are syntactic
+/// (typedef names not yet substituted, enum constants not yet folded), and
+/// `for`/`do-while` are still present — all of that is the Cabs_to_Ail
+/// desugaring pass's job.
+///
+//===----------------------------------------------------------------------===//
+#ifndef CERB_CABS_CABS_H
+#define CERB_CABS_CABS_H
+
+#include "support/SourceLoc.h"
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace cerb::cabs {
+
+//===----------------------------------------------------------------------===//
+// Operators
+//===----------------------------------------------------------------------===//
+
+enum class UnaryOp {
+  Plus,    // +e
+  Minus,   // -e
+  BitNot,  // ~e
+  LogNot,  // !e
+  AddrOf,  // &e
+  Deref,   // *e
+  PreInc,  // ++e
+  PreDec,  // --e
+  PostInc, // e++
+  PostDec, // e--
+};
+
+enum class BinaryOp {
+  Mul, Div, Rem,
+  Add, Sub,
+  Shl, Shr,
+  Lt, Gt, Le, Ge,
+  Eq, Ne,
+  BitAnd, BitXor, BitOr,
+  LogAnd, LogOr,
+};
+
+/// Returns the C spelling of a binary operator.
+std::string_view binaryOpSpelling(BinaryOp Op);
+/// Returns the C spelling of a unary operator (the token, ignoring fixity).
+std::string_view unaryOpSpelling(UnaryOp Op);
+
+//===----------------------------------------------------------------------===//
+// Syntactic types
+//===----------------------------------------------------------------------===//
+
+struct CabsExpr;
+using CabsExprPtr = std::unique_ptr<CabsExpr>;
+
+/// The base type named by a list of type-specifier keywords (6.7.2p2
+/// multisets), resolved by the parser.
+enum class BaseSpec {
+  Void,
+  Bool,
+  Char, SChar, UChar,
+  Short, UShort,
+  Int, UInt,
+  Long, ULong,
+  LongLong, ULongLong,
+  Float, Double, // recognised so the desugarer can reject with a clean error
+};
+
+enum class CabsTypeKind {
+  Base,        ///< one of BaseSpec
+  TypedefName, ///< unresolved typedef use
+  Pointer,
+  Array,
+  Function,
+  StructUnion, ///< reference or inline definition
+  Enum,        ///< reference or inline definition
+};
+
+struct CabsType;
+using CabsTypePtr = std::shared_ptr<CabsType>;
+
+struct CabsParamDecl {
+  CabsTypePtr Ty;
+  std::string Name; ///< may be empty in a prototype
+  SourceLoc Loc;
+};
+
+struct CabsFieldDecl {
+  CabsTypePtr Ty;
+  std::string Name;
+  SourceLoc Loc;
+};
+
+struct CabsEnumerator {
+  std::string Name;
+  CabsExprPtr Value; ///< optional explicit value
+  SourceLoc Loc;
+};
+
+/// A syntactic C type as parsed from declaration specifiers + declarator.
+struct CabsType {
+  CabsTypeKind Kind;
+  SourceLoc Loc;
+
+  BaseSpec Base = BaseSpec::Int;       // Base
+  std::string Name;                    // TypedefName / tag name
+  CabsTypePtr Inner;                   // Pointer pointee / Array element /
+                                       // Function return type
+  CabsExprPtr ArraySize;               // Array: may be null ([])
+  std::vector<CabsParamDecl> Params;   // Function
+  bool Variadic = false;               // Function
+  bool IsUnion = false;                // StructUnion
+  bool HasBody = false;                // StructUnion/Enum inline definition?
+  std::vector<CabsFieldDecl> Fields;   // StructUnion body
+  std::vector<CabsEnumerator> Enumerators; // Enum body
+  bool Const = false;                  ///< const-qualified (layout-inert)
+};
+
+//===----------------------------------------------------------------------===//
+// Expressions
+//===----------------------------------------------------------------------===//
+
+enum class CabsExprKind {
+  Ident,
+  IntConst,   ///< spelling in Text (suffix/base still encoded)
+  CharConst,  ///< decoded value in IntValue
+  StringLit,  ///< decoded bytes in Text
+  Unary,      ///< UOp, Kids[0]
+  Binary,     ///< BOp, Kids[0], Kids[1]
+  Assign,     ///< AssignOp (nullopt = plain '='), Kids[0], Kids[1]
+  Cond,       ///< Kids[0] ? Kids[1] : Kids[2]
+  Cast,       ///< (TypeName)Kids[0]
+  Call,       ///< Kids[0](Kids[1..])
+  Member,     ///< Kids[0].Text
+  MemberPtr,  ///< Kids[0]->Text
+  Index,      ///< Kids[0][Kids[1]]
+  SizeofExpr, ///< sizeof Kids[0]
+  SizeofType, ///< sizeof(TypeName)
+  AlignofType,///< _Alignof(TypeName)
+  Comma,      ///< Kids[0], Kids[1]
+};
+
+struct CabsExpr {
+  CabsExprKind Kind;
+  SourceLoc Loc;
+
+  std::string Text;   ///< identifier / literal spelling / member name
+  long long IntValue = 0; ///< CharConst decoded value
+  UnaryOp UOp = UnaryOp::Plus;
+  BinaryOp BOp = BinaryOp::Add;
+  std::optional<BinaryOp> AssignOp; ///< compound-assignment operator
+  CabsTypePtr TypeName;             ///< Cast / SizeofType / AlignofType
+  std::vector<CabsExprPtr> Kids;
+};
+
+//===----------------------------------------------------------------------===//
+// Declarations and statements
+//===----------------------------------------------------------------------===//
+
+enum class StorageClass { None, Typedef, Extern, Static, Auto, Register };
+
+/// An initialiser: either a single expression or a brace-enclosed list
+/// (6.7.9). Designators are not supported in the fragment.
+struct CabsInit {
+  SourceLoc Loc;
+  CabsExprPtr E;              ///< expression form (null if list form)
+  std::vector<CabsInit> List; ///< list form
+  bool isList() const { return E == nullptr; }
+};
+
+struct CabsDecl {
+  StorageClass SC = StorageClass::None;
+  CabsTypePtr Ty;
+  std::string Name;
+  std::optional<CabsInit> Init;
+  SourceLoc Loc;
+};
+
+enum class CabsStmtKind {
+  Expr,     ///< E (may be null for the empty statement)
+  Decl,     ///< Decls
+  Block,    ///< Body
+  If,       ///< E, Body[0], optional Body[1]
+  While,    ///< E, Body[0]
+  DoWhile,  ///< Body[0], E
+  For,      ///< Decls or E (init), E2 (cond), E3 (step), Body[0]
+  Switch,   ///< E, Body[0]
+  Case,     ///< E (constant), Body[0]
+  Default,  ///< Body[0]
+  Label,    ///< Text, Body[0]
+  Goto,     ///< Text
+  Break,
+  Continue,
+  Return,   ///< optional E
+};
+
+struct CabsStmt;
+using CabsStmtPtr = std::unique_ptr<CabsStmt>;
+
+struct CabsStmt {
+  CabsStmtKind Kind;
+  SourceLoc Loc;
+
+  CabsExprPtr E, E2, E3;
+  std::vector<CabsDecl> Decls;
+  std::vector<CabsStmtPtr> Body;
+  std::string Text; ///< label name / goto target
+};
+
+//===----------------------------------------------------------------------===//
+// External declarations
+//===----------------------------------------------------------------------===//
+
+struct CabsFunctionDef {
+  StorageClass SC = StorageClass::None;
+  CabsTypePtr Ty; ///< a Function-kind CabsType carrying named parameters
+  std::string Name;
+  CabsStmtPtr Body;
+  SourceLoc Loc;
+};
+
+/// One top-level item: either a function definition or a declaration group
+/// (object declarations, typedefs, bare struct/union/enum definitions).
+struct CabsExternal {
+  std::optional<CabsFunctionDef> Function;
+  std::vector<CabsDecl> Decls;
+  bool isFunction() const { return Function.has_value(); }
+};
+
+struct CabsTranslationUnit {
+  std::vector<CabsExternal> Items;
+};
+
+} // namespace cerb::cabs
+
+#endif // CERB_CABS_CABS_H

@@ -1,0 +1,557 @@
+//===-- cabs/Lexer.cpp ----------------------------------------------------===//
+
+#include "cabs/Lexer.h"
+
+#include "support/Format.h"
+
+#include <cassert>
+#include <cctype>
+
+using namespace cerb;
+using namespace cerb::cabs;
+
+std::string_view cerb::cabs::tokName(Tok K) {
+  switch (K) {
+  case Tok::EndOfFile: return "end of file";
+  case Tok::Ident: return "identifier";
+  case Tok::IntConst: return "integer constant";
+  case Tok::CharConst: return "character constant";
+  case Tok::StringLit: return "string literal";
+  case Tok::KwVoid: return "void";
+  case Tok::KwChar: return "char";
+  case Tok::KwShort: return "short";
+  case Tok::KwInt: return "int";
+  case Tok::KwLong: return "long";
+  case Tok::KwSigned: return "signed";
+  case Tok::KwUnsigned: return "unsigned";
+  case Tok::KwBool: return "_Bool";
+  case Tok::KwFloat: return "float";
+  case Tok::KwDouble: return "double";
+  case Tok::KwStruct: return "struct";
+  case Tok::KwUnion: return "union";
+  case Tok::KwEnum: return "enum";
+  case Tok::KwTypedef: return "typedef";
+  case Tok::KwExtern: return "extern";
+  case Tok::KwStatic: return "static";
+  case Tok::KwAuto: return "auto";
+  case Tok::KwRegister: return "register";
+  case Tok::KwConst: return "const";
+  case Tok::KwVolatile: return "volatile";
+  case Tok::KwRestrict: return "restrict";
+  case Tok::KwInline: return "inline";
+  case Tok::KwIf: return "if";
+  case Tok::KwElse: return "else";
+  case Tok::KwWhile: return "while";
+  case Tok::KwDo: return "do";
+  case Tok::KwFor: return "for";
+  case Tok::KwSwitch: return "switch";
+  case Tok::KwCase: return "case";
+  case Tok::KwDefault: return "default";
+  case Tok::KwBreak: return "break";
+  case Tok::KwContinue: return "continue";
+  case Tok::KwReturn: return "return";
+  case Tok::KwGoto: return "goto";
+  case Tok::KwSizeof: return "sizeof";
+  case Tok::KwAlignof: return "_Alignof";
+  case Tok::LParen: return "(";
+  case Tok::RParen: return ")";
+  case Tok::LBrace: return "{";
+  case Tok::RBrace: return "}";
+  case Tok::LBracket: return "[";
+  case Tok::RBracket: return "]";
+  case Tok::Semi: return ";";
+  case Tok::Comma: return ",";
+  case Tok::Colon: return ":";
+  case Tok::Question: return "?";
+  case Tok::Ellipsis: return "...";
+  case Tok::Dot: return ".";
+  case Tok::Arrow: return "->";
+  case Tok::PlusPlus: return "++";
+  case Tok::MinusMinus: return "--";
+  case Tok::Amp: return "&";
+  case Tok::Star: return "*";
+  case Tok::Plus: return "+";
+  case Tok::Minus: return "-";
+  case Tok::Tilde: return "~";
+  case Tok::Exclaim: return "!";
+  case Tok::Slash: return "/";
+  case Tok::Percent: return "%";
+  case Tok::LessLess: return "<<";
+  case Tok::GreaterGreater: return ">>";
+  case Tok::Less: return "<";
+  case Tok::Greater: return ">";
+  case Tok::LessEq: return "<=";
+  case Tok::GreaterEq: return ">=";
+  case Tok::EqEq: return "==";
+  case Tok::ExclaimEq: return "!=";
+  case Tok::Caret: return "^";
+  case Tok::Pipe: return "|";
+  case Tok::AmpAmp: return "&&";
+  case Tok::PipePipe: return "||";
+  case Tok::Eq: return "=";
+  case Tok::StarEq: return "*=";
+  case Tok::SlashEq: return "/=";
+  case Tok::PercentEq: return "%=";
+  case Tok::PlusEq: return "+=";
+  case Tok::MinusEq: return "-=";
+  case Tok::LessLessEq: return "<<=";
+  case Tok::GreaterGreaterEq: return ">>=";
+  case Tok::AmpEq: return "&=";
+  case Tok::CaretEq: return "^=";
+  case Tok::PipeEq: return "|=";
+  }
+  return "<bad-token>";
+}
+
+namespace {
+
+const std::map<std::string_view, Tok> Keywords = {
+    {"void", Tok::KwVoid},       {"char", Tok::KwChar},
+    {"short", Tok::KwShort},     {"int", Tok::KwInt},
+    {"long", Tok::KwLong},       {"signed", Tok::KwSigned},
+    {"unsigned", Tok::KwUnsigned}, {"_Bool", Tok::KwBool},
+    {"float", Tok::KwFloat},     {"double", Tok::KwDouble},
+    {"struct", Tok::KwStruct},   {"union", Tok::KwUnion},
+    {"enum", Tok::KwEnum},       {"typedef", Tok::KwTypedef},
+    {"extern", Tok::KwExtern},   {"static", Tok::KwStatic},
+    {"auto", Tok::KwAuto},       {"register", Tok::KwRegister},
+    {"const", Tok::KwConst},     {"volatile", Tok::KwVolatile},
+    {"restrict", Tok::KwRestrict}, {"inline", Tok::KwInline},
+    {"if", Tok::KwIf},           {"else", Tok::KwElse},
+    {"while", Tok::KwWhile},     {"do", Tok::KwDo},
+    {"for", Tok::KwFor},         {"switch", Tok::KwSwitch},
+    {"case", Tok::KwCase},       {"default", Tok::KwDefault},
+    {"break", Tok::KwBreak},     {"continue", Tok::KwContinue},
+    {"return", Tok::KwReturn},   {"goto", Tok::KwGoto},
+    {"sizeof", Tok::KwSizeof},   {"_Alignof", Tok::KwAlignof},
+};
+
+/// Character-level scanner state over the raw source.
+class Scanner {
+public:
+  explicit Scanner(std::string_view Src) : Src(Src) {}
+
+  Expected<std::vector<Token>> run();
+
+private:
+  std::string_view Src;
+  size_t Pos = 0;
+  unsigned Line = 1, Col = 1;
+  /// Object-like macros: name -> replacement token list.
+  std::map<std::string, std::vector<Token>> Macros;
+  /// #ifdef nesting: each entry is whether the branch is active.
+  std::vector<bool> CondStack;
+
+  bool atEnd() const { return Pos >= Src.size(); }
+  char peek(size_t Ahead = 0) const {
+    return Pos + Ahead < Src.size() ? Src[Pos + Ahead] : '\0';
+  }
+  char advance() {
+    char C = Src[Pos++];
+    if (C == '\n') {
+      ++Line;
+      Col = 1;
+    } else {
+      ++Col;
+    }
+    return C;
+  }
+  SourceLoc loc() const { return SourceLoc(Line, Col); }
+  bool condActive() const {
+    for (bool B : CondStack)
+      if (!B)
+        return false;
+    return true;
+  }
+
+  /// Skips whitespace and comments; returns error on unterminated comment.
+  /// Sets \p SawNewline if a newline was crossed (directives are line-based).
+  ExpectedVoid skipTrivia(bool &SawNewline);
+  Expected<Token> lexToken();
+  Expected<Token> lexNumber(SourceLoc L);
+  Expected<Token> lexIdent(SourceLoc L);
+  Expected<Token> lexCharConst(SourceLoc L);
+  Expected<Token> lexStringLit(SourceLoc L);
+  Expected<long long> lexEscape(SourceLoc L);
+  ExpectedVoid handleDirective();
+};
+
+ExpectedVoid Scanner::skipTrivia(bool &SawNewline) {
+  for (;;) {
+    char C = peek();
+    if (C == ' ' || C == '\t' || C == '\r' || C == '\v' || C == '\f') {
+      advance();
+      continue;
+    }
+    if (C == '\n') {
+      SawNewline = true;
+      advance();
+      continue;
+    }
+    if (C == '\\' && peek(1) == '\n') { // line splice
+      advance();
+      advance();
+      continue;
+    }
+    if (C == '/' && peek(1) == '/') {
+      while (!atEnd() && peek() != '\n')
+        advance();
+      continue;
+    }
+    if (C == '/' && peek(1) == '*') {
+      SourceLoc Start = loc();
+      advance();
+      advance();
+      while (!(peek() == '*' && peek(1) == '/')) {
+        if (atEnd())
+          return err("unterminated /* comment", Start, "6.4.9");
+        advance();
+      }
+      advance();
+      advance();
+      continue;
+    }
+    return ExpectedVoid();
+  }
+}
+
+Expected<Token> Scanner::lexNumber(SourceLoc L) {
+  Token T;
+  T.Kind = Tok::IntConst;
+  T.Loc = L;
+  while (std::isalnum(static_cast<unsigned char>(peek())) || peek() == '.')
+    T.Text.push_back(advance());
+  return T;
+}
+
+Expected<Token> Scanner::lexIdent(SourceLoc L) {
+  Token T;
+  T.Loc = L;
+  while (std::isalnum(static_cast<unsigned char>(peek())) || peek() == '_')
+    T.Text.push_back(advance());
+  auto It = Keywords.find(T.Text);
+  T.Kind = It != Keywords.end() ? It->second : Tok::Ident;
+  return T;
+}
+
+Expected<long long> Scanner::lexEscape(SourceLoc L) {
+  assert(peek() == '\\');
+  advance();
+  char C = advance();
+  switch (C) {
+  case 'n': return (long long)'\n';
+  case 't': return (long long)'\t';
+  case 'r': return (long long)'\r';
+  case '0': case '1': case '2': case '3':
+  case '4': case '5': case '6': case '7': {
+    long long V = C - '0';
+    for (int I = 0; I < 2 && peek() >= '0' && peek() <= '7'; ++I)
+      V = V * 8 + (advance() - '0');
+    return V;
+  }
+  case 'x': {
+    long long V = 0;
+    if (!std::isxdigit(static_cast<unsigned char>(peek())))
+      return err("\\x with no hex digits", L, "6.4.4.4");
+    while (std::isxdigit(static_cast<unsigned char>(peek()))) {
+      char D = advance();
+      V = V * 16 + (std::isdigit(static_cast<unsigned char>(D))
+                        ? D - '0'
+                        : std::tolower(D) - 'a' + 10);
+    }
+    return V;
+  }
+  case '\\': return (long long)'\\';
+  case '\'': return (long long)'\'';
+  case '"': return (long long)'"';
+  case 'a': return (long long)'\a';
+  case 'b': return (long long)'\b';
+  case 'f': return (long long)'\f';
+  case 'v': return (long long)'\v';
+  default:
+    return err(fmt("unknown escape sequence '\\{0}'", C), L, "6.4.4.4");
+  }
+}
+
+Expected<Token> Scanner::lexCharConst(SourceLoc L) {
+  assert(peek() == '\'');
+  advance();
+  Token T;
+  T.Kind = Tok::CharConst;
+  T.Loc = L;
+  if (peek() == '\'')
+    return err("empty character constant", L, "6.4.4.4");
+  if (peek() == '\\') {
+    CERB_TRY(V, lexEscape(L));
+    T.IntValue = V;
+  } else {
+    T.IntValue = static_cast<unsigned char>(advance());
+    // Plain char is signed in our ImplEnv; a char constant has type int with
+    // the value of the (signed) char (6.4.4.4p10).
+    if (T.IntValue > 127)
+      T.IntValue -= 256;
+  }
+  if (peek() != '\'')
+    return err("multi-character or unterminated character constant", L,
+               "6.4.4.4");
+  advance();
+  return T;
+}
+
+Expected<Token> Scanner::lexStringLit(SourceLoc L) {
+  assert(peek() == '"');
+  advance();
+  Token T;
+  T.Kind = Tok::StringLit;
+  T.Loc = L;
+  for (;;) {
+    if (atEnd() || peek() == '\n')
+      return err("unterminated string literal", L, "6.4.5");
+    if (peek() == '"') {
+      advance();
+      return T;
+    }
+    if (peek() == '\\') {
+      CERB_TRY(V, lexEscape(L));
+      T.Text.push_back(static_cast<char>(V));
+      continue;
+    }
+    T.Text.push_back(advance());
+  }
+}
+
+ExpectedVoid Scanner::handleDirective() {
+  SourceLoc L = loc();
+  advance(); // '#'
+  // Gather the directive line (respecting splices).
+  std::string LineText;
+  while (!atEnd() && peek() != '\n') {
+    if (peek() == '\\' && peek(1) == '\n') {
+      advance();
+      advance();
+      continue;
+    }
+    LineText.push_back(advance());
+  }
+  // Tokenise the line coarsely.
+  size_t I = 0;
+  auto SkipWs = [&] {
+    while (I < LineText.size() && std::isspace((unsigned char)LineText[I]))
+      ++I;
+  };
+  auto Word = [&]() -> std::string {
+    SkipWs();
+    std::string W;
+    while (I < LineText.size() &&
+           (std::isalnum((unsigned char)LineText[I]) || LineText[I] == '_'))
+      W.push_back(LineText[I++]);
+    return W;
+  };
+  std::string Directive = Word();
+  if (Directive == "endif") {
+    if (CondStack.empty())
+      return err("#endif without #if", L);
+    CondStack.pop_back();
+    return ExpectedVoid();
+  }
+  if (Directive == "else") {
+    if (CondStack.empty())
+      return err("#else without #if", L);
+    CondStack.back() = !CondStack.back();
+    return ExpectedVoid();
+  }
+  if (Directive == "ifdef" || Directive == "ifndef") {
+    std::string Name = Word();
+    bool Defined = Macros.count(Name) != 0;
+    CondStack.push_back(Directive == "ifdef" ? Defined : !Defined);
+    return ExpectedVoid();
+  }
+  if (!condActive())
+    return ExpectedVoid(); // skipped region: ignore other directives
+  if (Directive == "include")
+    return ExpectedVoid(); // library declarations are builtin (see Desugar)
+  if (Directive == "define") {
+    std::string Name = Word();
+    if (Name.empty())
+      return err("#define with no name", L);
+    if (I < LineText.size() && LineText[I] == '(')
+      return err("function-like macros are not supported", L);
+    // Lex the replacement list with a nested scanner (no directives inside).
+    Scanner Sub(std::string_view(LineText).substr(I));
+    CERB_TRY(Body, Sub.run());
+    Body.pop_back(); // EOF
+    Macros[Name] = std::move(Body);
+    return ExpectedVoid();
+  }
+  if (Directive == "undef") {
+    Macros.erase(Word());
+    return ExpectedVoid();
+  }
+  if (Directive == "pragma")
+    return ExpectedVoid();
+  return err(fmt("unsupported preprocessor directive '#{0}'", Directive), L);
+}
+
+Expected<std::vector<Token>> Scanner::run() {
+  std::vector<Token> Out;
+  bool AtLineStart = true;
+  for (;;) {
+    bool SawNewline = false;
+    CERB_CHECK(skipTrivia(SawNewline));
+    if (SawNewline)
+      AtLineStart = true;
+    if (atEnd())
+      break;
+    if (peek() == '#' && AtLineStart) {
+      CERB_CHECK(handleDirective());
+      AtLineStart = true;
+      continue;
+    }
+    AtLineStart = false;
+    if (!condActive()) { // inside a skipped #ifdef region
+      advance();
+      continue;
+    }
+    CERB_TRY(T, lexToken());
+    // Object-like macro expansion (one level; no self-recursion possible
+    // since the body was lexed without expansion and we expand here only).
+    if (T.Kind == Tok::Ident) {
+      auto It = Macros.find(T.Text);
+      if (It != Macros.end()) {
+        for (Token MT : It->second) {
+          MT.Loc = T.Loc;
+          Out.push_back(std::move(MT));
+        }
+        continue;
+      }
+    }
+    // Adjacent string literal concatenation (6.4.5p5).
+    if (T.Kind == Tok::StringLit && !Out.empty() &&
+        Out.back().Kind == Tok::StringLit) {
+      Out.back().Text += T.Text;
+      continue;
+    }
+    Out.push_back(std::move(T));
+  }
+  Token Eof;
+  Eof.Kind = Tok::EndOfFile;
+  Eof.Loc = loc();
+  Out.push_back(std::move(Eof));
+  return Out;
+}
+
+Expected<Token> Scanner::lexToken() {
+  SourceLoc L = loc();
+  char C = peek();
+  if (std::isdigit(static_cast<unsigned char>(C)))
+    return lexNumber(L);
+  if (std::isalpha(static_cast<unsigned char>(C)) || C == '_')
+    return lexIdent(L);
+  if (C == '\'')
+    return lexCharConst(L);
+  if (C == '"')
+    return lexStringLit(L);
+
+  auto Make = [&](Tok K, int Len) -> Token {
+    Token T;
+    T.Kind = K;
+    T.Loc = L;
+    for (int I = 0; I < Len; ++I)
+      advance();
+    return T;
+  };
+  char C1 = peek(1), C2 = peek(2);
+  switch (C) {
+  case '(': return Make(Tok::LParen, 1);
+  case ')': return Make(Tok::RParen, 1);
+  case '{': return Make(Tok::LBrace, 1);
+  case '}': return Make(Tok::RBrace, 1);
+  case '[': return Make(Tok::LBracket, 1);
+  case ']': return Make(Tok::RBracket, 1);
+  case ';': return Make(Tok::Semi, 1);
+  case ',': return Make(Tok::Comma, 1);
+  case ':': return Make(Tok::Colon, 1);
+  case '?': return Make(Tok::Question, 1);
+  case '~': return Make(Tok::Tilde, 1);
+  case '.':
+    if (C1 == '.' && C2 == '.')
+      return Make(Tok::Ellipsis, 3);
+    return Make(Tok::Dot, 1);
+  case '-':
+    if (C1 == '>') return Make(Tok::Arrow, 2);
+    if (C1 == '-') return Make(Tok::MinusMinus, 2);
+    if (C1 == '=') return Make(Tok::MinusEq, 2);
+    return Make(Tok::Minus, 1);
+  case '+':
+    if (C1 == '+') return Make(Tok::PlusPlus, 2);
+    if (C1 == '=') return Make(Tok::PlusEq, 2);
+    return Make(Tok::Plus, 1);
+  case '&':
+    if (C1 == '&') return Make(Tok::AmpAmp, 2);
+    if (C1 == '=') return Make(Tok::AmpEq, 2);
+    return Make(Tok::Amp, 1);
+  case '|':
+    if (C1 == '|') return Make(Tok::PipePipe, 2);
+    if (C1 == '=') return Make(Tok::PipeEq, 2);
+    return Make(Tok::Pipe, 1);
+  case '^':
+    if (C1 == '=') return Make(Tok::CaretEq, 2);
+    return Make(Tok::Caret, 1);
+  case '*':
+    if (C1 == '=') return Make(Tok::StarEq, 2);
+    return Make(Tok::Star, 1);
+  case '/':
+    if (C1 == '=') return Make(Tok::SlashEq, 2);
+    return Make(Tok::Slash, 1);
+  case '%':
+    if (C1 == '=') return Make(Tok::PercentEq, 2);
+    return Make(Tok::Percent, 1);
+  case '<':
+    if (C1 == '<' && C2 == '=') return Make(Tok::LessLessEq, 3);
+    if (C1 == '<') return Make(Tok::LessLess, 2);
+    if (C1 == '=') return Make(Tok::LessEq, 2);
+    return Make(Tok::Less, 1);
+  case '>':
+    if (C1 == '>' && C2 == '=') return Make(Tok::GreaterGreaterEq, 3);
+    if (C1 == '>') return Make(Tok::GreaterGreater, 2);
+    if (C1 == '=') return Make(Tok::GreaterEq, 2);
+    return Make(Tok::Greater, 1);
+  case '=':
+    if (C1 == '=') return Make(Tok::EqEq, 2);
+    return Make(Tok::Eq, 1);
+  case '!':
+    if (C1 == '=') return Make(Tok::ExclaimEq, 2);
+    return Make(Tok::Exclaim, 1);
+  default:
+    return err(fmt("stray character '{0}' in program", C), L, "6.4");
+  }
+}
+
+} // namespace
+
+Expected<std::vector<Token>> cerb::cabs::lex(std::string_view Source) {
+  // Phase-2 line splices (5.1.1.2p1): delete backslash-newline before
+  // tokenisation, so splices work even mid-token (the scanner's trivia
+  // handling alone only covers token boundaries).
+  std::string Spliced;
+  Spliced.reserve(Source.size());
+  for (size_t I = 0; I < Source.size(); ++I) {
+    if (Source[I] == '\\' && I + 1 < Source.size() &&
+        Source[I + 1] == '\n') {
+      ++I;
+      continue;
+    }
+    Spliced.push_back(Source[I]);
+  }
+  Scanner S(Spliced);
+  return S.run();
+}
+
+const std::vector<std::string> &cerb::cabs::builtinTypedefNames() {
+  static const std::vector<std::string> Names = {
+      "size_t",  "ptrdiff_t", "intptr_t", "uintptr_t",
+      "int8_t",  "uint8_t",   "int16_t",  "uint16_t",
+      "int32_t", "uint32_t",  "int64_t",  "uint64_t",
+  };
+  return Names;
+}

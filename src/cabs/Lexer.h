@@ -1,0 +1,76 @@
+//===-- cabs/Lexer.h - C11 lexer with a minimal preprocessor ----*- C++ -*-===//
+///
+/// \file
+/// Tokeniser for the C fragment, closely following ISO C11 §6.4. The paper's
+/// pipeline runs "after conventional C preprocessing" (§5.1); we bundle a
+/// minimal preprocessor sufficient for the de facto test suite: comment
+/// stripping, `#include` of the known standard headers (a no-op — the
+/// library declarations are injected by the desugaring pass), object-like
+/// `#define`, and `#ifdef`/`#ifndef`/`#else`/`#endif`.
+///
+//===----------------------------------------------------------------------===//
+#ifndef CERB_CABS_LEXER_H
+#define CERB_CABS_LEXER_H
+
+#include "support/Expected.h"
+#include "support/SourceLoc.h"
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace cerb::cabs {
+
+/// Token kinds (ISO 6.4: keywords, identifiers, constants, string literals,
+/// punctuators).
+enum class Tok {
+  EndOfFile,
+  Ident,
+  IntConst,    ///< integer constant incl. suffixes, hex/oct/dec
+  CharConst,   ///< value already decoded into Token::IntValue
+  StringLit,   ///< value already decoded/concatenated into Token::Text
+  // Keywords of the fragment.
+  KwVoid, KwChar, KwShort, KwInt, KwLong, KwSigned, KwUnsigned, KwBool,
+  KwFloat, KwDouble, // recognised to reject cleanly (fragment excludes FP)
+  KwStruct, KwUnion, KwEnum, KwTypedef, KwExtern, KwStatic, KwAuto,
+  KwRegister, KwConst, KwVolatile, KwRestrict, KwInline,
+  KwIf, KwElse, KwWhile, KwDo, KwFor, KwSwitch, KwCase, KwDefault,
+  KwBreak, KwContinue, KwReturn, KwGoto, KwSizeof, KwAlignof,
+  // Punctuators.
+  LParen, RParen, LBrace, RBrace, LBracket, RBracket,
+  Semi, Comma, Colon, Question, Ellipsis,
+  Dot, Arrow,
+  PlusPlus, MinusMinus,
+  Amp, Star, Plus, Minus, Tilde, Exclaim,
+  Slash, Percent, LessLess, GreaterGreater,
+  Less, Greater, LessEq, GreaterEq, EqEq, ExclaimEq,
+  Caret, Pipe, AmpAmp, PipePipe,
+  Eq, StarEq, SlashEq, PercentEq, PlusEq, MinusEq,
+  LessLessEq, GreaterGreaterEq, AmpEq, CaretEq, PipeEq,
+};
+
+/// A lexed token. For CharConst the decoded value is in IntValue; for
+/// StringLit the decoded bytes (without the terminating NUL) are in Text.
+struct Token {
+  Tok Kind = Tok::EndOfFile;
+  std::string Text;  ///< identifier spelling / literal spelling / bytes
+  long long IntValue = 0; ///< decoded character-constant value
+  SourceLoc Loc;
+};
+
+/// Returns a printable name for a token kind (for diagnostics).
+std::string_view tokName(Tok K);
+
+/// Lexes (and minimally preprocesses) \p Source. On success the final token
+/// is EndOfFile.
+Expected<std::vector<Token>> lex(std::string_view Source);
+
+/// The typedef names our builtin headers (<stdint.h>, <stddef.h>) would
+/// introduce. The parser pre-seeds its typedef scope with these so that
+/// declarations using them parse (the classical lexer-hack environment);
+/// the desugarer binds their actual types.
+const std::vector<std::string> &builtinTypedefNames();
+
+} // namespace cerb::cabs
+
+#endif // CERB_CABS_LEXER_H

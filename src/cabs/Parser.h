@@ -1,0 +1,29 @@
+//===-- cabs/Parser.h - Recursive-descent C11 parser ------------*- C++ -*-===//
+///
+/// \file
+/// A clean-slate recursive-descent parser for the fragment, following the
+/// grammar of ISO C11 Annex A (the paper's front end uses a generated
+/// Menhir parser over the same grammar; see DESIGN.md substitutions).
+/// Typedef names are tracked with a scope stack so that declarations and
+/// expressions can be disambiguated (the "lexer hack", resolved here in the
+/// parser rather than the lexer).
+///
+//===----------------------------------------------------------------------===//
+#ifndef CERB_CABS_PARSER_H
+#define CERB_CABS_PARSER_H
+
+#include "cabs/Cabs.h"
+#include "cabs/Lexer.h"
+#include "support/Expected.h"
+
+namespace cerb::cabs {
+
+/// Parses a full translation unit from C source text (lexes internally).
+Expected<CabsTranslationUnit> parseTranslationUnit(std::string_view Source);
+
+/// Parses a single expression (used by tests and the quickstart example).
+Expected<CabsExprPtr> parseExpression(std::string_view Source);
+
+} // namespace cerb::cabs
+
+#endif // CERB_CABS_PARSER_H

@@ -1,0 +1,385 @@
+//===-- core/Core.h - The Core calculus (paper Fig. 2) ----------*- C++ -*-===//
+///
+/// \file
+/// Core is "a typed call-by-value calculus with constructs to model certain
+/// aspects of the C dynamic semantics" (§5.2): first-order functions,
+/// lists, tuples, booleans, mathematical integers, C pointer values, C
+/// function designators, and first-class C type expressions (ctype). The
+/// novel sequencing forms (§5.6) — unseq, let weak, let strong, let atomic,
+/// indet/bound, nd — express the C evaluation order; save/run give a
+/// structured goto (§5.8); create/kill/load/store actions factor all memory
+/// interaction through the memory object model (§5.7).
+///
+/// We use one expression datatype for both the pure (`pe`) and effectful
+/// (`e`) layers of Fig. 2; the purity discipline is enforced by
+/// core::typeCheck (pure vs effectful base types).
+///
+//===----------------------------------------------------------------------===//
+#ifndef CERB_CORE_CORE_H
+#define CERB_CORE_CORE_H
+
+#include "ail/Ail.h"
+#include "mem/UB.h"
+#include "mem/Value.h"
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace cerb::core {
+
+using ail::CType;
+using ail::Symbol;
+
+//===----------------------------------------------------------------------===//
+// Values
+//===----------------------------------------------------------------------===//
+
+enum class ValueKind {
+  Unit,
+  True,
+  False,
+  Ctype,       ///< a C type expression as a first-class value
+  Integer,     ///< memory-model integer value (provenance-carrying)
+  Pointer,     ///< memory-model pointer value
+  Function,    ///< C function designator
+  Specified,   ///< loaded value: Specified(object value) — Elems[0]
+  Unspecified, ///< loaded value: Unspecified(ctype)
+  Tuple,
+  List,
+  ArrayV,      ///< C array object value
+  StructV,     ///< C struct object value (Tag, member values)
+  UnionV,      ///< C union object value (Tag, ActiveMember, Elems[0])
+  BytesV,      ///< opaque aggregate byte image (whole struct/union values)
+};
+
+struct Value {
+  ValueKind K = ValueKind::Unit;
+  mem::IntegerValue IV;         // Integer
+  mem::PointerValue PV;         // Pointer
+  CType Cty;                    // Ctype / Unspecified / BytesV type
+  unsigned FuncSym = 0;         // Function
+  unsigned Tag = 0;             // StructV/UnionV
+  size_t ActiveMember = 0;      // UnionV
+  std::vector<Value> Elems;     // Tuple/List/ArrayV/StructV/Specified(1)
+  std::vector<mem::MemByte> Raw; // BytesV
+
+  static Value unit() { return Value{}; }
+  static Value boolean(bool B) {
+    Value V;
+    V.K = B ? ValueKind::True : ValueKind::False;
+    return V;
+  }
+  static Value ctype(CType Ty) {
+    Value V;
+    V.K = ValueKind::Ctype;
+    V.Cty = std::move(Ty);
+    return V;
+  }
+  static Value integer(mem::IntegerValue IV) {
+    Value V;
+    V.K = ValueKind::Integer;
+    V.IV = IV;
+    return V;
+  }
+  static Value integer(Int128 N) { return integer(mem::IntegerValue(N)); }
+  static Value pointer(mem::PointerValue PV) {
+    Value V;
+    V.K = ValueKind::Pointer;
+    V.PV = PV;
+    return V;
+  }
+  static Value function(unsigned Sym) {
+    Value V;
+    V.K = ValueKind::Function;
+    V.FuncSym = Sym;
+    return V;
+  }
+  static Value specified(Value Inner) {
+    Value V;
+    V.K = ValueKind::Specified;
+    V.Elems.push_back(std::move(Inner));
+    return V;
+  }
+  static Value unspecified(CType Ty) {
+    Value V;
+    V.K = ValueKind::Unspecified;
+    V.Cty = std::move(Ty);
+    return V;
+  }
+  static Value tuple(std::vector<Value> Elems) {
+    Value V;
+    V.K = ValueKind::Tuple;
+    V.Elems = std::move(Elems);
+    return V;
+  }
+  static Value list(std::vector<Value> Elems) {
+    Value V;
+    V.K = ValueKind::List;
+    V.Elems = std::move(Elems);
+    return V;
+  }
+
+  bool isTrue() const { return K == ValueKind::True; }
+  bool isSpecified() const { return K == ValueKind::Specified; }
+
+  std::string str() const;
+};
+
+/// Converts a Core object value to a memory value of C type \p Ty (for
+/// store actions) and back (after load actions).
+mem::MemValue valueToMem(const CType &Ty, const Value &V);
+Value memToValue(const mem::MemValue &MV);
+
+//===----------------------------------------------------------------------===//
+// Patterns
+//===----------------------------------------------------------------------===//
+
+enum class PatKind { Wild, Sym, Tuple, SpecifiedP, UnspecifiedP };
+
+struct Pattern {
+  PatKind K = PatKind::Wild;
+  Symbol S;
+  std::vector<Pattern> Subs;
+
+  static Pattern wild() { return Pattern{}; }
+  static Pattern sym(Symbol Sym) {
+    Pattern P;
+    P.K = PatKind::Sym;
+    P.S = Sym;
+    return P;
+  }
+  static Pattern tuple(std::vector<Pattern> Subs) {
+    Pattern P;
+    P.K = PatKind::Tuple;
+    P.Subs = std::move(Subs);
+    return P;
+  }
+  static Pattern specified(Pattern Sub) {
+    Pattern P;
+    P.K = PatKind::SpecifiedP;
+    P.Subs.push_back(std::move(Sub));
+    return P;
+  }
+  static Pattern unspecified() {
+    Pattern P;
+    P.K = PatKind::UnspecifiedP;
+    return P;
+  }
+
+  std::string str(const ail::SymbolTable &Syms) const;
+};
+
+//===----------------------------------------------------------------------===//
+// Expressions
+//===----------------------------------------------------------------------===//
+
+/// Core binary operators over mathematical integers / booleans.
+enum class CoreBinop {
+  Add, Sub, Mul, Div, RemT, Exp,
+  Eq, Lt, Le, Gt, Ge,
+  And, Or,
+};
+
+std::string_view coreBinopSpelling(CoreBinop Op);
+
+/// Pointer operations involving the memory state (Fig. 2 ptrop).
+enum class PtrOpKind {
+  PtrEq, PtrNe, PtrLt, PtrGt, PtrLe, PtrGe,
+  PtrDiff,
+  IntFromPtr, ///< Cty = target integer type
+  PtrFromInt, ///< Cty = target pointer type
+  PtrValidForDeref,
+  CastPtr,    ///< pointer-to-pointer cast (model hook; CHERI narrows)
+};
+
+/// Memory actions (Fig. 2 `a`). Kill frees; Create/Alloc allocate.
+enum class ActionKind {
+  Create, ///< create object: Cty = object type, Str = name hint
+  Alloc,  ///< allocate region: Kids[0] = size (loaded int not required)
+  Kill,   ///< end object lifetime: Kids[0] = pointer
+  Free,   ///< free dynamic region: Kids[0] = pointer
+  Store,  ///< Cty, Kids[0] = pointer, Kids[1] = value
+  Load,   ///< Cty, Kids[0] = pointer
+};
+
+enum class ExprKind {
+  //===--- pure (pe) ---===//
+  Sym,         ///< Core identifier
+  Val,         ///< literal value
+  ImplConst,   ///< implementation-defined constant (Str)
+  Undef,       ///< undefined behaviour (UB)
+  ErrorE,      ///< implementation-defined static error (Str)
+  Tuple,       ///< tuple constructor
+  SpecifiedE,  ///< Specified(pe)
+  UnspecifiedE,///< Unspecified(ctype literal in Cty)
+  Case,        ///< case pe of branches
+  ArrayShiftE, ///< array_shift(pe_ptr, Cty, pe_int)
+  MemberShiftE,///< member_shift(pe_ptr, Tag, MemberIdx)
+  Not,         ///< boolean not
+  Binop,       ///< pe1 binop pe2 (mathematical integers; no overflow)
+  PureCall,    ///< call of a named builtin pure function (Str)
+  PureLet,     ///< let pat = pe1 in pe2
+  PureIf,      ///< if pe then pe1 else pe2
+  IsInteger, IsSigned, IsUnsigned, IsScalar, ///< ctype tests
+  FinishArith, ///< model hook: finish C arithmetic (provenance/CHERI); Kids =
+               ///< {lhsIV, rhsIV, numeric result}; AOp = operator; Cty = C
+               ///< result type
+  ConvInt,     ///< conv_int(Cty, pe): 6.3.1.3 conversion on integer values
+
+  //===--- effectful (e) ---===//
+  PtrOp,     ///< ptrop(POp, pes...)
+  Action,    ///< memory action (Act, NegPolarity)
+  Skip,
+  ELet,      ///< sequential let (monadic bind, no inner actions in pe1)
+  EIf,
+  ECase,
+  ProcCall,  ///< call Core procedure Sym with evaluated args
+  CallPtr,   ///< call through C function pointer: Kids[0] = fn value
+  Ret,       ///< procedure return with value
+  Unseq,     ///< unsequenced expressions
+  LetWeak,   ///< let weak pat = e1 in e2
+  LetStrong, ///< let strong pat = e1 in e2
+  LetAtomic, ///< let atomic pat = a1 in a2 (postfix ++/--)
+  Indet,     ///< indeterminately sequenced subexpression [n]
+  Bound,     ///< boundary for indet [n]
+  Nd,        ///< nondeterministic choice among Kids
+  Save,      ///< save label Sym (+ scope annotation) in Kids[0]
+  Run,       ///< run label Sym (+ scope annotation)
+  Par,       ///< cppmem-style thread creation (restricted model)
+  Wait,      ///< wait for thread termination
+};
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+/// Scope annotation for save/run: the automatic objects live at the point,
+/// used by the dynamics to create/kill on goto (§5.8).
+struct ScopeObject {
+  Symbol Obj;
+  CType Ty;
+};
+
+struct Expr {
+  ExprKind K;
+  SourceLoc Loc;
+
+  Symbol Sym;            // Sym/ProcCall/Save/Run
+  Value V;               // Val
+  mem::UBKind UB = mem::UBKind::ExceptionalCondition; // Undef
+  std::string Str;       // ImplConst/ErrorE/PureCall name/Create name hint
+  CoreBinop BOp = CoreBinop::Add;   // Binop
+  mem::ArithOp AOp = mem::ArithOp::Add; // FinishArith
+  PtrOpKind POp = PtrOpKind::PtrEq; // PtrOp
+  ActionKind Act = ActionKind::Load; // Action
+  bool NegPolarity = false;          // Action (§5.6 polarities)
+  /// Action memory order (Fig. 2's memory-order operand), restricted to
+  /// the two cases the concurrency regime needs: non-atomic vs seq_cst.
+  bool AtomicAccess = false;
+  CType Cty;             // type operand (actions, shifts, conv, unspec)
+  unsigned Tag = 0;      // MemberShiftE / struct ops
+  size_t MemberIdx = 0;  // MemberShiftE
+  unsigned IndetId = 0;  // Indet/Bound pairing
+  /// Statement-boundary marker on LetStrong: a C sequence point, at which
+  /// the dynamics may discard accumulated action footprints (no
+  /// unsequenced-race check can ever involve actions across it).
+  bool SeqPoint = false;
+  /// Dynamics cache: does this subtree contain memory actions or calls?
+  /// (-1 unknown). Used to avoid scheduling unseq branches whose order is
+  /// unobservable.
+  mutable int HasEffectsCache = -1;
+  Pattern Pat;           // lets
+  std::vector<ExprPtr> Kids;
+  std::vector<std::pair<Pattern, ExprPtr>> Branches; // Case/ECase
+  std::vector<ScopeObject> Scope; // Save/Run annotations
+
+  static ExprPtr make(ExprKind K, SourceLoc Loc = SourceLoc()) {
+    auto E = std::make_unique<Expr>();
+    E->K = K;
+    E->Loc = Loc;
+    return E;
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// Programs
+//===----------------------------------------------------------------------===//
+
+/// A Core procedure (effectful) or function (pure), from elaborating a C
+/// function definition.
+struct CoreProc {
+  Symbol Name;
+  CType ReturnTy;                 ///< C return type
+  std::vector<std::pair<Symbol, CType>> Params; ///< value parameters
+  ExprPtr Body;
+  SourceLoc Loc;
+};
+
+/// A C object with static storage duration: name, type, and the Core
+/// expression computing its initial value (run at startup, §5.2: "a set of
+/// names, core types, and allocation/initialisation expressions").
+struct CoreGlobal {
+  Symbol Name;
+  CType Ty;
+  ExprPtr Init; ///< null = zero-initialised
+  SourceLoc Loc;
+  bool ReadOnly = false; ///< string literal: immutable after initialisation
+};
+
+/// The result of elaborating a C translation unit (Fig. 2 caption).
+struct CoreProgram {
+  ail::TagTable Tags;
+  ail::SymbolTable Syms;
+  std::vector<CoreGlobal> Globals;
+  std::map<unsigned, CoreProc> Procs;
+  std::map<unsigned, ail::Builtin> Builtins;
+  Symbol MainProc;
+
+  const CoreProc *findProc(Symbol S) const {
+    auto It = Procs.find(S.Id);
+    return It == Procs.end() ? nullptr : &It->second;
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// Pretty printing (the accessibility story of §5.1/§5.3 depends on being
+// able to *read* elaborated Core; also regenerates Fig. 2/Fig. 3)
+//===----------------------------------------------------------------------===//
+
+std::string printExpr(const Expr &E, const ail::SymbolTable &Syms,
+                      unsigned Indent = 0);
+std::string printProgram(const CoreProgram &P);
+/// The Core grammar summary (regenerates the shape of Fig. 2).
+std::string coreGrammarSummary();
+
+/// Deep copy of a Core expression.
+ExprPtr cloneExpr(const Expr &E);
+
+/// True iff \p E is a pure Core expression (fits the `pe` layer of Fig. 2).
+bool isPureExpr(const Expr &E);
+
+//===----------------------------------------------------------------------===//
+// Core-to-Core transformations (§5.1 "Core-to-Core transformation (600)")
+//===----------------------------------------------------------------------===//
+
+struct RewriteStats {
+  unsigned PureLetsInlined = 0;
+  unsigned ConstIfsFolded = 0;
+  unsigned UnseqSingletons = 0;
+  unsigned SkipSeqsDropped = 0;
+};
+
+/// Simplifies a Core program in place: inlines trivial pure lets, folds
+/// constant ifs, collapses singleton unseqs, drops skip sequencing.
+RewriteStats rewrite(CoreProgram &P);
+
+/// Structural validity + purity checking of a Core program (the Core type
+/// system's pure/effectful distinction, §5.2). Returns an error string for
+/// the first violation, or nullopt.
+std::optional<std::string> typeCheck(const CoreProgram &P);
+
+} // namespace cerb::core
+
+#endif // CERB_CORE_CORE_H

@@ -1,0 +1,140 @@
+//===-- csmith/Differential.cpp -------------------------------------------===//
+
+#include "csmith/Differential.h"
+
+#include "exec/Pipeline.h"
+#include "support/Format.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sys/wait.h>
+#include <unistd.h>
+
+using namespace cerb;
+using namespace cerb::csmith;
+
+std::string_view cerb::csmith::diffStatusName(DiffStatus S) {
+  switch (S) {
+  case DiffStatus::Agree: return "agree";
+  case DiffStatus::Mismatch: return "MISMATCH";
+  case DiffStatus::OursTimeout: return "timeout";
+  case DiffStatus::OursFail: return "fail";
+  case DiffStatus::OracleFail: return "oracle-unavailable";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Runs a shell command, capturing stdout; nullopt on nonzero exit.
+std::optional<std::string> capture(const std::string &Cmd) {
+  FILE *P = popen((Cmd + " 2>/dev/null").c_str(), "r");
+  if (!P)
+    return std::nullopt;
+  std::string Out;
+  char Buf[4096];
+  size_t N;
+  while ((N = fread(Buf, 1, sizeof Buf, P)) > 0)
+    Out.append(Buf, N);
+  int Status = pclose(P);
+  if (!WIFEXITED(Status) || WEXITSTATUS(Status) != 0)
+    return std::nullopt;
+  return Out;
+}
+
+std::string tempDir() {
+  static std::string Dir = [] {
+    std::string D = "/tmp/cerb-diff-" + std::to_string(getpid());
+    std::string Cmd = "mkdir -p " + D;
+    if (std::system(Cmd.c_str()) != 0)
+      return std::string("/tmp");
+    return D;
+  }();
+  return Dir;
+}
+
+} // namespace
+
+bool cerb::csmith::oracleAvailable() {
+  static bool Available = [] {
+    return capture("cc --version").has_value();
+  }();
+  return Available;
+}
+
+std::optional<std::string>
+cerb::csmith::runOracle(const std::string &Source) {
+  if (!oracleAvailable())
+    return std::nullopt;
+  static unsigned Counter = 0;
+  std::string Base = tempDir() + "/t" + std::to_string(Counter++);
+  {
+    std::ofstream F(Base + ".c");
+    F << Source;
+  }
+  if (!capture("cc -O1 -o " + Base + " " + Base + ".c"))
+    return std::nullopt;
+  auto Out = capture("timeout 10 " + Base);
+  std::string Cleanup = "rm -f " + Base + " " + Base + ".c";
+  (void)std::system(Cleanup.c_str());
+  return Out;
+}
+
+DiffResult cerb::csmith::differentialTest(const std::string &Source,
+                                          uint64_t StepBudget) {
+  DiffResult R;
+
+  exec::RunOptions Opts;
+  Opts.Policy = mem::MemoryPolicy::defacto();
+  Opts.Limits.MaxSteps = StepBudget;
+  auto OursOr = exec::evaluateOnce(Source, Opts);
+  if (!OursOr) {
+    R.Status = DiffStatus::OursFail;
+    R.Detail = OursOr.error().str();
+    return R;
+  }
+  if (OursOr->Kind == exec::OutcomeKind::StepLimit) {
+    R.Status = DiffStatus::OursTimeout;
+    return R;
+  }
+  if (OursOr->Kind != exec::OutcomeKind::Exit) {
+    // A generated program must be UB-free: any UB report is a generator or
+    // semantics bug and counts as a failure (the interesting kind!).
+    R.Status = DiffStatus::OursFail;
+    R.Detail = OursOr->str();
+    return R;
+  }
+  R.Ours = OursOr->Stdout;
+
+  auto Oracle = runOracle(Source);
+  if (!Oracle) {
+    R.Status = DiffStatus::OracleFail;
+    return R;
+  }
+  R.Oracle = *Oracle;
+  R.Status = R.Ours == R.Oracle ? DiffStatus::Agree : DiffStatus::Mismatch;
+  return R;
+}
+
+ValidationSummary cerb::csmith::validateSeeds(uint64_t FirstSeed,
+                                              unsigned Count,
+                                              const GenOptions &Base,
+                                              uint64_t StepBudget) {
+  ValidationSummary S;
+  for (unsigned I = 0; I < Count; ++I) {
+    GenOptions Opts = Base;
+    Opts.Seed = FirstSeed + I;
+    std::string Src = generateProgram(Opts);
+    DiffResult R = differentialTest(Src, StepBudget);
+    ++S.Total;
+    switch (R.Status) {
+    case DiffStatus::Agree: ++S.Agree; break;
+    case DiffStatus::Mismatch: ++S.Mismatch; break;
+    case DiffStatus::OursTimeout: ++S.Timeout; break;
+    case DiffStatus::OursFail: ++S.Fail; break;
+    case DiffStatus::OracleFail: ++S.OracleUnavailable; break;
+    }
+  }
+  return S;
+}

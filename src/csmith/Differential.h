@@ -1,0 +1,67 @@
+//===-- csmith/Differential.h - Differential validation ---------*- C++ -*-===//
+///
+/// \file
+/// The §6 validation experiment: run generated (UB-free) programs both
+/// under our semantics and under a production C compiler, and compare the
+/// printed checksums. The paper validates Cerberus against GCC on 561
+/// small + 400 larger Csmith tests; we regenerate the same experiment
+/// shape (agree / timeout / fail counts) with the host compiler as oracle.
+///
+//===----------------------------------------------------------------------===//
+#ifndef CERB_CSMITH_DIFFERENTIAL_H
+#define CERB_CSMITH_DIFFERENTIAL_H
+
+#include "csmith/Generator.h"
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace cerb::csmith {
+
+enum class DiffStatus {
+  Agree,       ///< same stdout + exit status
+  Mismatch,    ///< both ran, different results (a bug somewhere!)
+  OursTimeout, ///< our interpreter hit the step budget (§6 "times out")
+  OursFail,    ///< our pipeline rejected or errored on the program
+  OracleFail,  ///< the host compiler failed (unavailable / crashed)
+};
+
+std::string_view diffStatusName(DiffStatus S);
+
+struct DiffResult {
+  DiffStatus Status = DiffStatus::OracleFail;
+  std::string Ours;
+  std::string Oracle;
+  std::string Detail;
+};
+
+/// Is a host C compiler available? (checked once, cached)
+bool oracleAvailable();
+
+/// Compiles and runs \p Source with the host compiler; nullopt on failure.
+std::optional<std::string> runOracle(const std::string &Source);
+
+/// Runs \p Source through our pipeline + one (deterministic) execution and
+/// through the oracle, and compares.
+DiffResult differentialTest(const std::string &Source,
+                            uint64_t StepBudget = 20'000'000);
+
+/// The §6 aggregate over a seed range.
+struct ValidationSummary {
+  unsigned Total = 0;
+  unsigned Agree = 0;
+  unsigned Mismatch = 0;
+  unsigned Timeout = 0;
+  unsigned Fail = 0;
+  unsigned OracleUnavailable = 0;
+};
+
+ValidationSummary validateSeeds(uint64_t FirstSeed, unsigned Count,
+                                const GenOptions &Base,
+                                uint64_t StepBudget = 20'000'000);
+
+} // namespace cerb::csmith
+
+#endif // CERB_CSMITH_DIFFERENTIAL_H

@@ -1,0 +1,286 @@
+//===-- csmith/Generator.cpp ----------------------------------------------===//
+
+#include "csmith/Generator.h"
+
+#include "support/Format.h"
+
+#include <algorithm>
+#include <vector>
+
+using namespace cerb;
+using namespace cerb::csmith;
+
+namespace {
+
+/// xorshift64 — deterministic across platforms.
+class Rng {
+public:
+  explicit Rng(uint64_t Seed) : S(Seed ? Seed : 0x2545F4914F6CDD1D) {}
+  uint64_t next() {
+    S ^= S << 13;
+    S ^= S >> 7;
+    S ^= S << 17;
+    return S;
+  }
+  unsigned below(unsigned N) { return static_cast<unsigned>(next() % N); }
+  bool chance(unsigned Percent) { return below(100) < Percent; }
+
+private:
+  uint64_t S;
+};
+
+class Generator {
+public:
+  Generator(const GenOptions &Opts) : Opts(Opts), R(Opts.Seed) {}
+
+  std::string run();
+
+  /// Generates a statement sequence into a fresh buffer; returns the
+  /// needed loop-counter declarations plus the body.
+  std::pair<std::string, std::string> genBody(unsigned Budget,
+                                              unsigned Depth) {
+    unsigned FirstCounter = LocalCounter;
+    std::string Saved;
+    std::swap(Out, Saved);
+    while (Budget > 0)
+      stmt(1, Depth, Budget);
+    std::string Body;
+    std::swap(Out, Body);
+    Out = std::move(Saved);
+    std::string Decls;
+    for (unsigned I = FirstCounter; I < LocalCounter; ++I) {
+      std::string N = fmt("i{0}", I);
+      if (Body.find("for (" + N + " ") != std::string::npos)
+        Decls += fmt("  unsigned int {0};\n", N);
+    }
+    return {Decls, Body};
+  }
+
+private:
+  GenOptions Opts;
+  Rng R;
+  std::string Out;
+  unsigned LocalCounter = 0;
+  unsigned LoopDepth = 0;
+
+  struct Var {
+    std::string Name;
+    bool IsArray;
+    unsigned ArrayLen; // power of two, for mask indexing
+  };
+  std::vector<Var> Globals;
+  std::vector<Var> Locals; ///< in-scope unsigned locals
+  std::vector<std::string> Functions; ///< generated helper names
+
+  void line(unsigned Indent, const std::string &S) {
+    Out += std::string(2 * Indent, ' ') + S + "\n";
+  }
+
+  /// A random readable unsigned expression (rvalue), depth-bounded.
+  std::string expr(unsigned Depth);
+  /// A random writable unsigned lvalue.
+  std::string lvalue();
+  void stmt(unsigned Indent, unsigned Depth, unsigned &Budget);
+  void block(unsigned Indent, unsigned Depth, unsigned Budget);
+  void function(unsigned Idx);
+};
+
+std::string Generator::lvalue() {
+  // Prefer globals so effects reach the checksum.
+  bool UseLocal = !Locals.empty() && R.chance(35);
+  const std::vector<Var> &Pool = UseLocal ? Locals : Globals;
+  const Var &V = Pool[R.below(static_cast<unsigned>(Pool.size()))];
+  if (V.IsArray)
+    return fmt("{0}[{1}]", V.Name, R.below(V.ArrayLen));
+  return V.Name;
+}
+
+std::string Generator::expr(unsigned Depth) {
+  if (Depth == 0 || R.chance(30)) {
+    switch (R.below(3)) {
+    case 0:
+      return fmt("{0}u", R.below(1000));
+    case 1: {
+      const Var &V = Globals[R.below(static_cast<unsigned>(Globals.size()))];
+      if (V.IsArray)
+        return fmt("{0}[{1}]", V.Name, R.below(V.ArrayLen));
+      return V.Name;
+    }
+    default:
+      if (!Locals.empty()) {
+        const Var &V = Locals[R.below(static_cast<unsigned>(Locals.size()))];
+        return V.Name;
+      }
+      return fmt("{0}u", R.below(1000));
+    }
+  }
+  std::string A = expr(Depth - 1);
+  std::string B = expr(Depth - 1);
+  switch (R.below(9)) {
+  case 0: return fmt("({0} + {1})", A, B);   // unsigned: wraps, defined
+  case 1: return fmt("({0} - {1})", A, B);
+  case 2: return fmt("({0} * {1})", A, B);
+  case 3: return fmt("({0} ^ {1})", A, B);
+  case 4: return fmt("({0} & {1})", A, B);
+  case 5: return fmt("({0} | {1})", A, B);
+  case 6: // guarded division (Csmith's safe_div)
+    return fmt("({1} != 0u ? {0} / {1} : {0})", A, B);
+  case 7: // literal shift count < width: defined
+    return fmt("({0} << {1})", A, R.below(31) + 1);
+  default:
+    return fmt("({0} >> {1})", A, R.below(31) + 1);
+  }
+}
+
+void Generator::stmt(unsigned Indent, unsigned Depth, unsigned &Budget) {
+  if (Budget == 0)
+    return;
+  --Budget;
+  unsigned Kind = R.below(10);
+  if (Depth == 0 && Kind >= 6)
+    Kind = R.below(6);
+
+  switch (Kind) {
+  case 0:
+  case 1:
+  case 2: // plain assignment
+    line(Indent, fmt("{0} = {1};", lvalue(), expr(2)));
+    return;
+  case 3: // compound assignment
+    line(Indent, fmt("{0} {1}= {2};", lvalue(),
+                     std::string(1, "+-^&|"[R.below(5)]), expr(1)));
+    return;
+  case 4: // call a helper, fold the result in
+    if (!Functions.empty()) {
+      const std::string &F =
+          Functions[R.below(static_cast<unsigned>(Functions.size()))];
+      line(Indent, fmt("{0} ^= {1}({2}, {3});", lvalue(), F, expr(1),
+                       expr(1)));
+      return;
+    }
+    line(Indent, fmt("{0} ^= {1};", lvalue(), expr(2)));
+    return;
+  case 5: // increment
+    line(Indent, fmt("{0}++;", lvalue()));
+    return;
+  case 6: { // if/else
+    line(Indent, fmt("if ({0} > {1}) {2}", expr(1), expr(1), "{"));
+    size_t Mark = Locals.size();
+    unsigned Inner = 1 + R.below(2);
+    while (Inner--)
+      stmt(Indent + 1, Depth - 1, Budget);
+    Locals.resize(Mark); // block-scope locals die at the brace
+    if (R.chance(50)) {
+      line(Indent, "} else {");
+      unsigned E = 1 + R.below(2);
+      while (E--)
+        stmt(Indent + 1, Depth - 1, Budget);
+      Locals.resize(Mark);
+    }
+    line(Indent, "}");
+    return;
+  }
+  case 7: { // bounded for loop with a fresh counter
+    if (LoopDepth >= 2) {
+      line(Indent, fmt("{0} = {1};", lvalue(), expr(2)));
+      return;
+    }
+    ++LoopDepth;
+    std::string I = fmt("i{0}", LocalCounter++);
+    unsigned Bound = 2 + R.below(6);
+    line(Indent, fmt("for ({0} = 0u; {0} < {1}u; {0}++) {2}", I, Bound,
+                     "{"));
+    Locals.push_back(Var{I, false, 0});
+    size_t Mark = Locals.size();
+    unsigned Inner = 1 + R.below(2);
+    while (Inner--)
+      stmt(Indent + 1, Depth - 1, Budget);
+    Locals.resize(Mark);
+    Locals.pop_back(); // the counter scopes only over the loop
+    line(Indent, "}");
+    --LoopDepth;
+    return;
+  }
+  case 8: { // fresh local
+    std::string L = fmt("t{0}", LocalCounter++);
+    line(Indent, fmt("unsigned int {0} = {1};", L, expr(2)));
+    Locals.push_back(Var{L, false, 0});
+    return;
+  }
+  default: // array element update
+    line(Indent, fmt("{0} = ({1} + {2});", lvalue(), lvalue(), expr(1)));
+    return;
+  }
+}
+
+void Generator::function(unsigned Idx) {
+  std::string Name = fmt("fn{0}", Idx);
+  Out += fmt("unsigned int {0}(unsigned int a, unsigned int b) {1}\n", Name,
+             "{");
+  std::vector<Var> SavedLocals = std::move(Locals);
+  Locals.clear();
+  Locals.push_back(Var{"a", false, 0});
+  Locals.push_back(Var{"b", false, 0});
+  // Helpers may call earlier helpers only (no recursion: termination).
+  std::vector<std::string> SavedFns = std::move(Functions);
+  Functions.assign(SavedFns.begin(),
+                   SavedFns.begin() + std::min<size_t>(Idx, SavedFns.size()));
+  auto [Decls, Body] = genBody(2 + Opts.Size / 6, 2);
+  Functions = std::move(SavedFns);
+  Out += Decls + Body;
+  line(1, fmt("return ({0});", expr(2)));
+  Out += "}\n\n";
+  Locals = std::move(SavedLocals);
+}
+
+std::string Generator::run() {
+  Out = "/* generated by cerberus-cxx csmith-lite, seed " +
+        toString(Int128(Opts.Seed)) + " */\n#include <stdio.h>\n\n";
+
+  for (unsigned I = 0; I < Opts.NumGlobals; ++I) {
+    bool IsArr = R.chance(30);
+    Var V;
+    V.Name = fmt("g{0}", I);
+    V.IsArray = IsArr;
+    if (IsArr) {
+      V.ArrayLen = 4;
+      Out += fmt("unsigned int {0}[4] = {1}{2}u, {3}u, {4}u, {5}u{6};\n",
+                 V.Name, "{", R.below(100), R.below(100), R.below(100),
+                 R.below(100), "}");
+    } else {
+      Out += fmt("unsigned int {0} = {1}u;\n", V.Name, R.below(1000));
+    }
+    Globals.push_back(std::move(V));
+  }
+  Out += "\n";
+
+  for (unsigned I = 0; I < Opts.NumFunctions; ++I) {
+    function(I);
+    Functions.push_back(fmt("fn{0}", I));
+  }
+
+  Out += "int main(void) {\n";
+  Locals.clear();
+  auto [Decls, Body] = genBody(Opts.Size, Opts.MaxDepth);
+  Out += Decls + Body;
+
+  // Checksum of all globals (the Csmith convention).
+  Out += "  unsigned int crc = 0u;\n";
+  for (const Var &V : Globals) {
+    if (V.IsArray) {
+      for (unsigned I = 0; I < V.ArrayLen; ++I)
+        Out += fmt("  crc = crc * 31u + {0}[{1}];\n", V.Name, I);
+    } else {
+      Out += fmt("  crc = crc * 31u + {0};\n", V.Name);
+    }
+  }
+  Out += "  printf(\"checksum = %u\\n\", crc);\n  return 0;\n}\n";
+  return Out;
+}
+
+} // namespace
+
+std::string cerb::csmith::generateProgram(const GenOptions &Opts) {
+  Generator G(Opts);
+  return G.run();
+}

@@ -1,0 +1,41 @@
+//===-- csmith/Generator.h - Random well-defined C programs -----*- C++ -*-===//
+///
+/// \file
+/// A Csmith-style random program generator (§6 validates Cerberus against
+/// GCC on Csmith tests: "Of their 561 Csmith tests, Cerberus currently
+/// gives the same result as GCC for 556"). Like Csmith, generated programs
+/// are (intended to be) free of undefined and unspecified behaviour, so a
+/// correct C implementation and a correct C semantics must agree on the
+/// printed checksum; disagreement indicts one of them. The differential
+/// harness (Differential.h) uses the host C compiler as the oracle.
+///
+/// The generator emits: unsigned global scalars and arrays, helper
+/// functions with parameters and results, bounded loops, if/else, safe
+/// arithmetic (guarded division/remainder, literal shift counts, masked
+/// array indices), and a final checksum of all globals.
+///
+//===----------------------------------------------------------------------===//
+#ifndef CERB_CSMITH_GENERATOR_H
+#define CERB_CSMITH_GENERATOR_H
+
+#include <cstdint>
+#include <string>
+
+namespace cerb::csmith {
+
+struct GenOptions {
+  uint64_t Seed = 1;
+  /// Scale knob: roughly the number of statements in main. The paper's
+  /// "small" Csmith tests ~ Size 12; the "larger, 40-600 line" ones ~ 60.
+  unsigned Size = 12;
+  unsigned NumGlobals = 5;
+  unsigned NumFunctions = 3;
+  unsigned MaxDepth = 3;
+};
+
+/// Generates one deterministic, UB-free C program.
+std::string generateProgram(const GenOptions &Opts);
+
+} // namespace cerb::csmith
+
+#endif // CERB_CSMITH_GENERATOR_H

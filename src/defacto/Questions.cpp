@@ -1,0 +1,134 @@
+//===-- defacto/Questions.cpp ---------------------------------------------===//
+
+#include "defacto/Questions.h"
+
+#include "support/Format.h"
+
+#include <map>
+
+using namespace cerb;
+using namespace cerb::defacto;
+
+namespace {
+
+/// Per-category data: name, count, and how many of its questions carry
+/// each classification flag (flags assigned to the first k questions of
+/// the category; totals reproduce the paper's 38 / 28 / 26).
+struct CatSpec {
+  const char *Name;
+  unsigned Count;
+  unsigned Iso, Defacto, Div;
+};
+
+const CatSpec Specs[] = {
+    {"Pointer provenance basics", 3, 2, 1, 1},
+    {"Pointer provenance via integer types", 5, 3, 2, 2},
+    {"Pointers involving multiple provenances", 5, 3, 2, 2},
+    {"Pointer provenance via pointer representation copying", 4, 2, 2, 1},
+    {"Pointer provenance and union type punning", 2, 1, 1, 1},
+    {"Pointer provenance via IO", 1, 1, 0, 0},
+    {"Stability of pointer values", 1, 1, 1, 0},
+    {"Pointer equality comparison (with == or !=)", 3, 2, 1, 1},
+    {"Pointer relational comparison (with <, >, <=, or >=)", 3, 0, 1, 3},
+    {"Null pointers", 3, 1, 1, 0},
+    {"Pointer arithmetic", 6, 3, 2, 3},
+    {"Casts between pointer types", 2, 1, 1, 0},
+    {"Accesses to related structure and union types", 4, 3, 1, 1},
+    {"Pointer lifetime end", 2, 1, 1, 1},
+    {"Invalid accesses", 2, 1, 0, 0},
+    {"Trap representations", 2, 2, 1, 0},
+    {"Unspecified values", 11, 4, 4, 3},
+    {"Structure and union padding", 13, 4, 4, 3},
+    {"Basic effective types", 2, 1, 1, 1},
+    {"Effective types and character arrays", 1, 0, 0, 1},
+    {"Effective types and subobjects", 6, 2, 1, 2},
+    {"Other questions", 5, 0, 0, 0},
+};
+
+/// Paper-cited titles at their reconstructed ids.
+const std::map<unsigned, const char *> CitedTitles = {
+    {2, "Can equality testing on pointers be affected by pointer "
+        "provenance information?"},
+    {5, "Must provenance information be tracked via casts to integer "
+        "types and integer arithmetic?"},
+    {9, "Can one make a usable offset between two separately allocated "
+        "objects by inter-object integer or pointer subtraction?"},
+    {14, "Can one make a usable copy of a pointer by copying its "
+         "representation bytes with memcpy?"},
+    {15, "Can one make a usable copy of a pointer by copying its "
+         "representation bytes in user code, byte by byte?"},
+    {16, "Can one make a usable copy of a pointer via indirect dataflow "
+         "through integer arithmetic on its representation?"},
+    {17, "Can one make a usable copy of a pointer via indirect control "
+         "flow (branching on each bit)?"},
+    {25, "Can one do relational comparison (with <, >, <=, or >=) of two "
+         "pointers to separately allocated objects?"},
+    {31, "Can one transiently construct out-of-bounds pointer values?"},
+    {49, "Is passing an unspecified value to a library function "
+         "meaningful?"},
+    {50, "Is making a flow-control choice on an unspecified value "
+         "meaningful?"},
+    {52, "Do unspecified values propagate through integer arithmetic?"},
+    {75, "Can an unsigned character array with static or automatic "
+         "storage duration be used (in the same way as a malloc'd region) "
+         "to hold values of other types?"},
+};
+
+std::vector<Category> buildCategories() {
+  std::vector<Category> Out;
+  for (const CatSpec &S : Specs)
+    Out.push_back(Category{S.Name, S.Count});
+  return Out;
+}
+
+std::vector<Question> buildQuestions() {
+  std::vector<Question> Out;
+  unsigned Id = 1;
+  for (const CatSpec &S : Specs) {
+    for (unsigned I = 0; I < S.Count; ++I, ++Id) {
+      Question Q;
+      Q.Id = fmt("Q{0}", Id);
+      Q.Category = S.Name;
+      auto Cited = CitedTitles.find(Id);
+      Q.Title = Cited != CitedTitles.end()
+                    ? Cited->second
+                    : fmt("{0} — design-space question {1} of {2}", S.Name,
+                          I + 1, S.Count);
+      Q.IsoUnclear = I < S.Iso;
+      Q.DefactoUnclear = I < S.Defacto;
+      Q.Diverges = I < S.Div;
+      Out.push_back(std::move(Q));
+    }
+  }
+  return Out;
+}
+
+} // namespace
+
+const std::vector<Category> &cerb::defacto::categories() {
+  static const std::vector<Category> Cats = buildCategories();
+  return Cats;
+}
+
+const std::vector<Question> &cerb::defacto::questions() {
+  static const std::vector<Question> Qs = buildQuestions();
+  return Qs;
+}
+
+const Question *cerb::defacto::findQuestion(const std::string &Id) {
+  for (const Question &Q : questions())
+    if (Q.Id == Id)
+      return &Q;
+  return nullptr;
+}
+
+ClassificationTotals cerb::defacto::classificationTotals() {
+  ClassificationTotals T{0, 85, 0, 0, 0};
+  for (const Question &Q : questions()) {
+    ++T.Questions;
+    T.IsoUnclear += Q.IsoUnclear;
+    T.DefactoUnclear += Q.DefactoUnclear;
+    T.Diverge += Q.Diverges;
+  }
+  return T;
+}

@@ -1,0 +1,63 @@
+//===-- defacto/Questions.h - The 85-question design space ------*- C++ -*-===//
+///
+/// \file
+/// The registry of memory-object-model design-space questions (§2: "Our
+/// full set of 85 questions addresses all the C memory object model
+/// semantic issues that we are currently aware of"), organised into the
+/// paper's 22 categories, with each question's classification:
+///  - is the ISO standard unclear on it? (38 questions)
+///  - are the de facto standards unclear? (28)
+///  - do ISO and de facto clearly diverge? (26)
+///
+/// Question ids are reconstructed by numbering the paper's category table
+/// sequentially; this reproduces every anchor the paper cites by number
+/// (Q25 relational comparison, Q31 out-of-bounds arithmetic, Q49/Q50/Q52
+/// unspecified values, Q75 char arrays as storage). Note: the paper's
+/// printed per-category counts sum to 86 while its text says 85; we keep
+/// the printed counts and surface both totals.
+///
+//===----------------------------------------------------------------------===//
+#ifndef CERB_DEFACTO_QUESTIONS_H
+#define CERB_DEFACTO_QUESTIONS_H
+
+#include <string>
+#include <vector>
+
+namespace cerb::defacto {
+
+struct Question {
+  std::string Id;       ///< "Q25"
+  std::string Category; ///< one of the paper's 22 category names
+  std::string Title;    ///< paper wording where cited; synthesised otherwise
+  bool IsoUnclear = false;
+  bool DefactoUnclear = false;
+  bool Diverges = false;
+};
+
+struct Category {
+  std::string Name;
+  unsigned Count;
+};
+
+/// The 22 categories with their question counts, in paper order.
+const std::vector<Category> &categories();
+
+/// All questions, in id order.
+const std::vector<Question> &questions();
+
+/// Looks a question up by id ("Q25"); nullptr if unknown.
+const Question *findQuestion(const std::string &Id);
+
+/// Totals for the §2 classification bullet list.
+struct ClassificationTotals {
+  unsigned Questions;      ///< number of questions in the registry
+  unsigned PaperStated;    ///< the paper's stated total (85)
+  unsigned IsoUnclear;     ///< paper: 38
+  unsigned DefactoUnclear; ///< paper: 28
+  unsigned Diverge;        ///< paper: 26
+};
+ClassificationTotals classificationTotals();
+
+} // namespace cerb::defacto
+
+#endif // CERB_DEFACTO_QUESTIONS_H

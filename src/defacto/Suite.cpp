@@ -1,0 +1,1043 @@
+//===-- defacto/Suite.cpp - The semantic test corpus ----------------------===//
+
+#include "defacto/Suite.h"
+
+#include "defacto/Questions.h"
+#include "support/Format.h"
+
+using namespace cerb;
+using namespace cerb::defacto;
+
+//===----------------------------------------------------------------------===//
+// Expectations
+//===----------------------------------------------------------------------===//
+
+bool Expect::matches(const exec::Outcome &O) const {
+  switch (K) {
+  case Defined:
+    return O.Kind == exec::OutcomeKind::Exit && O.ExitCode == 0 &&
+           O.Stdout == Stdout;
+  case UBAny:
+    return O.Kind == exec::OutcomeKind::Undef;
+  case UBOf:
+    return O.Kind == exec::OutcomeKind::Undef && O.UB.Kind == UB;
+  case AssertFail:
+    return O.Kind == exec::OutcomeKind::AssertFail;
+  case AnyOf:
+    for (const Expect &A : Alternatives)
+      if (A.matches(O))
+        return true;
+    return false;
+  }
+  return false;
+}
+
+std::string Expect::str() const {
+  switch (K) {
+  case Defined:
+    return fmt("defined(\"{0}\")", Stdout);
+  case UBAny:
+    return "some-UB";
+  case UBOf:
+    return fmt("UB[{0}]", mem::ubName(UB));
+  case AssertFail:
+    return "assert-fail";
+  case AnyOf: {
+    std::vector<std::string> Parts;
+    for (const Expect &A : Alternatives)
+      Parts.push_back(A.str());
+    return "any-of{" + join(Parts, ", ") + "}";
+  }
+  }
+  return "?";
+}
+
+//===----------------------------------------------------------------------===//
+// The corpus
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+using mem::UBKind;
+
+Expect D(std::string Out = "") { return Expect::defined(std::move(Out)); }
+Expect U(UBKind K) { return Expect::ub(K); }
+
+std::vector<TestCase> buildSuite() {
+  std::vector<TestCase> S;
+  auto Add = [&](std::string Name, std::string Q, std::string Desc,
+                 std::string Src, std::map<std::string, Expect> Exp) {
+    S.push_back(TestCase{std::move(Name), std::move(Q), std::move(Desc),
+                         std::move(Src), std::move(Exp)});
+  };
+
+  //===--- Pointer provenance basics ------------------------------------===//
+
+  Add("provenance_basic_global_yx", "Q1",
+      "The DR260 example (§2.1): a one-past pointer with x's provenance "
+      "aliases y's address; writing through it is UB under provenance "
+      "semantics, visible mutation under the concrete one.",
+      R"C(
+#include <stdio.h>
+#include <string.h>
+int y=2, x=1;
+int main() {
+  int *p = &x + 1;
+  int *q = &y;
+  if (memcmp(&p, &q, sizeof(p)) == 0) {
+    *p = 11;
+    printf("x=%d y=%d *p=%d *q=%d\n",x,y,*p,*q);
+  }
+  return 0;
+}
+)C",
+      {{"concrete", D("x=1 y=11 *p=11 *q=11\n")},
+       {"defacto", U(UBKind::AccessOutOfBounds)},
+       {"strict-iso", U(UBKind::AccessOutOfBounds)},
+       {"cheri", U(UBKind::AccessOutOfBounds)}});
+
+  Add("provenance_same_object_roundtrip", "Q5",
+      "Casting a pointer to uintptr_t and back preserves its provenance "
+      "(the documented GCC rule).",
+      R"C(
+#include <stdint.h>
+#include <stdio.h>
+int x = 42;
+int main(void) {
+  uintptr_t i = (uintptr_t)&x;
+  int *q = (int *)i;
+  *q = 43;
+  printf("x=%d\n", x);
+  return 0;
+}
+)C",
+      {{"concrete", D("x=43\n")},
+       {"defacto", D("x=43\n")},
+       {"strict-iso", D("x=43\n")},
+       {"cheri", D("x=43\n")}});
+
+  Add("provenance_int_arith_xor", "Q5",
+      "Provenance is tracked through integer arithmetic: the XOR trick "
+      "(storing information in a pointer-sized integer) works.",
+      R"C(
+#include <stdint.h>
+#include <stdio.h>
+int x = 1;
+int main(void) {
+  uintptr_t i = (uintptr_t)&x;
+  i = i ^ 12345u;
+  i = i ^ 12345u;
+  int *q = (int *)i;
+  *q = 2;
+  printf("x=%d\n", x);
+  return 0;
+}
+)C",
+      {{"concrete", D("x=2\n")},
+       {"defacto", D("x=2\n")},
+       {"strict-iso", D("x=2\n")},
+       {"cheri", D("x=2\n")}});
+
+  //===--- Multiple provenances (Q9: per-CPU-variable idiom) ------------===//
+
+  Add("percpu_offset_idiom", "Q9",
+      "Inter-object subtraction yields a pure integer under the candidate "
+      "de facto model, so re-adding it cannot move between objects (the "
+      "Linux/FreeBSD per-CPU idiom is rejected, as §2.1 chooses).",
+      R"C(
+#include <stdint.h>
+int x = 1, y = 2;
+int main(void) {
+  uintptr_t off = (uintptr_t)&x - (uintptr_t)&y;
+  int *q = (int *)((uintptr_t)&y + off); /* numerically &x */
+  *q = 7;
+  return x == 7 ? 0 : 1;
+}
+)C",
+      {{"concrete", D("")},
+       {"defacto", U(UBKind::AccessOutOfBounds)},
+       {"strict-iso", U(UBKind::AccessOutOfBounds)},
+       {"cheri", U(UBKind::AccessOutOfBounds)}});
+
+  //===--- Pointer representation copying (Q14-Q17) ---------------------===//
+
+  Add("ptr_copy_memcpy", "Q14",
+      "memcpy of a pointer's representation yields a usable pointer "
+      "(§2.3: the bytes carry the provenance).",
+      R"C(
+#include <stdio.h>
+#include <string.h>
+int x = 42;
+int main(void) {
+  int *p = &x;
+  int *q;
+  memcpy(&q, &p, sizeof p);
+  *q = 43;
+  printf("x=%d\n", x);
+  return 0;
+}
+)C",
+      {{"concrete", D("x=43\n")},
+       {"defacto", D("x=43\n")},
+       {"strict-iso", D("x=43\n")},
+       {"cheri", D("x=43\n")}});
+
+  Add("ptr_copy_bytewise", "Q15",
+      "User-code byte-by-byte copying of a pointer works under the de "
+      "facto model; under CHERI the byte copy strips the capability tag "
+      "(the hardware behaviour).",
+      R"C(
+#include <stdio.h>
+int x = 42;
+int main(void) {
+  int *p = &x;
+  int *q;
+  unsigned char *src = (unsigned char *)&p;
+  unsigned char *dst = (unsigned char *)&q;
+  int i;
+  for (i = 0; i < (int)sizeof p; i++)
+    dst[i] = src[i];
+  *q = 43;
+  printf("x=%d\n", x);
+  return 0;
+}
+)C",
+      {{"concrete", D("x=43\n")},
+       {"defacto", D("x=43\n")},
+       {"strict-iso", D("x=43\n")},
+       {"cheri", U(UBKind::CapabilityTagViolation)}});
+
+  Add("ptr_copy_controlflow", "Q17",
+      "Copying a pointer via indirect *control flow* (branching on each "
+      "bit and or-ing constants) does not carry provenance (§2.3: 'It "
+      "will not permit copying via indirect control flow').",
+      R"C(
+#include <stdint.h>
+int x = 42;
+int main(void) {
+  uintptr_t i = (uintptr_t)&x;
+  uintptr_t j = 0;
+  int k;
+  for (k = 0; k < 64; k++)
+    if (i & ((uintptr_t)1 << k))
+      j = j | ((uintptr_t)1 << k); /* constant bit: pure provenance */
+  int *q = (int *)j;
+  *q = 43;
+  return 0;
+}
+)C",
+      {{"concrete", D("")},
+       {"defacto", U(UBKind::AccessNoProvenance)},
+       {"strict-iso", U(UBKind::AccessNoProvenance)},
+       {"cheri", U(UBKind::CapabilityTagViolation)}});
+
+  //===--- Union type punning (Q18-Q19) ---------------------------------===//
+
+  Add("union_pun_int_bytes", "Q18",
+      "Reading the bytes of an int through a union member is defined "
+      "under every instantiation (union members are legitimate views).",
+      R"C(
+#include <stdio.h>
+union u { int i; unsigned char b[4]; };
+int main(void) {
+  union u v;
+  v.i = 0x01020304;
+  printf("%d %d %d %d\n", v.b[0], v.b[1], v.b[2], v.b[3]);
+  return 0;
+}
+)C",
+      {{"concrete", D("4 3 2 1\n")},
+       {"defacto", D("4 3 2 1\n")},
+       {"strict-iso", D("4 3 2 1\n")},
+       {"cheri", D("4 3 2 1\n")}});
+
+  Add("union_pun_short_view", "Q19",
+      "Type punning int <-> short[2] through a union.",
+      R"C(
+#include <stdio.h>
+union u { int i; short s[2]; };
+int main(void) {
+  union u v;
+  v.i = 0x00020001;
+  printf("%d %d\n", v.s[0], v.s[1]);
+  return 0;
+}
+)C",
+      {{"concrete", D("1 2\n")},
+       {"defacto", D("1 2\n")},
+       {"strict-iso", D("1 2\n")},
+       {"cheri", D("1 2\n")}});
+
+  //===--- Stability / equality (Q21, Q2, Q22) --------------------------===//
+
+  Add("ptr_value_stable", "Q21",
+      "A pointer value read back from memory compares equal to itself.",
+      R"C(
+int x;
+int main(void) {
+  int *p = &x;
+  int *q = p;
+  return p == q ? 0 : 1;
+}
+)C",
+      {{"concrete", D("")},
+       {"defacto", D("")},
+       {"strict-iso", D("")},
+       {"cheri", D("")}});
+
+  Add("ptr_eq_one_past_adjacent", "Q2",
+      "&x+1 == &y with adjacent allocations: ISO permits the comparison "
+      "but the result may consult provenance (Q2) — modelled as a "
+      "nondeterministic choice; CHERI exact-equality compares metadata "
+      "and answers 0.",
+      R"C(
+#include <stdio.h>
+int y = 2, x = 1;
+int main(void) {
+  printf("%d\n", &x + 1 == &y);
+  return 0;
+}
+)C",
+      {{"concrete", D("1\n")},
+       {"defacto", Expect::anyOf({D("1\n"), D("0\n")})},
+       {"strict-iso", Expect::anyOf({D("1\n"), D("0\n")})},
+       {"cheri", D("0\n")}});
+
+  //===--- Relational comparison (Q25) ----------------------------------===//
+
+  Add("ptr_rel_distinct_objects", "Q25",
+      "Relational comparison of pointers to separately allocated objects: "
+      "ISO-strict UB (6.5.8p5), but the de facto answer compares "
+      "addresses (global lock orderings rely on it).",
+      R"C(
+int x, y;
+int main(void) {
+  if (&x < &y)
+    return 0;
+  if (&y < &x)
+    return 0;
+  return 1;
+}
+)C",
+      {{"concrete", D("")},
+       {"defacto", D("")},
+       {"strict-iso", U(UBKind::RelationalDifferentObjects)},
+       {"cheri", D("")}});
+
+  Add("lock_ordering_idiom", "Q25",
+      "The global lock-ordering idiom from the survey's textual answers.",
+      R"C(
+#include <stdio.h>
+int lock_a, lock_b;
+void acquire_ordered(int *a, int *b) {
+  if (a < b) printf("a-then-b\n");
+  else printf("b-then-a\n");
+}
+int main(void) {
+  acquire_ordered(&lock_a, &lock_b);
+  return 0;
+}
+)C",
+      {{"concrete", Expect::anyOf({D("a-then-b\n"), D("b-then-a\n")})},
+       {"defacto", Expect::anyOf({D("a-then-b\n"), D("b-then-a\n")})},
+       {"strict-iso", U(UBKind::RelationalDifferentObjects)},
+       {"cheri", Expect::anyOf({D("a-then-b\n"), D("b-then-a\n")})}});
+
+  //===--- Null pointers --------------------------------------------------===//
+
+  Add("null_deref", "Q28", "Dereferencing a null pointer.",
+      R"C(
+int main(void) {
+  int *p = 0;
+  return *p;
+}
+)C",
+      {{"concrete", U(UBKind::AccessNull)},
+       {"defacto", U(UBKind::AccessNull)},
+       {"strict-iso", U(UBKind::AccessNull)},
+       {"cheri", U(UBKind::AccessNull)}});
+
+  Add("null_compare", "Q29", "Null pointer constants compare sanely.",
+      R"C(
+int x;
+int main(void) {
+  int *p = 0;
+  int *q = &x;
+  if (p != 0) return 1;
+  if (q == 0) return 2;
+  return 0;
+}
+)C",
+      {{"concrete", D("")},
+       {"defacto", D("")},
+       {"strict-iso", D("")},
+       {"cheri", D("")}});
+
+  //===--- Pointer arithmetic (Q31...) ----------------------------------===//
+
+  Add("oob_transient", "Q31",
+      "Transiently out-of-bounds pointers brought back in bounds before "
+      "use: permitted de facto (7 of 13 codebases in [11] do it), UB at "
+      "the arithmetic under strict ISO 6.5.6p8.",
+      R"C(
+#include <stdio.h>
+int main(void) {
+  int a[4] = {10, 11, 12, 13};
+  int *p = a + 6; /* out of bounds */
+  p = p - 4;      /* back in: &a[2] */
+  printf("%d\n", *p);
+  return 0;
+}
+)C",
+      {{"concrete", D("12\n")},
+       {"defacto", D("12\n")},
+       {"strict-iso", U(UBKind::OutOfBoundsArithmetic)},
+       {"cheri", D("12\n")}});
+
+  Add("one_past_ok", "Q31",
+      "One-past-the-end construction and re-entry is ISO-blessed.",
+      R"C(
+int main(void) {
+  int a[4] = {0, 1, 2, 3};
+  int *end = a + 4;
+  int *last = end - 1;
+  return *last == 3 ? 0 : 1;
+}
+)C",
+      {{"concrete", D("")},
+       {"defacto", D("")},
+       {"strict-iso", D("")},
+       {"cheri", D("")}});
+
+  Add("one_past_deref", "Q32", "Dereferencing one-past-the-end.",
+      R"C(
+int main(void) {
+  int a[2] = {1, 2};
+  return *(a + 2);
+}
+)C",
+      {{"concrete", Expect::ubAny()},
+       {"defacto", U(UBKind::AccessOutOfBounds)},
+       {"strict-iso", U(UBKind::AccessOutOfBounds)},
+       {"cheri", U(UBKind::AccessOutOfBounds)}});
+
+  Add("ptrdiff_same_array", "Q33", "Pointer subtraction within an array.",
+      R"C(
+#include <stdio.h>
+int main(void) {
+  int a[8];
+  printf("%d\n", (int)(&a[7] - &a[2]));
+  return 0;
+}
+)C",
+      {{"concrete", D("5\n")},
+       {"defacto", D("5\n")},
+       {"strict-iso", D("5\n")},
+       {"cheri", D("5\n")}});
+
+  Add("ptrdiff_cross_object", "Q34",
+      "Pointer subtraction across objects (6.5.6p9; the de facto model "
+      "also forbids it, Q9).",
+      R"C(
+int x, y;
+int main(void) {
+  int d = (int)(&x - &y);
+  return (d == 1 || d == -1) ? 0 : 1;
+}
+)C",
+      {{"concrete", D("")},
+       {"defacto", U(UBKind::PtrDiffDifferentObjects)},
+       {"strict-iso", U(UBKind::PtrDiffDifferentObjects)},
+       {"cheri", U(UBKind::PtrDiffDifferentObjects)}});
+
+  //===--- Casts / related aggregates ------------------------------------===//
+
+  Add("char_walk_int", "Q37",
+      "Inspecting an int's representation bytes via char* (always "
+      "permitted, 6.5p7 last bullet).",
+      R"C(
+#include <stdio.h>
+int main(void) {
+  int x = 0x00010203;
+  unsigned char *p = (unsigned char *)&x;
+  printf("%d%d%d%d\n", p[0], p[1], p[2], p[3]);
+  return 0;
+}
+)C",
+      {{"concrete", D("3210\n")},
+       {"defacto", D("3210\n")},
+       {"strict-iso", D("3210\n")},
+       {"cheri", D("3210\n")}});
+
+  Add("struct_first_member", "Q39",
+      "A pointer to a struct, cast to the type of its first member, "
+      "designates that member (6.7.2.1p15).",
+      R"C(
+#include <stdio.h>
+struct s { int x; int y; };
+int main(void) {
+  struct s v;
+  v.x = 5; v.y = 6;
+  int *p = (int *)&v;
+  printf("%d\n", *p);
+  return 0;
+}
+)C",
+      {{"concrete", D("5\n")},
+       {"defacto", D("5\n")},
+       {"strict-iso", D("5\n")},
+       {"cheri", D("5\n")}});
+
+  //===--- Lifetime end (Q43-44 bucket) ----------------------------------===//
+
+  Add("use_after_free", "Q43", "Access through a freed malloc region.",
+      R"C(
+#include <stdlib.h>
+int main(void) {
+  int *p = malloc(sizeof(int));
+  *p = 1;
+  free(p);
+  return *p;
+}
+)C",
+      {{"concrete", U(UBKind::AccessDeadObject)},
+       {"defacto", U(UBKind::AccessDeadObject)},
+       {"strict-iso", U(UBKind::AccessDeadObject)},
+       {"cheri", U(UBKind::AccessDeadObject)}});
+
+  Add("dangling_stack_pointer", "Q44",
+      "Access through a pointer to a dead automatic object (6.2.4p2).",
+      R"C(
+int *leak(void) {
+  int local = 9;
+  int *p = &local;
+  return p;
+}
+int main(void) {
+  int *p = leak();
+  return *p;
+}
+)C",
+      {{"concrete", U(UBKind::AccessDeadObject)},
+       {"defacto", U(UBKind::AccessDeadObject)},
+       {"strict-iso", U(UBKind::AccessDeadObject)},
+       {"cheri", U(UBKind::AccessDeadObject)}});
+
+  Add("block_scope_lifetime", "Q44",
+      "An automatic object dies at the end of its block (§5.7).",
+      R"C(
+int main(void) {
+  int *p;
+  {
+    int x = 3;
+    p = &x;
+  }
+  return *p;
+}
+)C",
+      {{"concrete", U(UBKind::AccessDeadObject)},
+       {"defacto", U(UBKind::AccessDeadObject)},
+       {"strict-iso", U(UBKind::AccessDeadObject)},
+       {"cheri", U(UBKind::AccessDeadObject)}});
+
+  //===--- Unspecified values (Q49-Q59) ----------------------------------===//
+
+  Add("uninit_signed_arith", "Q52",
+      "Arithmetic on an uninitialised signed int: daemonic UB (the Fig. 3 "
+      "treatment); a tis-like strict model flags the read itself.",
+      R"C(
+int main(void) {
+  int x;
+  int y = x + 1;
+  return 0;
+}
+)C",
+      {{"concrete", U(UBKind::ExceptionalCondition)},
+       {"defacto", U(UBKind::ExceptionalCondition)},
+       {"strict-iso", U(UBKind::UninitialisedRead)},
+       {"cheri", U(UBKind::ExceptionalCondition)}});
+
+  Add("uninit_unsigned_arith", "Q52",
+      "Arithmetic on an uninitialised *unsigned* value propagates an "
+      "unspecified value (Fig. 3: unsigned results stay Unspecified).",
+      R"C(
+int main(void) {
+  unsigned x;
+  unsigned y = x + 1u;
+  return 0;
+}
+)C",
+      {{"concrete", D("")},
+       {"defacto", D("")},
+       {"strict-iso", U(UBKind::UninitialisedRead)},
+       {"cheri", D("")}});
+
+  Add("uninit_copy", "Q51",
+      "Copying an uninitialised int (the only real use case the survey "
+      "found, §2.4): fine de facto, flagged by strict tools.",
+      R"C(
+int main(void) {
+  int x;
+  int y;
+  y = x;
+  return 0;
+}
+)C",
+      {{"concrete", D("")},
+       {"defacto", D("")},
+       {"strict-iso", U(UBKind::UninitialisedRead)},
+       {"cheri", D("")}});
+
+  Add("uninit_into_printf", "Q49",
+      "Passing an unspecified value to a library function (§3: no "
+      "sanitiser flagged this).",
+      R"C(
+#include <stdio.h>
+int main(void) {
+  int x;
+  printf("%d\n", x);
+  return 0;
+}
+)C",
+      {{"concrete", D("0\n")},
+       {"defacto", D("0\n")},
+       {"strict-iso", U(UBKind::UninitialisedRead)},
+       {"cheri", D("0\n")}});
+
+  Add("uninit_branch", "Q50",
+      "A flow-control choice on an unspecified value (§3: MSan does "
+      "detect this one).",
+      R"C(
+int main(void) {
+  int x;
+  if (x)
+    return 0;
+  return 0;
+}
+)C",
+      {{"concrete", U(UBKind::IndeterminateValueUse)},
+       {"defacto", U(UBKind::IndeterminateValueUse)},
+       {"strict-iso", U(UBKind::UninitialisedRead)},
+       {"cheri", U(UBKind::IndeterminateValueUse)}});
+
+  Add("uninit_partial_struct_copy", "Q53",
+      "Copying a partially initialised struct (the §2.4 use case): "
+      "defined everywhere — whole-struct copies move byte images.",
+      R"C(
+struct s { int a; int b; };
+int main(void) {
+  struct s v, w;
+  v.a = 1;
+  w = v;
+  return w.a == 1 ? 0 : 1;
+}
+)C",
+      {{"concrete", D("")},
+       {"defacto", D("")},
+       {"strict-iso", D("")},
+       {"cheri", D("")}});
+
+  //===--- Unsequenced races ---------------------------------------------===//
+
+  Add("unseq_race_two_stores", "Q54",
+      "Two unsequenced stores to the same object (6.5p2).",
+      R"C(
+int a;
+int main(void) {
+  int r = (a = 1) + (a = 2);
+  return r;
+}
+)C",
+      {{"concrete", U(UBKind::UnsequencedRace)},
+       {"defacto", U(UBKind::UnsequencedRace)},
+       {"strict-iso", U(UBKind::UnsequencedRace)},
+       {"cheri", U(UBKind::UnsequencedRace)}});
+
+  Add("unseq_race_incr", "Q54", "i++ + i++ (the classic).",
+      R"C(
+int main(void) {
+  int i = 0;
+  int r = i++ + i++;
+  return r;
+}
+)C",
+      {{"concrete", U(UBKind::UnsequencedRace)},
+       {"defacto", U(UBKind::UnsequencedRace)},
+       {"strict-iso", U(UBKind::UnsequencedRace)},
+       {"cheri", U(UBKind::UnsequencedRace)}});
+
+  Add("indet_seq_calls", "Q55",
+      "Function bodies are *indeterminately* sequenced (§5.6), not "
+      "unsequenced: no race, but both orders are allowed executions.",
+      R"C(
+#include <stdio.h>
+int g;
+int setg(int v) { g = v; return 0; }
+int main(void) {
+  int r = setg(1) + setg(2);
+  printf("%d\n", g);
+  return r;
+}
+)C",
+      {{"concrete", Expect::anyOf({D("1\n"), D("2\n")})},
+       {"defacto", Expect::anyOf({D("1\n"), D("2\n")})},
+       {"strict-iso", Expect::anyOf({D("1\n"), D("2\n")})},
+       {"cheri", Expect::anyOf({D("1\n"), D("2\n")})}});
+
+  Add("comma_sequences", "Q56", "The comma operator is a sequence point.",
+      R"C(
+int main(void) {
+  int a = 0;
+  int r = (a = 1, a + 1);
+  return r == 2 ? 0 : 1;
+}
+)C",
+      {{"concrete", D("")},
+       {"defacto", D("")},
+       {"strict-iso", D("")},
+       {"cheri", D("")}});
+
+  //===--- Padding (Q60-Q72) ---------------------------------------------===//
+
+  Add("padding_member_store_preserves", "Q61",
+      "Whether member stores touch padding (§2.5): our candidate model "
+      "implements option (4) — they never do.",
+      R"C(
+#include <string.h>
+struct s { char c; int i; };
+int main(void) {
+  struct s v;
+  memset(&v, 170, sizeof v); /* 170 == 0xAA */
+  v.c = 1;
+  v.i = 2;
+  unsigned char *p = (unsigned char *)&v;
+  return p[1] == 170 ? 0 : 1; /* padding byte survived */
+}
+)C",
+      {{"concrete", D("")},
+       {"defacto", D("")},
+       {"strict-iso", D("")},
+       {"cheri", D("")}});
+
+  Add("padding_struct_copy_copies", "Q62",
+      "Structure copies carry padding bytes (§2.5 option 4: 'structure "
+      "copies might copy padding').",
+      R"C(
+#include <string.h>
+struct s { char c; int i; };
+int main(void) {
+  struct s v, w;
+  memset(&v, 90, sizeof v);
+  v.c = 1;
+  v.i = 2;
+  w = v;
+  return memcmp(&v, &w, sizeof v) == 0 ? 0 : 1;
+}
+)C",
+      {{"concrete", D("")},
+       {"defacto", D("")},
+       {"strict-iso", D("")},
+       {"cheri", D("")}});
+
+  Add("padding_uninit_memcmp", "Q63",
+      "memcmp over never-written padding: de facto compares an arbitrary "
+      "stable value; a strict model flags the unspecified read.",
+      R"C(
+#include <string.h>
+struct s { char c; int i; };
+int main(void) {
+  struct s v, w;
+  v.c = 1; v.i = 2;
+  w.c = 1; w.i = 2;
+  return memcmp(&v, &w, sizeof v) == 0 ? 0 : 1;
+}
+)C",
+      {{"concrete", D("")},
+       {"defacto", D("")},
+       {"strict-iso", U(UBKind::UninitialisedRead)},
+       {"cheri", D("")}});
+
+  Add("padding_zero_for_marshalling", "Q64",
+      "The deterministic-bytewise-compare recipe the survey respondents "
+      "want: memset first, then member stores.",
+      R"C(
+#include <string.h>
+struct s { char c; int i; };
+int main(void) {
+  struct s v, w;
+  memset(&v, 0, sizeof v);
+  memset(&w, 0, sizeof w);
+  v.c = 3; v.i = 4;
+  w.c = 3; w.i = 4;
+  return memcmp(&v, &w, sizeof v) == 0 ? 0 : 1;
+}
+)C",
+      {{"concrete", D("")},
+       {"defacto", D("")},
+       {"strict-iso", D("")},
+       {"cheri", D("")}});
+
+  //===--- Effective types (Q73-Q81) -------------------------------------===//
+
+  Add("effective_char_array_storage", "Q75",
+      "An unsigned char array used as storage for other types: 76% of "
+      "survey respondents say it works, 65% know real code relying on "
+      "it; a strict ISO reading (and a GCC contributor) disallow it.",
+      R"C(
+long align_pad; /* reverse layout places this first, aligning buf */
+unsigned char buf[8];
+int main(void) {
+  int *p = (int *)buf;
+  *p = 42;
+  return *p == 42 ? 0 : 1;
+}
+)C",
+      {{"concrete", D("")},
+       {"defacto", D("")},
+       {"strict-iso", U(UBKind::EffectiveTypeViolation)},
+       {"cheri", D("")}});
+
+  Add("effective_malloc_first_store", "Q73",
+      "A malloc'd region takes its effective type from the first store "
+      "(6.5p6): reading it back at that type is fine even strictly.",
+      R"C(
+#include <stdlib.h>
+int main(void) {
+  int *p = malloc(sizeof(int));
+  *p = 5;
+  int r = *p;
+  free(p);
+  return r == 5 ? 0 : 1;
+}
+)C",
+      {{"concrete", D("")},
+       {"defacto", D("")},
+       {"strict-iso", D("")},
+       {"cheri", D("")}});
+
+  Add("effective_malloc_retype_read", "Q74",
+      "Reading a malloc'd region at a type incompatible with the "
+      "effective type established by the store (6.5p7).",
+      R"C(
+#include <stdlib.h>
+int main(void) {
+  int *p = malloc(sizeof(int));
+  *p = 5;
+  short *q = (short *)p;
+  short r = *q;
+  free(p);
+  return 0;
+}
+)C",
+      {{"concrete", D("")},
+       {"defacto", D("")},
+       {"strict-iso", U(UBKind::EffectiveTypeViolation)},
+       {"cheri", D("")}});
+
+  Add("tbaa_int_as_short", "Q76",
+      "Writing an int object through a short lvalue: the TBAA-relevant "
+      "aliasing the de facto (-fno-strict-aliasing) world permits.",
+      R"C(
+int x = 7;
+int main(void) {
+  short *p = (short *)&x;
+  *p = 5;
+  return 0;
+}
+)C",
+      {{"concrete", D("")},
+       {"defacto", D("")},
+       {"strict-iso", U(UBKind::EffectiveTypeViolation)},
+       {"cheri", D("")}});
+
+  //===--- CHERI C (§4) ---------------------------------------------------===//
+
+  Add("cheri_offset_and", "CHERI-1",
+      "The §4 finding: (i & 3u) on a uintptr_t carrying a capability "
+      "ANDs the *offset* and re-adds the base, so defensively written "
+      "alignment assertions fail on CHERI even though the idiom works.",
+      R"C(
+#include <stdint.h>
+long x; /* 8-aligned, so the low bits of its address are zero */
+int main(void) {
+  uintptr_t i = (uintptr_t)&x;
+  __cerb_assert((i & 7u) == 0u);
+  return 0;
+}
+)C",
+      {{"concrete", D("")},
+       {"defacto", D("")},
+       {"strict-iso", D("")},
+       {"cheri", Expect::assertFail()}});
+
+  Add("cheri_untagged_int_to_ptr", "CHERI-2",
+      "Materialising a pointer from a plain integer: no capability tag "
+      "under CHERI; empty provenance under the de facto model.",
+      R"C(
+int main(void) {
+  int *p = (int *)99999;
+  return *p;
+}
+)C",
+      {{"concrete", U(UBKind::AccessOutOfBounds)},
+       {"defacto", U(UBKind::AccessNoProvenance)},
+       {"strict-iso", U(UBKind::AccessNoProvenance)},
+       {"cheri", U(UBKind::CapabilityTagViolation)}});
+
+  //===--- Allocation (other) --------------------------------------------===//
+
+  Add("malloc_free_roundtrip", "Q82", "Basic heap discipline.",
+      R"C(
+#include <stdlib.h>
+#include <stdio.h>
+int main(void) {
+  int i;
+  int *p = calloc(4, sizeof(int));
+  for (i = 0; i < 4; i++)
+    p[i] = p[i] + i;
+  printf("%d%d%d%d\n", p[0], p[1], p[2], p[3]);
+  free(p);
+  return 0;
+}
+)C",
+      {{"concrete", D("0123\n")},
+       {"defacto", D("0123\n")},
+       {"strict-iso", D("0123\n")},
+       {"cheri", D("0123\n")}});
+
+  Add("double_free", "Q83", "free() twice (7.22.3.3).",
+      R"C(
+#include <stdlib.h>
+int main(void) {
+  int *p = malloc(4);
+  free(p);
+  free(p);
+  return 0;
+}
+)C",
+      {{"concrete", U(UBKind::DoubleFree)},
+       {"defacto", U(UBKind::DoubleFree)},
+       {"strict-iso", U(UBKind::DoubleFree)},
+       {"cheri", U(UBKind::DoubleFree)}});
+
+  Add("free_nonheap", "Q84", "free() of a non-heap object.",
+      R"C(
+#include <stdlib.h>
+int x;
+int main(void) {
+  free(&x);
+  return 0;
+}
+)C",
+      {{"concrete", U(UBKind::FreeInvalidPointer)},
+       {"defacto", U(UBKind::FreeInvalidPointer)},
+       {"strict-iso", U(UBKind::FreeInvalidPointer)},
+       {"cheri", U(UBKind::FreeInvalidPointer)}});
+
+  //===--- Control-flow / lifetime interaction (§5.8) --------------------===//
+
+  Add("goto_into_block", "Q85",
+      "goto into the middle of a block: the jumped-over object's "
+      "lifetime starts at the jump (§5.8).",
+      R"C(
+int main(void) {
+  int r = 0;
+  goto mid;
+  {
+    int z;
+  mid:
+    z = 7;
+    r = z;
+  }
+  return r == 7 ? 0 : 1;
+}
+)C",
+      {{"concrete", D("")},
+       {"defacto", D("")},
+       {"strict-iso", D("")},
+       {"cheri", D("")}});
+
+  Add("switch_duff_fallthrough", "Q86",
+      "Case labels inside nested statements (a bounded Duff-style "
+      "dispatch) exercise the save/run jump machinery.",
+      R"C(
+#include <stdio.h>
+int main(void) {
+  int n = 0, i;
+  for (i = 0; i < 4; i++) {
+    switch (i) {
+    default:
+      n = n + 1000;
+      break;
+    case 0:
+      n = n + 1; /* falls through */
+    case 1:
+      n = n + 10;
+      break;
+    case 2:
+      n = n + 100;
+      break;
+    }
+  }
+  printf("n=%d\n", n);
+  return 0;
+}
+)C",
+      {{"concrete", D("n=1121\n")},
+       {"defacto", D("n=1121\n")},
+       {"strict-iso", D("n=1121\n")},
+       {"cheri", D("n=1121\n")}});
+
+  defacto::detail::addSuitePart2(S);
+  return S;
+}
+
+} // namespace
+
+const std::vector<TestCase> &cerb::defacto::testSuite() {
+  static const std::vector<TestCase> Suite = buildSuite();
+  return Suite;
+}
+
+const TestCase *cerb::defacto::findTest(const std::string &Name) {
+  for (const TestCase &T : testSuite())
+    if (T.Name == Name)
+      return &T;
+  return nullptr;
+}
+
+TestResult cerb::defacto::runTest(const TestCase &Test,
+                                  const mem::MemoryPolicy &Policy,
+                                  uint64_t MaxPaths) {
+  TestResult R;
+  R.Test = &Test;
+  R.ModelName = Policy.Name;
+  auto ProgOr = exec::compile(Test.Source);
+  if (!ProgOr) {
+    R.CompileError = ProgOr.error().str();
+    return R;
+  }
+  R.CompileOk = true;
+  exec::RunOptions Opts;
+  Opts.Policy = Policy;
+  Opts.MaxPaths = MaxPaths;
+  R.Outcomes = exec::runExhaustive(*ProgOr, Opts);
+
+  auto It = Test.Expected.find(Policy.Name);
+  if (It == Test.Expected.end())
+    return R;
+  R.HasExpectation = true;
+  R.Pass = !R.Outcomes.Distinct.empty();
+  for (const exec::Outcome &O : R.Outcomes.Distinct)
+    if (!It->second.matches(O))
+      R.Pass = false;
+  return R;
+}
+
+std::vector<TestResult>
+cerb::defacto::runSuite(const mem::MemoryPolicy &Policy, uint64_t MaxPaths) {
+  std::vector<TestResult> Out;
+  for (const TestCase &T : testSuite())
+    Out.push_back(runTest(T, Policy, MaxPaths));
+  return Out;
+}

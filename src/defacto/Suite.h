@@ -1,0 +1,116 @@
+//===-- defacto/Suite.h - The de facto semantic test suite ------*- C++ -*-===//
+///
+/// \file
+/// Hand-written semantic test cases in the style of the paper's 196-test
+/// suite (§2: "supported by 196 hand-written semantic test cases"), keyed
+/// by design-space question, with expected behaviour per memory object
+/// model instantiation. Run exhaustively, each test either has one defined
+/// outcome, a specific undefined behaviour, or a set of allowed outcomes
+/// (where the model makes a nondeterministic choice, e.g. Q2).
+///
+//===----------------------------------------------------------------------===//
+#ifndef CERB_DEFACTO_SUITE_H
+#define CERB_DEFACTO_SUITE_H
+
+#include "exec/Pipeline.h"
+#include "mem/UB.h"
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace cerb::defacto {
+
+/// What a test is allowed to do under one model.
+struct Expect {
+  enum Kind {
+    Defined,    ///< exits 0 with exactly Stdout
+    UBAny,      ///< some undefined behaviour
+    UBOf,       ///< the specific undefined behaviour UBKind
+    AssertFail, ///< a __cerb_assert failure (CHERI §4 "defensively written
+                ///< code will fail")
+    AnyOf,      ///< any of Alternatives (model latitude)
+  } K = Defined;
+  std::string Stdout;
+  mem::UBKind UB = mem::UBKind::ExceptionalCondition;
+  std::vector<Expect> Alternatives;
+
+  static Expect defined(std::string Out = "") {
+    Expect E;
+    E.K = Defined;
+    E.Stdout = std::move(Out);
+    return E;
+  }
+  static Expect ubAny() {
+    Expect E;
+    E.K = UBAny;
+    return E;
+  }
+  static Expect ub(mem::UBKind K) {
+    Expect E;
+    E.K = UBOf;
+    E.UB = K;
+    return E;
+  }
+  static Expect assertFail() {
+    Expect E;
+    E.K = AssertFail;
+    return E;
+  }
+  static Expect anyOf(std::vector<Expect> Alts) {
+    Expect E;
+    E.K = AnyOf;
+    E.Alternatives = std::move(Alts);
+    return E;
+  }
+
+  /// Does one outcome satisfy this expectation?
+  bool matches(const exec::Outcome &O) const;
+  std::string str() const;
+};
+
+struct TestCase {
+  std::string Name;
+  std::string QuestionId; ///< "Q25" etc.
+  std::string Description;
+  std::string Source;
+  /// Expected behaviour keyed by MemoryPolicy::Name
+  /// ("concrete"/"defacto"/"strict-iso"/"cheri"); a missing key means the
+  /// test has no commitment under that model.
+  std::map<std::string, Expect> Expected;
+};
+
+/// The whole suite.
+const std::vector<TestCase> &testSuite();
+
+namespace detail {
+/// The second half of the corpus (SuitePart2.cpp); called by testSuite().
+void addSuitePart2(std::vector<TestCase> &S);
+} // namespace detail
+
+/// Finds a test by name; nullptr if unknown.
+const TestCase *findTest(const std::string &Name);
+
+/// One test's verdict under one model.
+struct TestResult {
+  const TestCase *Test = nullptr;
+  std::string ModelName;
+  bool CompileOk = false;
+  std::string CompileError;
+  exec::ExhaustiveResult Outcomes;
+  bool HasExpectation = false;
+  bool Pass = false; ///< all distinct outcomes satisfy the expectation
+};
+
+/// Runs every test under \p Policy (exhaustively, bounded).
+std::vector<TestResult> runSuite(const mem::MemoryPolicy &Policy,
+                                 uint64_t MaxPaths = 512);
+
+/// Runs a single test under \p Policy.
+TestResult runTest(const TestCase &Test, const mem::MemoryPolicy &Policy,
+                   uint64_t MaxPaths = 512);
+
+} // namespace cerb::defacto
+
+#endif // CERB_DEFACTO_SUITE_H

@@ -1,0 +1,735 @@
+//===-- defacto/SuitePart2.cpp - the semantic test corpus, part 2 ---------===//
+///
+/// \file
+/// Additional tests across the design-space categories the paper's table
+/// weights most heavily (padding: 13 questions, unspecified values: 11,
+/// effective-type subobjects: 6, pointer arithmetic: 6, ...), plus further
+/// CHERI (§4) and sequencing (§5.6) probes.
+///
+//===----------------------------------------------------------------------===//
+
+#include "defacto/Suite.h"
+
+using namespace cerb;
+using namespace cerb::defacto;
+
+namespace {
+
+using mem::UBKind;
+
+Expect D(std::string Out = "") { return Expect::defined(std::move(Out)); }
+Expect U(UBKind K) { return Expect::ub(K); }
+
+/// Shorthand: the same expectation under every model.
+std::map<std::string, Expect> all(Expect E) {
+  return {{"concrete", E}, {"defacto", E}, {"strict-iso", E}, {"cheri", E}};
+}
+
+} // namespace
+
+void cerb::defacto::detail::addSuitePart2(std::vector<TestCase> &S) {
+  auto Add = [&](std::string Name, std::string Q, std::string Desc,
+                 std::string Src, std::map<std::string, Expect> Exp) {
+    S.push_back(TestCase{std::move(Name), std::move(Q), std::move(Desc),
+                         std::move(Src), std::move(Exp)});
+  };
+
+  //===--- Pointer provenance basics -------------------------------------===//
+
+  Add("provenance_through_assignment", "Q3",
+      "Provenance flows through plain pointer assignment.",
+      R"C(
+int x = 1;
+int main(void) {
+  int *p = &x;
+  int *q;
+  q = p;
+  *q = 5;
+  return x == 5 ? 0 : 1;
+}
+)C",
+      all(D()));
+
+  //===--- Provenance via integer types ----------------------------------===//
+
+  Add("provenance_int_shift_roundtrip", "Q6",
+      "Shifting a pointer-derived integer left and back preserves its "
+      "usability (provenance flows through <</>>).",
+      R"C(
+#include <stdint.h>
+int x = 1;
+int main(void) {
+  uintptr_t i = (uintptr_t)&x;
+  i = i << 1;
+  i = i >> 1;
+  int *q = (int *)i;
+  *q = 9;
+  return x == 9 ? 0 : 1;
+}
+)C",
+      all(D()));
+
+  Add("provenance_int_stored_in_global", "Q7",
+      "A pointer-derived integer stored to memory and reloaded keeps its "
+      "provenance (the bytes carry it, §5.9).",
+      R"C(
+#include <stdint.h>
+int x = 1;
+unsigned long stash;
+int main(void) {
+  stash = (uintptr_t)&x;
+  int *q = (int *)stash;
+  *q = 3;
+  return x == 3 ? 0 : 1;
+}
+)C",
+      all(D()));
+
+  Add("provenance_int_truncated_roundtrip", "Q8",
+      "Round-tripping a pointer through a 32-bit integer: works de facto "
+      "when the address fits; CHERI capabilities do not survive the "
+      "narrowing (only capability-sized integers carry them, §4).",
+      R"C(
+int x = 1;
+int main(void) {
+  unsigned int i = (unsigned int)&x; /* fits: our addresses are small */
+  int *q = (int *)i;
+  *q = 4;
+  return x == 4 ? 0 : 1;
+}
+)C",
+      {{"concrete", D()},
+       {"defacto", D()},
+       {"strict-iso", D()},
+       {"cheri", U(UBKind::CapabilityTagViolation)}});
+
+  //===--- Multiple provenances ------------------------------------------===//
+
+  Add("multiple_prov_conditional", "Q10",
+      "A pointer chosen by a runtime conditional has a single provenance "
+      "on each execution.",
+      R"C(
+int x = 1, y = 2;
+int pick;
+int main(void) {
+  int *p = pick ? &x : &y;
+  *p = 7;
+  return y == 7 ? 0 : 1;
+}
+)C",
+      all(D()));
+
+  Add("multiple_prov_sum_collapse", "Q11",
+      "(&x + &y) - &y is numerically &x, but the sum of two provenances "
+      "collapses to empty (at-most-one, Q5), and subtracting &y from the "
+      "pure sum re-attaches y's provenance — so the access is out of y's "
+      "bounds. CHERI's left-inheritance rule keeps x's capability and the "
+      "idiom works (§4).",
+      R"C(
+#include <stdint.h>
+int x = 1, y = 2;
+int main(void) {
+  uintptr_t i = ((uintptr_t)&x + (uintptr_t)&y) - (uintptr_t)&y;
+  int *q = (int *)i;
+  *q = 8;
+  return x == 8 ? 0 : 1;
+}
+)C",
+      {{"concrete", D()},
+       {"defacto", U(UBKind::AccessOutOfBounds)},
+       {"strict-iso", U(UBKind::AccessOutOfBounds)},
+       {"cheri", D()}});
+
+  //===--- Representation copying ----------------------------------------===//
+
+  Add("ptr_copy_via_long_object", "Q16",
+      "Copying a pointer through an unsigned long object (indirect "
+      "dataflow) preserves provenance and, being capability-sized, even "
+      "the CHERI capability.",
+      R"C(
+#include <string.h>
+int x = 1;
+int main(void) {
+  int *p = &x;
+  unsigned long stash;
+  int *q;
+  memcpy(&stash, &p, sizeof p);
+  memcpy(&q, &stash, sizeof q);
+  *q = 6;
+  return x == 6 ? 0 : 1;
+}
+)C",
+      all(D()));
+
+  //===--- Equality -------------------------------------------------------===//
+
+  Add("ptr_eq_same_object_views", "Q22",
+      "Equality of differently-derived pointers to the same object.",
+      R"C(
+int a[4];
+int main(void) {
+  int *p = &a[2];
+  int *q = a + 2;
+  return p == q ? 0 : 1;
+}
+)C",
+      all(D()));
+
+  Add("ptr_eq_function_pointers", "Q23",
+      "Function pointer equality (6.5.9p6).",
+      R"C(
+int f(void) { return 1; }
+int g(void) { return 2; }
+int main(void) {
+  int (*pf)(void) = f;
+  if (pf != f) return 1;
+  if (pf == g) return 2;
+  return 0;
+}
+)C",
+      all(D()));
+
+  //===--- Relational within one object ----------------------------------===//
+
+  Add("ptr_rel_same_array", "Q26",
+      "Relational comparison within one array is blessed even by the "
+      "strict model (6.5.8p5 allows same-object comparisons).",
+      R"C(
+int a[8];
+int main(void) {
+  if (!(&a[1] < &a[3])) return 1;
+  if (!(&a[7] >= &a[0])) return 2;
+  if (a + 8 < a) return 3; /* one-past compares too */
+  return 0;
+}
+)C",
+      all(D()));
+
+  Add("ptr_array_walk_idiom", "Q27",
+      "The canonical pointer-walk loop `for (p = a; p < a + n; p++)`.",
+      R"C(
+#include <stdio.h>
+int main(void) {
+  int a[5] = {1, 2, 3, 4, 5};
+  int *p;
+  int s = 0;
+  for (p = a; p < a + 5; p++)
+    s += *p;
+  printf("%d\n", s);
+  return 0;
+}
+)C",
+      all(D("15\n")));
+
+  //===--- Null ------------------------------------------------------------===//
+
+  Add("null_zero_offset", "Q30",
+      "NULL + 0 and p - 0: tolerated by every model here (ISO is stricter "
+      "in principle; no access ever happens).",
+      R"C(
+int main(void) {
+  int *p = 0;
+  int *q = p + 0;
+  return q == 0 ? 0 : 1;
+}
+)C",
+      all(D()));
+
+  //===--- Pointer arithmetic --------------------------------------------===//
+
+  Add("ptr_arith_below_object", "Q35",
+      "Constructing a pointer one below an array: transient OOB de facto "
+      "(Q31), UB at the arithmetic under strict ISO (6.5.6p8 has no "
+      "one-before blessing).",
+      R"C(
+int main(void) {
+  int a[4];
+  int *p = a;
+  p = p - 1; /* below the object */
+  p = p + 2; /* back in: &a[1] */
+  a[1] = 42;
+  return *p == 42 ? 0 : 1;
+}
+)C",
+      {{"concrete", D()},
+       {"defacto", D()},
+       {"strict-iso", U(UBKind::OutOfBoundsArithmetic)},
+       {"cheri", D()}});
+
+  Add("ptr_arith_struct_members", "Q36",
+      "Member-to-member address computation stays inside the object.",
+      R"C(
+struct s { int a; int b; int c; };
+int main(void) {
+  struct s v;
+  int *p = &v.a;
+  p = p + 2; /* &v.c: still within the struct object */
+  *p = 5;
+  return v.c == 5 ? 0 : 1;
+}
+)C",
+      all(D()));
+
+  //===--- Casts ----------------------------------------------------------===//
+
+  Add("cast_void_roundtrip", "Q38",
+      "T* -> void* -> T* round-trips exactly (6.3.2.3p1).",
+      R"C(
+int x = 1;
+int main(void) {
+  void *v = &x;
+  int *p = (int *)v;
+  *p = 2;
+  return x == 2 ? 0 : 1;
+}
+)C",
+      all(D()));
+
+  //===--- Related structure/union accesses ------------------------------===//
+
+  Add("struct_member_via_plain_pointer", "Q40",
+      "Taking an int* into a struct member and using it is fine under "
+      "every model (the member view exists at that offset).",
+      R"C(
+struct s { char tag; int value; };
+int main(void) {
+  struct s v;
+  int *p = &v.value;
+  *p = 11;
+  return v.value == 11 ? 0 : 1;
+}
+)C",
+      all(D()));
+
+  Add("array_of_structs_stride", "Q41",
+      "Walking an array of structs through member pointers.",
+      R"C(
+#include <stdio.h>
+struct kv { int k; int v; };
+int main(void) {
+  struct kv t[3] = {{1, 10}, {2, 20}, {3, 30}};
+  int s = 0, i;
+  for (i = 0; i < 3; i++)
+    s += t[i].v;
+  printf("%d\n", s);
+  return 0;
+}
+)C",
+      all(D("60\n")));
+
+  //===--- Lifetime --------------------------------------------------------===//
+
+  Add("realloc_invalidates_old", "Q45",
+      "realloc() frees the old region: the stale pointer is dead (7.22.3.5).",
+      R"C(
+#include <stdlib.h>
+int main(void) {
+  int *p = malloc(2 * sizeof(int));
+  p[0] = 1;
+  int *q = realloc(p, 8 * sizeof(int));
+  int r = p[0]; /* stale! */
+  free(q);
+  return r;
+}
+)C",
+      all(U(UBKind::AccessDeadObject)));
+
+  Add("goto_out_of_block_kills", "Q46",
+      "goto out of a block ends the jumped-over object's lifetime (§5.8).",
+      R"C(
+int main(void) {
+  int *p;
+  {
+    int z = 3;
+    p = &z;
+    goto out;
+  }
+out:
+  return *p;
+}
+)C",
+      all(U(UBKind::AccessDeadObject)));
+
+  Add("write_string_literal", "Q45",
+      "Modifying a string literal (6.4.5p7): UB under every model — the "
+      "literal is an immutable implicitly allocated object (§5.1).",
+      R"C(
+int main(void) {
+  char *s = "ro";
+  s[0] = 88;
+  return 0;
+}
+)C",
+      all(U(UBKind::WriteToReadOnly)));
+
+  //===--- Trap representations (§2.4: none at most types de facto) ------===//
+
+  Add("bool_nonstandard_representation", "Q47",
+      "Writing 2 into a _Bool's byte: current mainstream C has no trap "
+      "representations at _Bool in practice (§2.4); the value reads back "
+      "truthy.",
+      R"C(
+int main(void) {
+  _Bool b;
+  unsigned char *p = (unsigned char *)&b;
+  *p = 2;
+  return b ? 0 : 1;
+}
+)C",
+      all(D()));
+
+  Add("uint_has_no_padding_bits", "Q48",
+      "unsigned int is a pure binary representation: ~0u is UINT_MAX.",
+      R"C(
+int main(void) {
+  unsigned int x = ~0u;
+  return x == 4294967295u ? 0 : 1;
+}
+)C",
+      all(D()));
+
+  //===--- Unspecified values (the 11-question category) -----------------===//
+
+  Add("uninit_memcpy_ok_everywhere", "Q53",
+      "memcpy of uninitialised storage is fine even for strict tools "
+      "(copying does not 'read' the value; KCC/tis flag memcmp, not "
+      "memcpy).",
+      R"C(
+#include <string.h>
+int main(void) {
+  char a[8], b[8];
+  memcpy(b, a, 8);
+  return 0;
+}
+)C",
+      all(D()));
+
+  Add("uninit_member_untouched", "Q54",
+      "Reading only the initialised member of a partially initialised "
+      "struct is defined under every discipline.",
+      R"C(
+struct s { int a; int b; };
+int main(void) {
+  struct s v;
+  v.a = 5;
+  return v.a == 5 ? 0 : 1;
+}
+)C",
+      all(D()));
+
+  Add("unspec_propagation_chain", "Q55",
+      "Unspecified values propagate through unsigned arithmetic without "
+      "becoming UB as long as nothing decisive uses them (Fig. 3 "
+      "daemonic treatment).",
+      R"C(
+int main(void) {
+  unsigned x;
+  unsigned y = x + 1u;
+  unsigned z = y * 2u;
+  return 0;
+}
+)C",
+      {{"concrete", D()},
+       {"defacto", D()},
+       {"strict-iso", U(UBKind::UninitialisedRead)},
+       {"cheri", D()}});
+
+  Add("uninit_index_is_daemonic", "Q56",
+      "Indexing with an uninitialised int: the unspecified index poisons "
+      "the pointer arithmetic (daemonic), UB.",
+      R"C(
+int main(void) {
+  int a[4] = {0, 1, 2, 3};
+  int i;
+  return a[i];
+}
+)C",
+      {{"concrete", U(UBKind::ExceptionalCondition)},
+       {"defacto", U(UBKind::ExceptionalCondition)},
+       {"strict-iso", U(UBKind::UninitialisedRead)},
+       {"cheri", U(UBKind::ExceptionalCondition)}});
+
+  //===--- Sequencing -----------------------------------------------------===//
+
+  Add("unseq_distinct_objects_ok", "Q57",
+      "Unsequenced side effects on *distinct* objects are not a race.",
+      R"C(
+int x, y;
+int main(void) {
+  int r = (x = 1) + (y = 2);
+  return r == 3 && x == 1 && y == 2 ? 0 : 1;
+}
+)C",
+      all(D()));
+
+  Add("assignment_chain", "Q58",
+      "a = b = c = 5 is right-nested and race-free.",
+      R"C(
+int main(void) {
+  int a, b, c;
+  a = b = c = 5;
+  return a + b + c == 15 ? 0 : 1;
+}
+)C",
+      all(D()));
+
+  Add("compound_assign_reads_once", "Q59",
+      "x += x is sequenced (the lvalue read is part of the computation): "
+      "no race, unlike x = x++ + 1.",
+      R"C(
+int main(void) {
+  int x = 21;
+  x += x;
+  return x == 42 ? 0 : 1;
+}
+)C",
+      all(D()));
+
+  //===--- Padding (the 13-question category) ----------------------------===//
+
+  Add("padding_memset_then_memcpy_deterministic", "Q65",
+      "The marshalling recipe: memset + member stores + memcpy gives "
+      "bytewise-deterministic images (§2.5's motivation).",
+      R"C(
+#include <string.h>
+struct s { char c; int i; };
+int main(void) {
+  struct s v, w;
+  memset(&v, 0, sizeof v);
+  v.c = 1;
+  v.i = 2;
+  memcpy(&w, &v, sizeof v);
+  return memcmp(&v, &w, sizeof v) == 0 ? 0 : 1;
+}
+)C",
+      all(D()));
+
+  Add("padding_nested_struct_zeroed", "Q66",
+      "Nested struct padding is zeroed by memset and stays comparable.",
+      R"C(
+#include <string.h>
+struct inner { char d; int i; };
+struct outer { char c; struct inner in; };
+int main(void) {
+  struct outer a, b;
+  memset(&a, 0, sizeof a);
+  memset(&b, 0, sizeof b);
+  a.c = 1; a.in.d = 2; a.in.i = 3;
+  b.c = 1; b.in.d = 2; b.in.i = 3;
+  return memcmp(&a, &b, sizeof a) == 0 ? 0 : 1;
+}
+)C",
+      all(D()));
+
+  Add("padding_offset_arithmetic", "Q67",
+      "The padding hole is where the layout says: (char*)&s.i - (char*)&s "
+      "equals the aligned member offset.",
+      R"C(
+struct s { char c; int i; };
+int main(void) {
+  struct s v;
+  long off = (char *)&v.i - (char *)&v;
+  return off == 4 ? 0 : 1;
+}
+)C",
+      all(D()));
+
+  Add("padding_union_short_tail", "Q68",
+      "Writing the small member of a union leaves the rest of the "
+      "storage unspecified: copying it is fine; a strict discipline "
+      "flags reading the large member's bytes.",
+      R"C(
+union u { char c; int i; };
+int main(void) {
+  union u v;
+  v.c = 1;
+  int copy = v.i; /* 3 unspecified bytes flow into the copy */
+  return 0;
+}
+)C",
+      {{"concrete", D()},
+       {"defacto", D()},
+       {"strict-iso", U(UBKind::UninitialisedRead)},
+       {"cheri", D()}});
+
+  Add("padding_char_write_survives_member_store", "Q69",
+      "A byte written into padding via char* survives subsequent member "
+      "stores (§2.5 option 4: 'structure member writes never touch "
+      "padding').",
+      R"C(
+struct s { char c; int i; };
+int main(void) {
+  struct s v;
+  unsigned char *bytes = (unsigned char *)&v;
+  bytes[2] = 77; /* a padding byte */
+  v.c = 1;
+  v.i = 2;
+  return bytes[2] == 77 ? 0 : 1;
+}
+)C",
+      all(D()));
+
+  //===--- Effective types: subobjects (the 6-question category) ---------===//
+
+  Add("effective_member_int_view", "Q76",
+      "Accessing a struct's int member through a plain int lvalue is "
+      "valid even under strict effective types (6.5p7: 'an aggregate "
+      "... that includes one of the aforementioned types').",
+      R"C(
+struct s { int a; int b; };
+int main(void) {
+  struct s v;
+  int *p = &v.b;
+  *p = 9;
+  return v.b == 9 ? 0 : 1;
+}
+)C",
+      all(D()));
+
+  Add("effective_struct_as_long_view", "Q77",
+      "Reading a struct{int,int} object through a long lvalue: the "
+      "strict model rejects the incompatible view; the de facto "
+      "(-fno-strict-aliasing) world reads the bytes.",
+      R"C(
+struct s { int a; int b; };
+int main(void) {
+  struct s v;
+  v.a = 1;
+  v.b = 2;
+  long l = *(long *)&v;
+  return l != 0 ? 0 : 1;
+}
+)C",
+      {{"concrete", D()},
+       {"defacto", D()},
+       {"strict-iso", U(UBKind::EffectiveTypeViolation)},
+       {"cheri", D()}});
+
+  Add("effective_array_element_byte_view", "Q78",
+      "Recomputing an element address via char* arithmetic accesses the "
+      "element at its own type: valid under every model.",
+      R"C(
+int main(void) {
+  int a[4] = {10, 11, 12, 13};
+  int *p = (int *)((char *)a + 2 * sizeof(int));
+  return *p == 12 ? 0 : 1;
+}
+)C",
+      all(D()));
+
+  Add("effective_misaligned_view", "Q79",
+      "An int access at an odd offset into a char buffer: byte-level "
+      "models allow it, alignment-checking models (strict, CHERI) trap "
+      "(6.3.2.3p7).",
+      R"C(
+unsigned char buf[16];
+int main(void) {
+  int *p = (int *)(buf + 1);
+  *p = 5;
+  return 0;
+}
+)C",
+      {{"concrete", D()},
+       {"defacto", D()},
+       {"strict-iso", U(UBKind::MisalignedAccess)},
+       {"cheri", U(UBKind::MisalignedAccess)}});
+
+  //===--- Other -----------------------------------------------------------===//
+
+  Add("sizeof_does_not_evaluate", "Q82",
+      "sizeof's operand is not evaluated (6.5.3.4p2): the increment "
+      "inside never happens.",
+      R"C(
+int main(void) {
+  int i = 0;
+  int a[4];
+  unsigned long n = sizeof(a[i++]);
+  return i == 0 && n == sizeof(int) ? 0 : 1;
+}
+)C",
+      all(D()));
+
+  Add("string_library_roundtrip", "Q83",
+      "strcpy/strcmp/strlen over our byte-level memory.",
+      R"C(
+#include <stdio.h>
+#include <string.h>
+int main(void) {
+  char buf[16];
+  strcpy(buf, "depths");
+  if (strcmp(buf, "depths") != 0) return 1;
+  if (strlen(buf) != 6) return 2;
+  puts(buf);
+  return 0;
+}
+)C",
+      all(D("depths\n")));
+
+  Add("realloc_preserves_prefix", "Q84",
+      "realloc moves the bytes (with their provenance) to the new region.",
+      R"C(
+#include <stdlib.h>
+int main(void) {
+  int *p = malloc(2 * sizeof(int));
+  p[0] = 7;
+  p[1] = 8;
+  p = realloc(p, 6 * sizeof(int));
+  int r = (p[0] == 7 && p[1] == 8) ? 0 : 1;
+  free(p);
+  return r;
+}
+)C",
+      all(D()));
+
+  Add("switch_continue_through", "Q85",
+      "continue inside a switch inside a loop binds to the loop "
+      "(6.8.6.2), not the switch.",
+      R"C(
+#include <stdio.h>
+int main(void) {
+  int i, n = 0;
+  for (i = 0; i < 6; i++) {
+    switch (i % 3) {
+    case 0: continue;
+    case 1: n += 1; break;
+    default: n += 10;
+    }
+  }
+  printf("%d\n", n);
+  return 0;
+}
+)C",
+      all(D("22\n")));
+
+  Add("shift_into_sign_bit", "Q86",
+      "1 << 31 at type int: 2^31 is not representable in int, so the "
+      "signed left shift is UB (6.5.7p4) — under every model (it is an "
+      "elaboration-level check, not a memory-model one).",
+      R"C(
+int main(void) {
+  int one = 1;
+  return one << 31 ? 1 : 0;
+}
+)C",
+      all(U(UBKind::ExceptionalCondition)));
+
+  //===--- CHERI (§4 continued) ------------------------------------------===//
+
+  Add("cheri_uintptr_add_sub_ok", "CHERI-3",
+      "Ordinary +/- arithmetic on a capability-carrying uintptr_t keeps "
+      "the capability usable (§4: the underlying idioms work; only "
+      "metadata-unaware bit tricks surprise).",
+      R"C(
+#include <stdint.h>
+int a[4];
+int main(void) {
+  uintptr_t i = (uintptr_t)&a[0];
+  i = i + 2 * sizeof(int);
+  i = i - sizeof(int);
+  int *q = (int *)i; /* &a[1] */
+  *q = 5;
+  return a[1] == 5 ? 0 : 1;
+}
+)C",
+      all(D()));
+}

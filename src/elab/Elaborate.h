@@ -1,0 +1,33 @@
+//===-- elab/Elaborate.h - Elaboration: Typed Ail -> Core -------*- C++ -*-===//
+///
+/// \file
+/// The elaboration [[·]] (§5.3, Fig. 3): a compositional, total translation
+/// from type-annotated Ail into Core. It makes explicit:
+///  - C evaluation order, via unseq / let weak / let strong / let atomic
+///    with action polarities (§5.6);
+///  - every implementation-defined conversion (promotions, usual arithmetic
+///    conversions) as conv_int over mathematical integers (§5.5);
+///  - every arithmetic undefined behaviour as an explicit undef() test
+///    (Fig. 3: Negative_shift, Shift_too_large, Exceptional_condition);
+///  - object lifetime, via create/kill actions and scope-annotated
+///    save/run for loops, switch and goto (§5.7, §5.8);
+///  - the daemonic treatment of unspecified values (Q43/Q52), via
+///    case-splits on Specified/Unspecified loaded values.
+///
+//===----------------------------------------------------------------------===//
+#ifndef CERB_ELAB_ELABORATE_H
+#define CERB_ELAB_ELABORATE_H
+
+#include "ail/Ail.h"
+#include "core/Core.h"
+#include "support/Expected.h"
+
+namespace cerb::elab {
+
+/// Elaborates a type-checked Ail program into Core. Consumes \p Prog (its
+/// symbol and tag tables move into the Core program).
+Expected<core::CoreProgram> elaborate(ail::AilProgram Prog);
+
+} // namespace cerb::elab
+
+#endif // CERB_ELAB_ELABORATE_H

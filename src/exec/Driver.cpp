@@ -1,0 +1,66 @@
+//===-- exec/Driver.cpp ---------------------------------------------------===//
+
+#include "exec/Driver.h"
+
+#include <set>
+
+using namespace cerb;
+using namespace cerb::exec;
+
+Outcome cerb::exec::runOnce(const core::CoreProgram &Prog,
+                            const RunOptions &Opts) {
+  LeftmostScheduler Sched;
+  Evaluator Eval(Prog, Sched, Opts.Policy, Opts.Limits);
+  return Eval.run();
+}
+
+Outcome cerb::exec::runRandom(const core::CoreProgram &Prog,
+                              const RunOptions &Opts, uint64_t Seed) {
+  RandomScheduler Sched(Seed);
+  Evaluator Eval(Prog, Sched, Opts.Policy, Opts.Limits);
+  return Eval.run();
+}
+
+ExhaustiveResult cerb::exec::runExhaustive(const core::CoreProgram &Prog,
+                                           const RunOptions &Opts) {
+  ExhaustiveResult Result;
+  std::set<std::string> Seen;
+  std::vector<unsigned> Prefix;
+
+  for (;;) {
+    TraceScheduler Sched(Prefix);
+    Evaluator Eval(Prog, Sched, Opts.Policy, Opts.Limits);
+    Outcome O = Eval.run();
+    ++Result.PathsExplored;
+    if (Seen.insert(O.str()).second)
+      Result.Distinct.push_back(std::move(O));
+
+    if (Result.PathsExplored >= Opts.MaxPaths) {
+      // Check whether anything is actually left to explore.
+      const auto &Trace = Sched.trace();
+      const auto &Widths = Sched.widths();
+      bool MoreLeft = false;
+      for (size_t I = 0; I < Trace.size(); ++I)
+        if (Trace[I] + 1 < Widths[I])
+          MoreLeft = true;
+      Result.Truncated = MoreLeft;
+      return Result;
+    }
+
+    // DFS backtrack: advance the deepest choice that still has untried
+    // alternatives; drop everything after it.
+    const auto &Trace = Sched.trace();
+    const auto &Widths = Sched.widths();
+    bool Advanced = false;
+    for (size_t I = Trace.size(); I-- > 0;) {
+      if (Trace[I] + 1 < Widths[I]) {
+        Prefix.assign(Trace.begin(), Trace.begin() + I);
+        Prefix.push_back(Trace[I] + 1);
+        Advanced = true;
+        break;
+      }
+    }
+    if (!Advanced)
+      return Result; // fully explored
+  }
+}

@@ -1,0 +1,42 @@
+//===-- exec/Driver.h - Exhaustive and random execution drivers -*- C++ -*-===//
+///
+/// \file
+/// "By selecting an appropriate sequencing monad implementation, we can
+/// select whether to perform an exhaustive search for all allowed
+/// executions or pseudorandomly explore single execution paths" (§5.1).
+/// Here the "monad" is the Scheduler: the exhaustive driver enumerates all
+/// decision vectors by DFS over TraceScheduler replays; the random driver
+/// seeds a RandomScheduler.
+///
+//===----------------------------------------------------------------------===//
+#ifndef CERB_EXEC_DRIVER_H
+#define CERB_EXEC_DRIVER_H
+
+#include "core/Core.h"
+#include "exec/Evaluator.h"
+#include "exec/Outcome.h"
+#include "mem/Memory.h"
+
+namespace cerb::exec {
+
+struct RunOptions {
+  mem::MemoryPolicy Policy = mem::MemoryPolicy::defacto();
+  ExecLimits Limits;
+  uint64_t MaxPaths = 4096; ///< exhaustive-mode path budget
+};
+
+/// Runs one execution with the leftmost deterministic schedule.
+Outcome runOnce(const core::CoreProgram &Prog, const RunOptions &Opts);
+
+/// Runs one pseudorandom execution path (§5.1 single-path mode).
+Outcome runRandom(const core::CoreProgram &Prog, const RunOptions &Opts,
+                  uint64_t Seed);
+
+/// Explores all decision vectors (§5.1 exhaustive mode; "it can detect
+/// undefined behaviours on any allowed execution path", §5.4).
+ExhaustiveResult runExhaustive(const core::CoreProgram &Prog,
+                               const RunOptions &Opts);
+
+} // namespace cerb::exec
+
+#endif // CERB_EXEC_DRIVER_H

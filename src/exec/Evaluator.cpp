@@ -1,0 +1,1195 @@
+//===-- exec/Evaluator.cpp ------------------------------------------------===//
+
+#include "exec/Evaluator.h"
+
+#include "support/Format.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace cerb;
+using namespace cerb::exec;
+using namespace cerb::core;
+using ail::CType;
+using ail::Symbol;
+
+std::string_view cerb::exec::outcomeKindName(OutcomeKind K) {
+  switch (K) {
+  case OutcomeKind::Exit: return "exit";
+  case OutcomeKind::Undef: return "undef";
+  case OutcomeKind::Abort: return "abort";
+  case OutcomeKind::AssertFail: return "assert-fail";
+  case OutcomeKind::Error: return "error";
+  case OutcomeKind::StepLimit: return "step-limit";
+  }
+  return "?";
+}
+
+std::string Outcome::str() const {
+  switch (Kind) {
+  case OutcomeKind::Exit:
+    return fmt("exit({0}) stdout=\"{1}\"", ExitCode, Stdout);
+  case OutcomeKind::Undef:
+    return fmt("undef[{0}] stdout=\"{1}\"", mem::ubName(UB.Kind), Stdout);
+  case OutcomeKind::Abort:
+    return fmt("abort stdout=\"{0}\"", Stdout);
+  case OutcomeKind::AssertFail:
+    return fmt("assert-fail({0}) stdout=\"{1}\"", Message, Stdout);
+  case OutcomeKind::Error:
+    return fmt("error({0})", Message);
+  case OutcomeKind::StepLimit:
+    return "step-limit";
+  }
+  return "?";
+}
+
+//===----------------------------------------------------------------------===//
+// Construction / top level
+//===----------------------------------------------------------------------===//
+
+Evaluator::Evaluator(const CoreProgram &Prog, Scheduler &Sched,
+                     mem::MemoryPolicy Policy, ExecLimits Limits)
+    : Prog(Prog), Env(Prog.Tags), Sched(Sched),
+      Mem(Env, Sched, std::move(Policy)), Limits(Limits) {}
+
+Outcome Evaluator::run() {
+  Outcome O;
+
+  // Static storage: plan the layout, create every object, bind its symbol.
+  std::vector<std::pair<CType, std::string>> Layout;
+  for (const CoreGlobal &G : Prog.Globals)
+    Layout.emplace_back(G.Ty, Prog.Syms.nameOf(G.Name));
+  Mem.beginStaticLayout(Layout);
+  for (const CoreGlobal &G : Prog.Globals) {
+    mem::PointerValue P =
+        Mem.allocateObject(G.Ty, Prog.Syms.nameOf(G.Name), /*Static=*/true);
+    Bindings[G.Name.Id] = Value::pointer(P);
+  }
+
+  auto Finish = [&](Res R) {
+    O.Stdout = Out;
+    switch (R.K) {
+    case Res::Val:
+    case Res::RetSig: {
+      O.Kind = OutcomeKind::Exit;
+      auto IV = asInteger(R.V);
+      O.ExitCode = IV ? static_cast<int>(IV->V) : 0;
+      return O;
+    }
+    case Res::UndefSig:
+      O.Kind = OutcomeKind::Undef;
+      O.UB = R.UB;
+      return O;
+    case Res::ExitSig:
+      O.Kind = R.ExitKind;
+      O.ExitCode = R.ExitCode;
+      O.Message = R.Err;
+      return O;
+    case Res::RunSig:
+      O.Kind = OutcomeKind::Error;
+      O.Message = "run signal escaped the program";
+      return O;
+    case Res::ErrSig:
+      O.Kind = R.StepLimitHit ? OutcomeKind::StepLimit : OutcomeKind::Error;
+      O.Message = R.Err;
+      return O;
+    }
+    return O;
+  };
+
+  // Initialisers, in declaration order.
+  for (const CoreGlobal &G : Prog.Globals) {
+    if (G.Init) {
+      Footprint FP;
+      Frames.push_back(Frame{});
+      Res R = eval(*G.Init, FP);
+      Frames.pop_back();
+      if (!R.isValue())
+        return Finish(std::move(R));
+    }
+    if (G.ReadOnly) {
+      // String literals become immutable once initialised (6.4.5p7).
+      auto P = asPointer(Bindings[G.Name.Id]);
+      if (P)
+        Mem.markReadOnly(*P);
+    }
+  }
+
+  if (!Prog.MainProc.isValid()) {
+    O.Kind = OutcomeKind::Error;
+    O.Message = "program has no main function";
+    return O;
+  }
+  return Finish(callProc(Prog.MainProc, {}, SourceLoc()));
+}
+
+//===----------------------------------------------------------------------===//
+// Helpers
+//===----------------------------------------------------------------------===//
+
+std::optional<mem::PointerValue>
+Evaluator::asPointer(const Value &V) const {
+  const Value *P = &V;
+  if (P->K == ValueKind::Specified)
+    P = &P->Elems[0];
+  if (P->K == ValueKind::Pointer)
+    return P->PV;
+  if (P->K == ValueKind::Function)
+    return mem::PointerValue::function(P->FuncSym);
+  return std::nullopt;
+}
+
+std::optional<mem::IntegerValue>
+Evaluator::asInteger(const Value &V) const {
+  const Value *P = &V;
+  if (P->K == ValueKind::Specified)
+    P = &P->Elems[0];
+  if (P->K == ValueKind::Integer)
+    return P->IV;
+  if (P->K == ValueKind::True)
+    return mem::IntegerValue(1);
+  if (P->K == ValueKind::False)
+    return mem::IntegerValue(0);
+  return std::nullopt;
+}
+
+void Evaluator::bind(unsigned Id, Value V) {
+  if (!UndoStack.empty()) {
+    auto &Frame = UndoStack.back();
+    if (Frame.find(Id) == Frame.end()) {
+      auto It = Bindings.find(Id);
+      Frame.emplace(Id, It == Bindings.end()
+                            ? std::nullopt
+                            : std::optional<Value>(It->second));
+    }
+  }
+  Bindings[Id] = std::move(V);
+}
+
+bool Evaluator::matchPattern(const Pattern &P, const Value &V) {
+  switch (P.K) {
+  case PatKind::Wild:
+    return true;
+  case PatKind::Sym:
+    bind(P.S.Id, V);
+    return true;
+  case PatKind::Tuple: {
+    if (V.K != ValueKind::Tuple || V.Elems.size() != P.Subs.size())
+      return false;
+    for (size_t I = 0; I < P.Subs.size(); ++I)
+      if (!matchPattern(P.Subs[I], V.Elems[I]))
+        return false;
+    return true;
+  }
+  case PatKind::SpecifiedP:
+    return V.K == ValueKind::Specified && matchPattern(P.Subs[0], V.Elems[0]);
+  case PatKind::UnspecifiedP:
+    return V.K == ValueKind::Unspecified;
+  }
+  return false;
+}
+
+std::optional<mem::UndefinedBehaviour>
+Evaluator::conflict(const Footprint &A, const Footprint &B,
+                    bool OnlyNegLeft) const {
+  for (const ActRec &X : A.Acts) {
+    if (OnlyNegLeft && !X.Neg)
+      continue;
+    for (const ActRec &Y : B.Acts) {
+      if (!X.Write && !Y.Write)
+        continue;
+      if (X.Atomic && Y.Atomic)
+        continue; // atomics synchronise (5.1.2.4: no race between atomics)
+      if (X.Lo < Y.Hi && Y.Lo < X.Hi) {
+        auto U = mem::undef(
+            mem::UBKind::UnsequencedRace,
+            fmt("conflicting unsequenced accesses to [{0}, {1})",
+                std::max(X.Lo, Y.Lo), std::min(X.Hi, Y.Hi)));
+        U.Loc = Y.Loc.isValid() ? Y.Loc : X.Loc;
+        return U;
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+/// Does the subtree contain state *mutation* or calls — anything whose
+/// execution order another unseq branch could observe? Loads are excluded:
+/// among race-free branches a load commutes with every other load, and a
+/// load/store conflict is an unsequenced race (UB) regardless of order.
+static bool hasEffects(const Expr &E) {
+  if (E.HasEffectsCache >= 0)
+    return E.HasEffectsCache != 0;
+  bool R = (E.K == ExprKind::Action && E.Act != ActionKind::Load) ||
+           E.K == ExprKind::ProcCall || E.K == ExprKind::CallPtr ||
+           E.K == ExprKind::Nd || E.K == ExprKind::Par;
+  if (!R) {
+    for (const ExprPtr &K : E.Kids)
+      if (hasEffects(*K)) {
+        R = true;
+        break;
+      }
+    if (!R)
+      for (const auto &[Pat, Body] : E.Branches)
+        if (hasEffects(*Body)) {
+          R = true;
+          break;
+        }
+  }
+  E.HasEffectsCache = R ? 1 : 0;
+  return R;
+}
+
+bool Evaluator::containsSave(const Expr &E, Symbol Label) const {
+  if (E.K == ExprKind::Save && E.Sym == Label)
+    return true;
+  for (const ExprPtr &K : E.Kids)
+    if (containsSave(*K, Label))
+      return true;
+  for (const auto &[Pat, Body] : E.Branches)
+    if (containsSave(*Body, Label))
+      return true;
+  return false;
+}
+
+Evaluator::Res Evaluator::applyScopeDiff(
+    const std::vector<ScopeObject> &RunScope,
+    const std::vector<ScopeObject> &SaveScope) {
+  auto In = [](const std::vector<ScopeObject> &Scope, Symbol S) {
+    for (const ScopeObject &O : Scope)
+      if (O.Obj == S)
+        return true;
+    return false;
+  };
+  // Kill objects live at the run point but not at the save point.
+  for (const ScopeObject &O : RunScope) {
+    if (In(SaveScope, O.Obj))
+      continue;
+    auto It = Bindings.find(O.Obj.Id);
+    if (It == Bindings.end())
+      continue; // the binding never materialised on this path
+    auto P = asPointer(It->second);
+    if (!P || !P->Prov.isAlloc())
+      continue;
+    if (Mem.allocations()[P->Prov.AllocId].Alive)
+      if (auto R = Mem.killObject(*P); !R)
+        return Res::undef(R.takeUB());
+  }
+  // Create objects live at the save point but not at the run point; their
+  // lifetimes start at the jump, uninitialised (§5.8, C11 6.2.4p6).
+  for (const ScopeObject &O : SaveScope) {
+    if (In(RunScope, O.Obj))
+      continue;
+    mem::PointerValue P =
+        Mem.allocateObject(O.Ty, Prog.Syms.nameOf(O.Obj), /*Static=*/false);
+    if (!Frames.empty())
+      Frames.back().Created.push_back(P);
+    bind(O.Obj.Id, Value::pointer(P));
+  }
+  return Res::value(Value::unit());
+}
+
+//===----------------------------------------------------------------------===//
+// Main dispatch
+//===----------------------------------------------------------------------===//
+
+Evaluator::Res Evaluator::eval(const Expr &E, Footprint &FP) {
+  if (!budget()) {
+    Res R = Res::error("step limit exceeded");
+    R.StepLimitHit = true;
+    return R;
+  }
+
+  switch (E.K) {
+  case ExprKind::Sym: {
+    auto It = Bindings.find(E.Sym.Id);
+    if (It == Bindings.end())
+      return Res::error(fmt("unbound Core identifier '{0}'",
+                            Prog.Syms.nameOf(E.Sym)));
+    return Res::value(It->second);
+  }
+  case ExprKind::Val:
+    return Res::value(E.V);
+  case ExprKind::ImplConst:
+    return Res::error(fmt("unknown implementation constant '{0}'", E.Str));
+  case ExprKind::Undef: {
+    auto U = mem::undef(E.UB);
+    U.Loc = E.Loc;
+    return Res::undef(std::move(U));
+  }
+  case ExprKind::ErrorE:
+    return Res::error(E.Str);
+  case ExprKind::Skip:
+    return Res::value(Value::unit());
+
+  case ExprKind::Tuple: {
+    std::vector<Value> Elems;
+    for (const ExprPtr &K : E.Kids) {
+      Res R = eval(*K, FP);
+      if (!R.isValue())
+        return R;
+      Elems.push_back(std::move(R.V));
+    }
+    return Res::value(Value::tuple(std::move(Elems)));
+  }
+  case ExprKind::SpecifiedE: {
+    Res R = eval(*E.Kids[0], FP);
+    if (!R.isValue())
+      return R;
+    return Res::value(Value::specified(std::move(R.V)));
+  }
+  case ExprKind::UnspecifiedE:
+    return Res::value(Value::unspecified(E.Cty));
+
+  case ExprKind::Case:
+  case ExprKind::ECase: {
+    Res S = eval(*E.Kids[0], FP);
+    if (!S.isValue())
+      return S;
+    for (const auto &[Pat, Body] : E.Branches)
+      if (matchPattern(Pat, S.V)) {
+        Res R = eval(*Body, FP);
+        // Forward/backward jumps across case branches.
+        if (R.K == Res::RunSig)
+          for (const auto &[Pat2, Body2] : E.Branches)
+            if (Body2.get() != Body.get() &&
+                containsSave(*Body2, R.RunLabel))
+              return evalJump(*Body2, R.RunLabel, R.RunScope, FP);
+        return R;
+      }
+    return Res::error("no matching Core case branch");
+  }
+
+  case ExprKind::Not: {
+    Res R = eval(*E.Kids[0], FP);
+    if (!R.isValue())
+      return R;
+    if (R.V.K != ValueKind::True && R.V.K != ValueKind::False)
+      return Res::error("not() on a non-boolean");
+    return Res::value(Value::boolean(R.V.K == ValueKind::False));
+  }
+
+  case ExprKind::Binop: {
+    Res A = eval(*E.Kids[0], FP);
+    if (!A.isValue())
+      return A;
+    Res B = eval(*E.Kids[1], FP);
+    if (!B.isValue())
+      return B;
+    if (E.BOp == CoreBinop::And || E.BOp == CoreBinop::Or) {
+      bool BA = A.V.isTrue(), BB = B.V.isTrue();
+      return Res::value(
+          Value::boolean(E.BOp == CoreBinop::And ? (BA && BB) : (BA || BB)));
+    }
+    auto IA = asInteger(A.V), IB = asInteger(B.V);
+    if (!IA || !IB)
+      return Res::error("Core binop on non-integer values");
+    Int128 X = IA->V, Y = IB->V;
+    switch (E.BOp) {
+    case CoreBinop::Add:
+      return Res::value(Value::integer(Int128(UInt128(X) + UInt128(Y))));
+    case CoreBinop::Sub:
+      return Res::value(Value::integer(Int128(UInt128(X) - UInt128(Y))));
+    case CoreBinop::Mul:
+      // Wrapping 128-bit multiply: C-level width reduction (conv_int /
+      // rem_t) follows, and mod-2^128 is compatible with any mod-2^w.
+      return Res::value(Value::integer(Int128(UInt128(X) * UInt128(Y))));
+    case CoreBinop::Div:
+      if (Y == 0)
+        return Res::error("Core division by zero (missing undef guard)");
+      return Res::value(Value::integer(X / Y));
+    case CoreBinop::RemT:
+      if (Y == 0)
+        return Res::error("Core rem_t by zero (missing undef guard)");
+      return Res::value(Value::integer(X % Y));
+    case CoreBinop::Exp: {
+      if (Y < 0 || Y > 127)
+        return Res::error("Core exponent out of range");
+      UInt128 R = 1;
+      for (Int128 I = 0; I < Y; ++I)
+        R *= 2; // only 2^k is generated by the elaboration
+      if (X != 2)
+        return Res::error("Core ^ supports base 2 only");
+      return Res::value(Value::integer(Int128(R)));
+    }
+    case CoreBinop::Eq:
+      return Res::value(Value::boolean(X == Y));
+    case CoreBinop::Lt:
+      return Res::value(Value::boolean(X < Y));
+    case CoreBinop::Le:
+      return Res::value(Value::boolean(X <= Y));
+    case CoreBinop::Gt:
+      return Res::value(Value::boolean(X > Y));
+    case CoreBinop::Ge:
+      return Res::value(Value::boolean(X >= Y));
+    default:
+      return Res::error("bad Core binop");
+    }
+  }
+
+  case ExprKind::ConvInt: {
+    Res R = eval(*E.Kids[0], FP);
+    if (!R.isValue())
+      return R;
+    auto IV = asInteger(R.V);
+    if (!IV)
+      return Res::error("conv_int on a non-integer");
+    mem::IntegerValue OutV(Env.convert(E.Cty.intKind(), IV->V), IV->Prov);
+    if (IV->Cap && Env.widthOf(E.Cty.intKind()) == 64)
+      OutV.Cap = IV->Cap;
+    return Res::value(Value::integer(OutV));
+  }
+
+  case ExprKind::FinishArith: {
+    Res A = eval(*E.Kids[0], FP);
+    if (!A.isValue())
+      return A;
+    Res B = eval(*E.Kids[1], FP);
+    if (!B.isValue())
+      return B;
+    Res N = eval(*E.Kids[2], FP);
+    if (!N.isValue())
+      return N;
+    auto IA = asInteger(A.V), IB = asInteger(B.V), IN = asInteger(N.V);
+    if (!IA || !IB || !IN)
+      return Res::error("finish_arith on non-integers");
+    return Res::value(
+        Value::integer(Mem.finishArith(E.AOp, *IA, *IB, IN->V, E.Cty)));
+  }
+
+  case ExprKind::IsInteger:
+  case ExprKind::IsSigned:
+  case ExprKind::IsUnsigned:
+  case ExprKind::IsScalar: {
+    Res R = eval(*E.Kids[0], FP);
+    if (!R.isValue())
+      return R;
+    if (R.V.K != ValueKind::Ctype)
+      return Res::error("ctype test on a non-ctype value");
+    const CType &T = R.V.Cty;
+    bool B = false;
+    if (E.K == ExprKind::IsInteger)
+      B = T.isInteger();
+    else if (E.K == ExprKind::IsSigned)
+      B = T.isSigned();
+    else if (E.K == ExprKind::IsUnsigned)
+      B = T.isUnsigned();
+    else
+      B = T.isScalar();
+    return Res::value(Value::boolean(B));
+  }
+
+  case ExprKind::PureCall:
+    return evalPureCall(E, FP);
+
+  case ExprKind::ArrayShiftE: {
+    Res P = eval(*E.Kids[0], FP);
+    if (!P.isValue())
+      return P;
+    Res I = eval(*E.Kids[1], FP);
+    if (!I.isValue())
+      return I;
+    auto PV = asPointer(P.V);
+    auto IV = asInteger(I.V);
+    if (!PV || !IV)
+      return Res::error("array_shift on bad operands");
+    auto R = Mem.arrayShift(*PV, E.Cty, IV->V);
+    if (!R) {
+      auto U = R.takeUB();
+      U.Loc = E.Loc;
+      return Res::undef(std::move(U));
+    }
+    if (R->Prov.isAlloc()) {
+      const mem::Allocation &A = Mem.allocations()[R->Prov.AllocId];
+      if (R->Addr < A.Base || R->Addr > A.Base + A.Size)
+        ++Events.OutOfBoundsTransient;
+    }
+    return Res::value(Value::pointer(*R));
+  }
+  case ExprKind::MemberShiftE: {
+    Res P = eval(*E.Kids[0], FP);
+    if (!P.isValue())
+      return P;
+    auto PV = asPointer(P.V);
+    if (!PV)
+      return Res::error("member_shift on a non-pointer");
+    return Res::value(
+        Value::pointer(Mem.memberShift(*PV, E.Tag, E.MemberIdx)));
+  }
+
+  case ExprKind::PureLet:
+  case ExprKind::ELet:
+  case ExprKind::LetWeak:
+  case ExprKind::LetStrong:
+    return evalLet(E, FP);
+
+  case ExprKind::PureIf:
+  case ExprKind::EIf: {
+    Res C = eval(*E.Kids[0], FP);
+    if (!C.isValue())
+      return C;
+    if (C.V.K != ValueKind::True && C.V.K != ValueKind::False)
+      return Res::error("if on a non-boolean");
+    size_t Taken = C.V.isTrue() ? 1 : 2;
+    Res R = eval(*E.Kids[Taken], FP);
+    if (R.K == Res::RunSig) {
+      size_t Other = Taken == 1 ? 2 : 1;
+      if (containsSave(*E.Kids[Other], R.RunLabel))
+        return evalJump(*E.Kids[Other], R.RunLabel, R.RunScope, FP);
+    }
+    return R;
+  }
+
+  case ExprKind::PtrOp:
+    return evalPtrOp(E, FP);
+  case ExprKind::Action:
+    return evalAction(E, FP);
+
+  case ExprKind::LetAtomic: {
+    // Evaluate the first action, bind, evaluate the second; the value is
+    // the first action's (the loaded old value for postfix ++/--).
+    Res A = eval(*E.Kids[0], FP);
+    if (!A.isValue())
+      return A;
+    if (!matchPattern(E.Pat, A.V))
+      return Res::error("let atomic pattern mismatch");
+    Res B = eval(*E.Kids[1], FP);
+    if (!B.isValue())
+      return B;
+    return A;
+  }
+
+  case ExprKind::Unseq:
+    return evalUnseq(E, FP);
+
+  case ExprKind::Indet:
+  case ExprKind::Bound:
+    // Operationally transparent: indeterminate sequencing is realised by
+    // the scheduler's choice of unseq evaluation order (see DESIGN.md).
+    return eval(*E.Kids[0], FP);
+
+  case ExprKind::Nd: {
+    unsigned Pick = Sched.choose(static_cast<unsigned>(E.Kids.size()), "nd");
+    return eval(*E.Kids[Pick], FP);
+  }
+
+  case ExprKind::ProcCall: {
+    std::vector<Value> Args;
+    for (const ExprPtr &K : E.Kids) {
+      Res R = eval(*K, FP);
+      if (!R.isValue())
+        return R;
+      Args.push_back(std::move(R.V));
+    }
+    return callProc(E.Sym, std::move(Args), E.Loc);
+  }
+  case ExprKind::CallPtr: {
+    Res F = eval(*E.Kids[0], FP);
+    if (!F.isValue())
+      return F;
+    auto PV = asPointer(F.V);
+    if (!PV || !PV->isFunction()) {
+      auto U = mem::undef(mem::UBKind::AccessNull,
+                          "call through a non-function pointer value");
+      U.Loc = E.Loc;
+      return Res::undef(std::move(U));
+    }
+    std::vector<Value> Args;
+    for (size_t I = 1; I < E.Kids.size(); ++I) {
+      Res R = eval(*E.Kids[I], FP);
+      if (!R.isValue())
+        return R;
+      Args.push_back(std::move(R.V));
+    }
+    return callProc(Symbol{*PV->FuncSym}, std::move(Args), E.Loc);
+  }
+
+  case ExprKind::Ret: {
+    Res R = eval(*E.Kids[0], FP);
+    if (!R.isValue())
+      return R;
+    R.K = Res::RetSig;
+    return R;
+  }
+
+  case ExprKind::Save:
+    return evalSaveBody(E, FP, /*ApplyDiffFirst=*/false, nullptr);
+
+  case ExprKind::Run: {
+    Res R;
+    R.K = Res::RunSig;
+    R.RunLabel = E.Sym;
+    R.RunScope = E.Scope;
+    return R;
+  }
+
+  case ExprKind::Par:
+    return evalPar(E, FP);
+  case ExprKind::Wait: {
+    Res R = eval(*E.Kids[0], FP);
+    if (!R.isValue())
+      return R;
+    return Res::value(Value::unit()); // par joins implicitly
+  }
+  }
+  return Res::error("unhandled Core expression kind");
+}
+
+//===----------------------------------------------------------------------===//
+// Sequencing
+//===----------------------------------------------------------------------===//
+
+Evaluator::Res Evaluator::evalLet(const Expr &E, Footprint &FP) {
+  bool Weak = E.K == ExprKind::LetWeak;
+  // SeqPoint marks a statement boundary: the accumulated footprints can
+  // never take part in any unsequenced-race check above, so they are kept
+  // local and discarded.
+  bool Discard = E.SeqPoint;
+  Footprint Local1, Local2;
+  Footprint *T1 = (Discard || Weak) ? &Local1 : &FP;
+  Footprint *T2 = (Discard || Weak) ? &Local2 : &FP;
+
+  Res R1 = eval(*E.Kids[0], *T1);
+  for (;;) {
+    if (!R1.isValue()) {
+      if (Weak && !Discard)
+        FP.merge(std::move(Local1));
+      if (R1.K == Res::RunSig && containsSave(*E.Kids[1], R1.RunLabel)) {
+        // Forward jump into the continuation (the pattern stays unbound;
+        // the elaboration never places labels under value-carrying
+        // bindings that are read after the label).
+        Footprint JFP;
+        return evalJump(*E.Kids[1], R1.RunLabel, R1.RunScope,
+                        Discard ? JFP : FP);
+      }
+      return R1;
+    }
+    if (!matchPattern(E.Pat, R1.V))
+      return Res::error("let pattern mismatch");
+
+    Local2.Acts.clear();
+    Res R2 = eval(*E.Kids[1], *T2);
+
+    if (R2.K == Res::RunSig && containsSave(*E.Kids[0], R2.RunLabel)) {
+      // Backward jump into the (already completed) first part.
+      R1 = evalJump(*E.Kids[0], R2.RunLabel, R2.RunScope, *T1);
+      continue;
+    }
+
+    if (Weak && !Discard) {
+      // §5.6: only e1's *positive* actions are sequenced before e2; a
+      // conflict between e1's negative actions and e2 is an unsequenced
+      // race.
+      if (auto U = conflict(Local1, Local2, /*OnlyNegLeft=*/true))
+        return Res::undef(std::move(*U));
+      FP.merge(std::move(Local1));
+      FP.merge(std::move(Local2));
+    }
+    return R2;
+  }
+}
+
+Evaluator::Res Evaluator::evalUnseq(const Expr &E, Footprint &FP) {
+  size_t N = E.Kids.size();
+  std::vector<Value> Values(N);
+  std::vector<Footprint> FPs(N);
+  std::vector<bool> Done(N, false);
+
+  // Effect-free branches evaluate in syntactic order: their order is
+  // unobservable, so exploring it would only multiply identical paths.
+  std::vector<size_t> Remaining;
+  for (size_t I = 0; I < N; ++I) {
+    if (hasEffects(*E.Kids[I])) {
+      Remaining.push_back(I);
+      continue;
+    }
+    Res R = eval(*E.Kids[I], FPs[I]);
+    if (!R.isValue()) {
+      for (size_t J = 0; J < N; ++J)
+        FP.merge(std::move(FPs[J]));
+      return R;
+    }
+    Values[I] = std::move(R.V);
+    Done[I] = true;
+  }
+
+  // The scheduler picks the branch order among the effectful ones;
+  // action-granularity interleaving is unnecessary for observable
+  // outcomes because cross-branch conflicts are unsequenced races (UB) —
+  // see DESIGN.md.
+  while (!Remaining.empty()) {
+    unsigned PickIdx =
+        Remaining.size() == 1
+            ? 0
+            : Sched.choose(static_cast<unsigned>(Remaining.size()),
+                           "unseq-order");
+    size_t I = Remaining[PickIdx];
+    Remaining.erase(Remaining.begin() + PickIdx);
+    Res R = eval(*E.Kids[I], FPs[I]);
+    if (!R.isValue()) {
+      for (size_t J = 0; J < N; ++J)
+        FP.merge(std::move(FPs[J]));
+      return R;
+    }
+    Values[I] = std::move(R.V);
+    Done[I] = true;
+  }
+  (void)Done;
+
+  for (size_t I = 0; I < N; ++I)
+    for (size_t J = I + 1; J < N; ++J)
+      if (auto U = conflict(FPs[I], FPs[J], /*OnlyNegLeft=*/false))
+        return Res::undef(std::move(*U));
+  for (size_t I = 0; I < N; ++I)
+    FP.merge(std::move(FPs[I]));
+
+  if (N == 1)
+    return Res::value(std::move(Values[0]));
+  return Res::value(Value::tuple(std::move(Values)));
+}
+
+Evaluator::Res Evaluator::evalPar(const Expr &E, Footprint &FP) {
+  // Restricted concurrency (§5.2: threads only with a more restricted
+  // memory object model): branches run in a scheduler-chosen order; any
+  // cross-thread conflicting non-atomic accesses are a data race (UB).
+  size_t N = E.Kids.size();
+  std::vector<Value> Values(N);
+  std::vector<Footprint> FPs(N);
+  std::vector<size_t> Remaining;
+  for (size_t I = 0; I < N; ++I)
+    Remaining.push_back(I);
+  while (!Remaining.empty()) {
+    unsigned PickIdx =
+        Remaining.size() == 1
+            ? 0
+            : Sched.choose(static_cast<unsigned>(Remaining.size()), "par");
+    size_t I = Remaining[PickIdx];
+    Remaining.erase(Remaining.begin() + PickIdx);
+    Res R = eval(*E.Kids[I], FPs[I]);
+    if (!R.isValue())
+      return R;
+    Values[I] = std::move(R.V);
+  }
+  for (size_t I = 0; I < N; ++I)
+    for (size_t J = I + 1; J < N; ++J)
+      if (auto U = conflict(FPs[I], FPs[J], false)) {
+        U->Kind = mem::UBKind::DataRace;
+        return Res::undef(std::move(*U));
+      }
+  for (size_t I = 0; I < N; ++I)
+    FP.merge(std::move(FPs[I]));
+  return Res::value(Value::tuple(std::move(Values)));
+}
+
+//===----------------------------------------------------------------------===//
+// save / run (§5.8)
+//===----------------------------------------------------------------------===//
+
+Evaluator::Res Evaluator::evalSaveBody(
+    const Expr &Save, Footprint &FP, bool ApplyDiffFirst,
+    const std::vector<ScopeObject> *RunScope) {
+  if (ApplyDiffFirst) {
+    Res D = applyScopeDiff(*RunScope, Save.Scope);
+    if (!D.isValue())
+      return D;
+  }
+  for (;;) {
+    Res R = eval(*Save.Kids[0], FP);
+    if (R.K == Res::RunSig && R.RunLabel == Save.Sym) {
+      Res D = applyScopeDiff(R.RunScope, Save.Scope);
+      if (!D.isValue())
+        return D;
+      continue; // re-enter the save body (loops)
+    }
+    if (R.K == Res::RunSig && containsSave(*Save.Kids[0], R.RunLabel))
+      return evalJump(*Save.Kids[0], R.RunLabel, R.RunScope, FP);
+    return R;
+  }
+}
+
+Evaluator::Res Evaluator::evalJump(const Expr &E, Symbol Label,
+                                   const std::vector<ScopeObject> &RunScope,
+                                   Footprint &FP) {
+  if (!budget()) {
+    Res R = Res::error("step limit exceeded");
+    R.StepLimitHit = true;
+    return R;
+  }
+  switch (E.K) {
+  case ExprKind::Save:
+    if (E.Sym == Label)
+      return evalSaveBody(E, FP, /*ApplyDiffFirst=*/true, &RunScope);
+    // The target is nested inside another save's body.
+    for (;;) {
+      Res R = evalJump(*E.Kids[0], Label, RunScope, FP);
+      if (R.K == Res::RunSig && R.RunLabel == E.Sym) {
+        Res D = applyScopeDiff(R.RunScope, E.Scope);
+        if (!D.isValue())
+          return D;
+        // Re-enter this save normally.
+        return evalSaveBody(E, FP, false, nullptr);
+      }
+      return R;
+    }
+  case ExprKind::PureLet:
+  case ExprKind::ELet:
+  case ExprKind::LetWeak:
+  case ExprKind::LetStrong: {
+    if (containsSave(*E.Kids[0], Label)) {
+      Res R1 = evalJump(*E.Kids[0], Label, RunScope, FP);
+      if (!R1.isValue()) {
+        if (R1.K == Res::RunSig && containsSave(*E.Kids[1], R1.RunLabel))
+          return evalJump(*E.Kids[1], R1.RunLabel, R1.RunScope, FP);
+        return R1;
+      }
+      if (!matchPattern(E.Pat, R1.V))
+        return Res::error("let pattern mismatch after jump");
+      Res R2 = eval(*E.Kids[1], FP);
+      if (R2.K == Res::RunSig && containsSave(*E.Kids[0], R2.RunLabel))
+        return evalJump(*E.Kids[0], R2.RunLabel, R2.RunScope, FP);
+      return R2;
+    }
+    // Skip the binding entirely (the label lies in the continuation).
+    return evalJump(*E.Kids[1], Label, RunScope, FP);
+  }
+  case ExprKind::PureIf:
+  case ExprKind::EIf: {
+    for (size_t I : {size_t(1), size_t(2)})
+      if (containsSave(*E.Kids[I], Label)) {
+        Res R = evalJump(*E.Kids[I], Label, RunScope, FP);
+        if (R.K == Res::RunSig) {
+          size_t Other = I == 1 ? 2 : 1;
+          if (containsSave(*E.Kids[Other], R.RunLabel))
+            return evalJump(*E.Kids[Other], R.RunLabel, R.RunScope, FP);
+        }
+        return R;
+      }
+    return Res::error("jump target vanished in if");
+  }
+  case ExprKind::Case:
+  case ExprKind::ECase: {
+    for (const auto &[Pat, Body] : E.Branches)
+      if (containsSave(*Body, Label))
+        return evalJump(*Body, Label, RunScope, FP);
+    return Res::error("jump target vanished in case");
+  }
+  default:
+    return Res::error("jump routed through an unexpected Core construct");
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Actions and pointer operations
+//===----------------------------------------------------------------------===//
+
+Evaluator::Res Evaluator::evalAction(const Expr &E, Footprint &FP) {
+  switch (E.Act) {
+  case ActionKind::Create: {
+    mem::PointerValue P = Mem.allocateObject(E.Cty, E.Str, /*Static=*/false);
+    if (!Frames.empty())
+      Frames.back().Created.push_back(P);
+    return Res::value(Value::pointer(P));
+  }
+  case ActionKind::Alloc: {
+    Res S = eval(*E.Kids[0], FP);
+    if (!S.isValue())
+      return S;
+    auto IV = asInteger(S.V);
+    if (!IV)
+      return Res::error("alloc with non-integer size");
+    mem::PointerValue P =
+        Mem.allocateRegion(static_cast<uint64_t>(IV->V), 16);
+    return Res::value(Value::pointer(P));
+  }
+  case ActionKind::Kill: {
+    Res P = eval(*E.Kids[0], FP);
+    if (!P.isValue())
+      return P;
+    auto PV = asPointer(P.V);
+    if (!PV)
+      return Res::error("kill of a non-pointer");
+    if (auto R = Mem.killObject(*PV); !R) {
+      auto U = R.takeUB();
+      U.Loc = E.Loc;
+      return Res::undef(std::move(U));
+    }
+    return Res::value(Value::unit());
+  }
+  case ActionKind::Free: {
+    Res P = eval(*E.Kids[0], FP);
+    if (!P.isValue())
+      return P;
+    auto PV = asPointer(P.V);
+    if (!PV)
+      return Res::error("free of a non-pointer");
+    if (auto R = Mem.freeRegion(*PV); !R) {
+      auto U = R.takeUB();
+      U.Loc = E.Loc;
+      return Res::undef(std::move(U));
+    }
+    return Res::value(Value::unit());
+  }
+  case ActionKind::Load: {
+    Res P = eval(*E.Kids[0], FP);
+    if (!P.isValue())
+      return P;
+    auto PV = asPointer(P.V);
+    if (!PV) {
+      if (P.V.K == ValueKind::Unspecified) {
+        auto U = mem::undef(mem::UBKind::IndeterminateValueUse,
+                            "load through an unspecified pointer");
+        U.Loc = E.Loc;
+        return Res::undef(std::move(U));
+      }
+      return Res::error("load through a non-pointer");
+    }
+    auto R = Mem.load(E.Cty, *PV);
+    if (!R) {
+      auto U = R.takeUB();
+      U.Loc = E.Loc;
+      return Res::undef(std::move(U));
+    }
+    FP.Acts.push_back(ActRec{PV->Addr, PV->Addr + Env.sizeOf(E.Cty),
+                             /*Write=*/false, E.NegPolarity,
+                             E.AtomicAccess, E.Loc});
+    return Res::value(memToValue(*R));
+  }
+  case ActionKind::Store: {
+    Res P = eval(*E.Kids[0], FP);
+    if (!P.isValue())
+      return P;
+    Res V = eval(*E.Kids[1], FP);
+    if (!V.isValue())
+      return V;
+    auto PV = asPointer(P.V);
+    if (!PV) {
+      if (P.V.K == ValueKind::Unspecified) {
+        auto U = mem::undef(mem::UBKind::IndeterminateValueUse,
+                            "store through an unspecified pointer");
+        U.Loc = E.Loc;
+        return Res::undef(std::move(U));
+      }
+      return Res::error("store through a non-pointer");
+    }
+    mem::MemValue MV = valueToMem(E.Cty, V.V);
+    if (auto R = Mem.store(E.Cty, *PV, MV); !R) {
+      auto U = R.takeUB();
+      U.Loc = E.Loc;
+      return Res::undef(std::move(U));
+    }
+    FP.Acts.push_back(ActRec{PV->Addr, PV->Addr + Env.sizeOf(E.Cty),
+                             /*Write=*/true, E.NegPolarity,
+                             E.AtomicAccess, E.Loc});
+    return Res::value(Value::unit());
+  }
+  }
+  return Res::error("bad memory action");
+}
+
+Evaluator::Res Evaluator::evalPtrOp(const Expr &E, Footprint &FP) {
+  std::vector<Value> Ops;
+  for (const ExprPtr &K : E.Kids) {
+    Res R = eval(*K, FP);
+    if (!R.isValue())
+      return R;
+    Ops.push_back(std::move(R.V));
+  }
+  auto UB = [&](mem::UndefinedBehaviour U) {
+    U.Loc = E.Loc;
+    return Res::undef(std::move(U));
+  };
+  switch (E.POp) {
+  case PtrOpKind::PtrEq:
+  case PtrOpKind::PtrNe: {
+    auto A = asPointer(Ops[0]), B = asPointer(Ops[1]);
+    if (!A || !B)
+      return Res::error("pointer equality on non-pointers");
+    if (A->Prov.isAlloc() && B->Prov.isAlloc() && !(A->Prov == B->Prov) &&
+        A->Addr == B->Addr)
+      ++Events.ProvenanceEqConsulted;
+    auto R = Mem.ptrEq(*A, *B);
+    if (!R)
+      return UB(R.takeUB());
+    bool Eq = R->V != 0;
+    return Res::value(Value::boolean(E.POp == PtrOpKind::PtrEq ? Eq : !Eq));
+  }
+  case PtrOpKind::PtrLt:
+  case PtrOpKind::PtrGt:
+  case PtrOpKind::PtrLe:
+  case PtrOpKind::PtrGe: {
+    auto A = asPointer(Ops[0]), B = asPointer(Ops[1]);
+    if (!A || !B)
+      return Res::error("pointer comparison on non-pointers");
+    unsigned Op = E.POp == PtrOpKind::PtrLt   ? 0
+                  : E.POp == PtrOpKind::PtrGt ? 1
+                  : E.POp == PtrOpKind::PtrLe ? 2
+                                              : 3;
+    auto R = Mem.ptrRel(Op, *A, *B);
+    if (!R)
+      return UB(R.takeUB());
+    return Res::value(Value::boolean(R->V != 0));
+  }
+  case PtrOpKind::PtrDiff: {
+    auto A = asPointer(Ops[0]), B = asPointer(Ops[1]);
+    if (!A || !B)
+      return Res::error("ptrdiff on non-pointers");
+    auto R = Mem.ptrDiff(E.Cty, *A, *B);
+    if (!R)
+      return UB(R.takeUB());
+    return Res::value(Value::integer(*R));
+  }
+  case PtrOpKind::IntFromPtr: {
+    auto P = asPointer(Ops[0]);
+    if (!P)
+      return Res::error("intFromPtr on a non-pointer");
+    auto R = Mem.intFromPtr(E.Cty, *P);
+    if (!R)
+      return UB(R.takeUB());
+    return Res::value(Value::integer(*R));
+  }
+  case PtrOpKind::PtrFromInt: {
+    auto I = asInteger(Ops[0]);
+    if (!I)
+      return Res::error("ptrFromInt on a non-integer");
+    auto R = Mem.ptrFromInt(*I);
+    if (!R)
+      return UB(R.takeUB());
+    return Res::value(Value::pointer(*R));
+  }
+  case PtrOpKind::PtrValidForDeref: {
+    auto P = asPointer(Ops[0]);
+    if (!P)
+      return Res::error("ptrValidForDeref on a non-pointer");
+    return Res::value(Value::boolean(Mem.validForDeref(E.Cty, *P)));
+  }
+  case PtrOpKind::CastPtr: {
+    auto P = asPointer(Ops[0]);
+    if (!P)
+      return Res::error("cast_ptr on a non-pointer");
+    return Res::value(Value::pointer(Mem.castPointer(E.Cty, *P)));
+  }
+  }
+  return Res::error("bad pointer operation");
+}
+
+//===----------------------------------------------------------------------===//
+// Pure builtin functions
+//===----------------------------------------------------------------------===//
+
+Evaluator::Res Evaluator::evalPureCall(const Expr &E, Footprint &FP) {
+  std::vector<Value> Args;
+  for (const ExprPtr &K : E.Kids) {
+    Res R = eval(*K, FP);
+    if (!R.isValue())
+      return R;
+    Args.push_back(std::move(R.V));
+  }
+  const std::string &Name = E.Str;
+
+  if (Name == "is_representable") {
+    if (Args.size() != 2 || Args[0].K != ValueKind::Ctype)
+      return Res::error("is_representable(ctype, int) misuse");
+    auto IV = asInteger(Args[1]);
+    if (!IV)
+      return Res::error("is_representable on a non-integer");
+    return Res::value(
+        Value::boolean(Env.inRange(Args[0].Cty.intKind(), IV->V)));
+  }
+  if (Name == "shr_arith") {
+    auto A = asInteger(Args[0]), B = asInteger(Args[1]);
+    if (!A || !B)
+      return Res::error("shr_arith misuse");
+    // Arithmetic shift = floor division by 2^b (the impl-defined 6.5.7p5
+    // behaviour of every mainstream implementation).
+    Int128 Divisor = Int128(1) << static_cast<unsigned>(B->V);
+    Int128 Q = A->V / Divisor;
+    if (A->V < 0 && A->V % Divisor != 0)
+      --Q;
+    return Res::value(Value::integer(Q));
+  }
+  if (Name == "bw_and" || Name == "bw_or" || Name == "bw_xor") {
+    if (Args.size() != 3 || Args[0].K != ValueKind::Ctype)
+      return Res::error("bitwise builtin misuse");
+    auto A = asInteger(Args[1]), B = asInteger(Args[2]);
+    if (!A || !B)
+      return Res::error("bitwise builtin on non-integers");
+    ail::IntKind K = Args[0].Cty.intKind();
+    unsigned W = Env.widthOf(K);
+    UInt128 Mask = W >= 128 ? ~UInt128(0) : (UInt128(1) << W) - 1;
+    UInt128 X = static_cast<UInt128>(A->V) & Mask;
+    UInt128 Y = static_cast<UInt128>(B->V) & Mask;
+    UInt128 R = Name == "bw_and" ? (X & Y) : Name == "bw_or" ? (X | Y)
+                                                             : (X ^ Y);
+    return Res::value(
+        Value::integer(Env.convert(K, static_cast<Int128>(R))));
+  }
+  if (Name == "bw_compl") {
+    if (Args.size() != 2 || Args[0].K != ValueKind::Ctype)
+      return Res::error("bw_compl misuse");
+    auto A = asInteger(Args[1]);
+    if (!A)
+      return Res::error("bw_compl on a non-integer");
+    ail::IntKind K = Args[0].Cty.intKind();
+    unsigned W = Env.widthOf(K);
+    UInt128 Mask = W >= 128 ? ~UInt128(0) : (UInt128(1) << W) - 1;
+    UInt128 R = (~static_cast<UInt128>(A->V)) & Mask;
+    return Res::value(
+        Value::integer(Env.convert(K, static_cast<Int128>(R))));
+  }
+  return Res::error(fmt("unknown pure builtin '{0}'", Name));
+}
+
+//===----------------------------------------------------------------------===//
+// Procedure calls and the standard library (see Builtins.cpp for printf)
+//===----------------------------------------------------------------------===//
+
+Evaluator::Res Evaluator::callProc(Symbol S, std::vector<Value> Args,
+                                   SourceLoc Loc) {
+  auto BIt = Prog.Builtins.find(S.Id);
+  if (BIt != Prog.Builtins.end())
+    return callBuiltin(BIt->second, Args, Loc);
+
+  const CoreProc *Proc = Prog.findProc(S);
+  if (!Proc)
+    return Res::error(fmt("call to undefined function '{0}'",
+                          Prog.Syms.nameOf(S)));
+  if (Proc->Params.size() != Args.size())
+    return Res::error(fmt("arity mismatch calling '{0}'",
+                          Prog.Syms.nameOf(S)));
+  if (++CallDepth > Limits.MaxCallDepth) {
+    --CallDepth;
+    return Res::error("call depth limit exceeded (runaway recursion)");
+  }
+
+  UndoStack.emplace_back();
+  for (size_t I = 0; I < Args.size(); ++I)
+    bind(Proc->Params[I].first.Id, std::move(Args[I]));
+
+  Frames.push_back(Frame{});
+  Footprint FP; // function bodies are indeterminately sequenced w.r.t. the
+                // caller's expression: no shared footprint (§5.6)
+  Res R = eval(*Proc->Body, FP);
+  // End of lifetime for everything this frame created and has not yet
+  // freed/killed (§5.7).
+  for (const mem::PointerValue &P : Frames.back().Created) {
+    if (P.Prov.isAlloc() && Mem.allocations()[P.Prov.AllocId].Alive)
+      (void)Mem.killObject(P);
+  }
+  Frames.pop_back();
+  // Restore the caller's bindings.
+  for (auto &[Id, Old] : UndoStack.back()) {
+    if (Old)
+      Bindings[Id] = std::move(*Old);
+    else
+      Bindings.erase(Id);
+  }
+  UndoStack.pop_back();
+  --CallDepth;
+
+  if (R.K == Res::RetSig)
+    return Res::value(std::move(R.V));
+  if (R.K == Res::RunSig)
+    return Res::error(fmt("goto to a label outside function '{0}'",
+                          Prog.Syms.nameOf(S)));
+  return R; // value (shouldn't happen: bodies end in Ret), or a signal
+}

@@ -1,0 +1,188 @@
+//===-- exec/Evaluator.h - Core operational semantics -----------*- C++ -*-===//
+///
+/// \file
+/// The Core dynamics (§5.2, Fig. 1 "Core operational semantics (3100)"):
+/// evaluates a Core program against a memory object model and a scheduler.
+/// Nondeterminism (unseq interleaving order, Core nd, memory-model
+/// latitude) is resolved through the Scheduler, so the same evaluator
+/// serves the exhaustive and pseudorandom drivers.
+///
+/// Unsequenced races are detected structurally, via action footprints: each
+/// `unseq` checks conflicts across its branches, and `let weak` checks its
+/// first operand's *negative* (side-effect) actions against the second
+/// (§5.6 polarities). Since any cross-branch conflicting pair is itself the
+/// UB "unsequenced race", exploring branch-order permutations (rather than
+/// action-level interleavings) preserves the observable-outcome set of
+/// race-free programs — see DESIGN.md.
+///
+/// Control: save/run (§5.8) is implemented with jump signals that unwind to
+/// the Save node (backward jumps re-enter; forward jumps route through the
+/// continuation with a "jump-mode" evaluation), performing the create/kill
+/// scope difference the paper's dynamics prescribes for goto.
+///
+//===----------------------------------------------------------------------===//
+#ifndef CERB_EXEC_EVALUATOR_H
+#define CERB_EXEC_EVALUATOR_H
+
+#include "core/Core.h"
+#include "exec/Outcome.h"
+#include "mem/Memory.h"
+#include "support/Scheduler.h"
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace cerb::exec {
+
+struct ExecLimits {
+  uint64_t MaxSteps = 20'000'000; ///< evaluation step budget ("timeout")
+  unsigned MaxCallDepth = 400;
+};
+
+/// Counters of noteworthy dynamic events (consumed by the §3 analysis-tool
+/// profiles, which report on events a lenient semantics does not flag).
+struct ExecEvents {
+  uint64_t UnspecifiedIntoLibrary = 0; ///< unspecified value reached printf&c
+  uint64_t UnspecifiedCompared = 0;    ///< memcmp touched unspecified bytes
+  uint64_t OutOfBoundsTransient = 0;   ///< OOB pointer constructed (Q31)
+  uint64_t ProvenanceEqConsulted = 0;  ///< Q2 nondet choice points seen
+};
+
+class Evaluator {
+public:
+  Evaluator(const core::CoreProgram &Prog, Scheduler &Sched,
+            mem::MemoryPolicy Policy, ExecLimits Limits = ExecLimits());
+
+  /// Runs the whole program: creates static objects, evaluates their
+  /// initialisers in declaration order, then calls main.
+  Outcome run();
+
+  const mem::Memory &memory() const { return Mem; }
+  const ExecEvents &events() const { return Events; }
+  uint64_t steps() const { return Steps; }
+
+private:
+  const core::CoreProgram &Prog;
+  ail::ImplEnv Env;
+  Scheduler &Sched;
+  mem::Memory Mem;
+  ExecLimits Limits;
+  ExecEvents Events;
+
+  std::map<unsigned, core::Value> Bindings;
+  /// Per-call-frame undo log: the value each rebound symbol had at frame
+  /// entry (recursion must not clobber the caller's bindings).
+  std::vector<std::map<unsigned, std::optional<core::Value>>> UndoStack;
+  std::string Out;
+  uint64_t Steps = 0;
+  unsigned CallDepth = 0;
+
+  /// One recorded memory action for the race check.
+  struct ActRec {
+    uint64_t Lo, Hi;
+    bool Write;
+    bool Neg;    ///< negative polarity (§5.6)
+    bool Atomic; ///< seq_cst access: atomic/atomic pairs never race
+    SourceLoc Loc;
+  };
+  struct Footprint {
+    std::vector<ActRec> Acts;
+    void merge(Footprint &&O) {
+      Acts.insert(Acts.end(), O.Acts.begin(), O.Acts.end());
+    }
+  };
+
+  /// Evaluation result: a value or an escaping signal.
+  struct Res {
+    enum Kind {
+      Val,
+      RunSig,  ///< run label (goto / break / continue / loop)
+      RetSig,  ///< procedure return
+      UndefSig,///< undefined behaviour
+      ExitSig, ///< exit() / abort() / assert failure
+      ErrSig,  ///< dynamic error (ill-formed Core) or step limit
+    } K = Val;
+    core::Value V;
+    ail::Symbol RunLabel;
+    std::vector<core::ScopeObject> RunScope;
+    mem::UndefinedBehaviour UB{mem::UBKind::ExceptionalCondition, "", {}};
+    OutcomeKind ExitKind = OutcomeKind::Exit;
+    int ExitCode = 0;
+    std::string Err;
+    bool StepLimitHit = false;
+
+    static Res value(core::Value V) {
+      Res R;
+      R.V = std::move(V);
+      return R;
+    }
+    static Res undef(mem::UndefinedBehaviour U) {
+      Res R;
+      R.K = UndefSig;
+      R.UB = std::move(U);
+      return R;
+    }
+    static Res error(std::string Msg) {
+      Res R;
+      R.K = ErrSig;
+      R.Err = std::move(Msg);
+      return R;
+    }
+    bool isValue() const { return K == Val; }
+  };
+
+  struct Frame {
+    std::vector<mem::PointerValue> Created;
+  };
+  std::vector<Frame> Frames;
+
+  Res eval(const core::Expr &E, Footprint &FP);
+  /// Jump-mode evaluation: route control to the Save node for \p Label
+  /// inside \p E without evaluating the skipped prefix.
+  Res evalJump(const core::Expr &E, ail::Symbol Label,
+               const std::vector<core::ScopeObject> &RunScope,
+               Footprint &FP);
+  /// Does \p E syntactically contain `save Label`?
+  bool containsSave(const core::Expr &E, ail::Symbol Label) const;
+  /// Enters a Save: runs its body, re-entering on matching run signals.
+  Res evalSaveBody(const core::Expr &Save, Footprint &FP,
+                   bool ApplyDiffFirst,
+                   const std::vector<core::ScopeObject> *RunScope);
+  /// Applies the goto scope difference (§5.8): kills objects live at the
+  /// run point but not the save point, creates the converse.
+  Res applyScopeDiff(const std::vector<core::ScopeObject> &RunScope,
+                     const std::vector<core::ScopeObject> &SaveScope);
+
+  Res evalLet(const core::Expr &E, Footprint &FP);
+  Res evalUnseq(const core::Expr &E, Footprint &FP);
+  Res evalAction(const core::Expr &E, Footprint &FP);
+  Res evalPtrOp(const core::Expr &E, Footprint &FP);
+  Res evalPureCall(const core::Expr &E, Footprint &FP);
+  Res evalPar(const core::Expr &E, Footprint &FP);
+
+  Res callProc(ail::Symbol S, std::vector<core::Value> Args, SourceLoc Loc);
+  Res callBuiltin(ail::Builtin B, std::vector<core::Value> &Args,
+                  SourceLoc Loc);
+  Res doPrintf(std::vector<core::Value> &Args, SourceLoc Loc);
+
+  /// Binds a symbol, recording the previous value in the innermost undo
+  /// frame (first write per frame only).
+  void bind(unsigned Id, core::Value V);
+  bool matchPattern(const core::Pattern &P, const core::Value &V);
+  /// Checks two footprints for a conflicting (same-location, >=1 write)
+  /// pair; returns the UB if found. OnlyNegLeft restricts the left side to
+  /// negative-polarity actions (let weak).
+  std::optional<mem::UndefinedBehaviour>
+  conflict(const Footprint &A, const Footprint &B, bool OnlyNegLeft) const;
+
+  /// Extracts a pointer from a (possibly loaded) value.
+  std::optional<mem::PointerValue> asPointer(const core::Value &V) const;
+  std::optional<mem::IntegerValue> asInteger(const core::Value &V) const;
+
+  bool budget() { return ++Steps <= Limits.MaxSteps; }
+};
+
+} // namespace cerb::exec
+
+#endif // CERB_EXEC_EVALUATOR_H

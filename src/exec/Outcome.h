@@ -1,0 +1,67 @@
+//===-- exec/Outcome.h - Execution outcomes ---------------------*- C++ -*-===//
+///
+/// \file
+/// The observable result of one execution path of a C program under the
+/// semantics, and the aggregate of an exhaustive exploration ("the set of
+/// all allowed behaviours of any small test case", §1 Problem 2).
+///
+//===----------------------------------------------------------------------===//
+#ifndef CERB_EXEC_OUTCOME_H
+#define CERB_EXEC_OUTCOME_H
+
+#include "mem/UB.h"
+
+#include <string>
+#include <vector>
+
+namespace cerb::exec {
+
+enum class OutcomeKind {
+  Exit,       ///< program returned from main / called exit()
+  Undef,      ///< an undefined behaviour was detected (§5.4)
+  Abort,      ///< abort() was called
+  AssertFail, ///< __cerb_assert failed (used by the de facto test suite)
+  Error,      ///< internal dynamic error (ill-formed Core reached)
+  StepLimit,  ///< execution exceeded the step budget ("timeout")
+};
+
+std::string_view outcomeKindName(OutcomeKind K);
+
+struct Outcome {
+  OutcomeKind Kind = OutcomeKind::Error;
+  int ExitCode = 0;
+  std::string Stdout;
+  mem::UndefinedBehaviour UB{mem::UBKind::ExceptionalCondition, "", {}};
+  std::string Message;
+
+  /// Canonical string (used to deduplicate outcomes across paths and in
+  /// test expectations).
+  std::string str() const;
+  bool isUndef(mem::UBKind K) const {
+    return Kind == OutcomeKind::Undef && UB.Kind == K;
+  }
+};
+
+/// The result of exploring all decision vectors.
+struct ExhaustiveResult {
+  std::vector<Outcome> Distinct; ///< deduplicated outcomes
+  uint64_t PathsExplored = 0;
+  bool Truncated = false; ///< hit the path budget before completing
+
+  bool hasUndef() const {
+    for (const Outcome &O : Distinct)
+      if (O.Kind == OutcomeKind::Undef)
+        return true;
+    return false;
+  }
+  bool hasUndef(mem::UBKind K) const {
+    for (const Outcome &O : Distinct)
+      if (O.isUndef(K))
+        return true;
+    return false;
+  }
+};
+
+} // namespace cerb::exec
+
+#endif // CERB_EXEC_OUTCOME_H

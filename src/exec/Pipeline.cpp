@@ -1,0 +1,40 @@
+//===-- exec/Pipeline.cpp -------------------------------------------------===//
+
+#include "exec/Pipeline.h"
+
+#include "ail/Desugar.h"
+#include "cabs/Parser.h"
+#include "elab/Elaborate.h"
+#include "typing/TypeCheck.h"
+
+using namespace cerb;
+using namespace cerb::exec;
+
+Expected<CompileResult> cerb::exec::compileWithStats(std::string_view Src) {
+  CERB_TRY(Unit, cabs::parseTranslationUnit(Src));
+  CERB_TRY(Ail, ail::desugar(Unit));
+  CERB_CHECK(typing::typeCheck(Ail));
+  CERB_TRY(Prog, elab::elaborate(std::move(Ail)));
+  CompileResult Result{std::move(Prog), {}};
+  Result.Rewrites = core::rewrite(Result.Prog);
+  if (auto Err = core::typeCheck(Result.Prog))
+    return err("Core type checking failed: " + *Err);
+  return Result;
+}
+
+Expected<core::CoreProgram> cerb::exec::compile(std::string_view Src) {
+  CERB_TRY(R, compileWithStats(Src));
+  return std::move(R.Prog);
+}
+
+Expected<Outcome> cerb::exec::evaluateOnce(std::string_view Src,
+                                           const RunOptions &Opts) {
+  CERB_TRY(Prog, compile(Src));
+  return runOnce(Prog, Opts);
+}
+
+Expected<ExhaustiveResult>
+cerb::exec::evaluateExhaustive(std::string_view Src, const RunOptions &Opts) {
+  CERB_TRY(Prog, compile(Src));
+  return runExhaustive(Prog, Opts);
+}

@@ -1,0 +1,52 @@
+//===-- exec/Pipeline.h - The whole-pipeline public facade ------*- C++ -*-===//
+///
+/// \file
+/// The public API of the library: compiles C source through the full
+/// Cerberus pipeline (Fig. 1: parse -> desugar -> typecheck -> elaborate ->
+/// Core-to-Core -> Core dynamics + memory object model) and runs it as a
+/// test oracle.
+///
+/// Quickstart:
+/// \code
+///   auto ProgOr = cerb::exec::compile("int main(void){ return 7; }");
+///   if (!ProgOr) { report(ProgOr.error().str()); }
+///   cerb::exec::RunOptions Opts; // candidate de facto model by default
+///   cerb::exec::Outcome O = cerb::exec::runOnce(*ProgOr, Opts);
+///   // O.ExitCode == 7
+/// \endcode
+///
+//===----------------------------------------------------------------------===//
+#ifndef CERB_EXEC_PIPELINE_H
+#define CERB_EXEC_PIPELINE_H
+
+#include "core/Core.h"
+#include "exec/Driver.h"
+#include "support/Expected.h"
+
+namespace cerb::exec {
+
+/// Everything the front half of the pipeline produced (for tools that want
+/// to inspect intermediate stages, e.g. the Fig. 3 bench).
+struct CompileResult {
+  core::CoreProgram Prog;
+  core::RewriteStats Rewrites;
+};
+
+/// Runs the full front end + elaboration on \p Source.
+Expected<core::CoreProgram> compile(std::string_view Source);
+
+/// Like compile(), also reporting the Core-to-Core rewrite statistics.
+Expected<CompileResult> compileWithStats(std::string_view Source);
+
+/// Compile + run one leftmost execution.
+Expected<Outcome> evaluateOnce(std::string_view Source,
+                               const RunOptions &Opts = RunOptions());
+
+/// Compile + exhaustively explore all executions.
+Expected<ExhaustiveResult>
+evaluateExhaustive(std::string_view Source,
+                   const RunOptions &Opts = RunOptions());
+
+} // namespace cerb::exec
+
+#endif // CERB_EXEC_PIPELINE_H

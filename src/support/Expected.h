@@ -1,0 +1,124 @@
+//===-- support/Expected.h - Error-or-value return type ---------*- C++ -*-===//
+///
+/// \file
+/// A lightweight `Expected<T>` in the LLVM style: a function that can fail
+/// returns either a T or a StaticError carrying a message, a source
+/// location, and (where applicable) the ISO C11 clause the input violates —
+/// the Cabs_to_Ail and typechecking passes "identify exactly what part of
+/// the standard is violated" (§5.1). No exceptions are used anywhere.
+///
+//===----------------------------------------------------------------------===//
+#ifndef CERB_SUPPORT_EXPECTED_H
+#define CERB_SUPPORT_EXPECTED_H
+
+#include "support/SourceLoc.h"
+
+#include <cassert>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace cerb {
+
+/// A static (compile-time, in C terms: translation-time) error: an
+/// ill-formed program, with the violated ISO clause when known.
+struct StaticError {
+  std::string Message;
+  SourceLoc Loc;
+  /// ISO C11 clause, e.g. "6.5.7p2"; empty if not a constraint violation.
+  std::string IsoClause;
+
+  std::string str() const {
+    std::string Out = Loc.isValid() ? Loc.str() + ": " : std::string();
+    Out += Message;
+    if (!IsoClause.empty())
+      Out += " [ISO C11 " + IsoClause + "]";
+    return Out;
+  }
+};
+
+/// Builds a StaticError (convenience for `return err(...)`).
+inline StaticError err(std::string Message, SourceLoc Loc = SourceLoc(),
+                       std::string IsoClause = std::string()) {
+  return StaticError{std::move(Message), Loc, std::move(IsoClause)};
+}
+
+/// Value-or-error sum type. Check with `operator bool` before dereferencing.
+template <typename T> class Expected {
+public:
+  Expected(T Value) : Storage(std::in_place_index<0>, std::move(Value)) {}
+  Expected(StaticError E) : Storage(std::in_place_index<1>, std::move(E)) {}
+
+  explicit operator bool() const { return Storage.index() == 0; }
+
+  T &operator*() {
+    assert(*this && "dereferencing an error Expected");
+    return std::get<0>(Storage);
+  }
+  const T &operator*() const {
+    assert(*this && "dereferencing an error Expected");
+    return std::get<0>(Storage);
+  }
+  T *operator->() { return &**this; }
+  const T *operator->() const { return &**this; }
+
+  const StaticError &error() const {
+    assert(!*this && "taking error of a success Expected");
+    return std::get<1>(Storage);
+  }
+  StaticError takeError() {
+    assert(!*this && "taking error of a success Expected");
+    return std::move(std::get<1>(Storage));
+  }
+
+private:
+  std::variant<T, StaticError> Storage;
+};
+
+/// Expected<void> analogue.
+class ExpectedVoid {
+public:
+  ExpectedVoid() = default;
+  ExpectedVoid(StaticError E) : Err(std::move(E)), HasErr(true) {}
+
+  explicit operator bool() const { return !HasErr; }
+  const StaticError &error() const {
+    assert(HasErr && "taking error of a success ExpectedVoid");
+    return Err;
+  }
+
+private:
+  StaticError Err;
+  bool HasErr = false;
+};
+
+/// Propagates an error from an Expected expression; binds the value
+/// otherwise. Usage: `CERB_TRY(Var, mayFail());`
+#define CERB_TRY(Var, Expr)                                                    \
+  auto Var##OrErr = (Expr);                                                    \
+  if (!Var##OrErr)                                                             \
+    return Var##OrErr.takeError();                                             \
+  auto &Var = *Var##OrErr
+
+/// Propagates an error from an Expected expression; assigns the value to an
+/// existing variable otherwise.
+#define CERB_TRY_ASSIGN(Var, Expr)                                            \
+  do {                                                                         \
+    auto CerbTryResult = (Expr);                                               \
+    if (!CerbTryResult)                                                        \
+      return CerbTryResult.takeError();                                        \
+    (Var) = std::move(*CerbTryResult);                                         \
+  } while (false)
+
+/// Propagates an error from an ExpectedVoid/Expected expression, discarding
+/// the value.
+#define CERB_CHECK(Expr)                                                       \
+  do {                                                                         \
+    auto CerbCheckResult = (Expr);                                             \
+    if (!CerbCheckResult)                                                      \
+      return CerbCheckResult.error();                                          \
+  } while (false)
+
+} // namespace cerb
+
+#endif // CERB_SUPPORT_EXPECTED_H

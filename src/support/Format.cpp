@@ -1,0 +1,66 @@
+//===-- support/Format.cpp ------------------------------------------------===//
+
+#include "support/Format.h"
+
+#include <cassert>
+
+using namespace cerb;
+
+std::string cerb::toString(UInt128 V) {
+  if (V == 0)
+    return "0";
+  std::string Out;
+  while (V != 0) {
+    Out.push_back(static_cast<char>('0' + static_cast<unsigned>(V % 10)));
+    V /= 10;
+  }
+  return std::string(Out.rbegin(), Out.rend());
+}
+
+std::string cerb::toString(Int128 V) {
+  if (V >= 0)
+    return toString(static_cast<UInt128>(V));
+  // Negate via unsigned to handle INT128_MIN.
+  UInt128 Mag = ~static_cast<UInt128>(V) + 1;
+  return "-" + toString(Mag);
+}
+
+std::string cerb::detail::formatImpl(std::string_view Fmt,
+                                     const std::vector<std::string> &Args) {
+  std::string Out;
+  Out.reserve(Fmt.size() + 16);
+  for (size_t I = 0; I < Fmt.size(); ++I) {
+    char C = Fmt[I];
+    if (C != '{') {
+      Out.push_back(C);
+      continue;
+    }
+    // Parse {N}. Anything malformed is copied verbatim.
+    size_t J = I + 1;
+    size_t N = 0;
+    bool SawDigit = false;
+    while (J < Fmt.size() && Fmt[J] >= '0' && Fmt[J] <= '9') {
+      N = N * 10 + static_cast<size_t>(Fmt[J] - '0');
+      SawDigit = true;
+      ++J;
+    }
+    if (SawDigit && J < Fmt.size() && Fmt[J] == '}' && N < Args.size()) {
+      Out += Args[N];
+      I = J;
+      continue;
+    }
+    Out.push_back(C);
+  }
+  return Out;
+}
+
+std::string cerb::join(const std::vector<std::string> &Parts,
+                       std::string_view Sep) {
+  std::string Out;
+  for (size_t I = 0; I < Parts.size(); ++I) {
+    if (I != 0)
+      Out += Sep;
+    Out += Parts[I];
+  }
+  return Out;
+}

@@ -1,0 +1,65 @@
+//===-- support/Format.h - Lightweight string formatting -------*- C++ -*-===//
+///
+/// \file
+/// Minimal brace-style string formatting (a stand-in for std::format, which
+/// the host toolchain lacks). `fmt("x={0} y={1}", X, Y)` substitutes the
+/// decimal/default rendering of each argument for `{N}`. Unknown indices are
+/// left verbatim. Supports the types used throughout this project, including
+/// `__int128`.
+///
+//===----------------------------------------------------------------------===//
+#ifndef CERB_SUPPORT_FORMAT_H
+#define CERB_SUPPORT_FORMAT_H
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cerb {
+
+using Int128 = __int128;
+using UInt128 = unsigned __int128;
+
+/// Renders a signed 128-bit integer in decimal.
+std::string toString(Int128 V);
+/// Renders an unsigned 128-bit integer in decimal.
+std::string toString(UInt128 V);
+
+namespace detail {
+
+inline std::string toFormatArg(const std::string &S) { return S; }
+inline std::string toFormatArg(std::string_view S) { return std::string(S); }
+inline std::string toFormatArg(const char *S) { return S; }
+inline std::string toFormatArg(char C) { return std::string(1, C); }
+inline std::string toFormatArg(bool B) { return B ? "true" : "false"; }
+inline std::string toFormatArg(Int128 V) { return toString(V); }
+inline std::string toFormatArg(UInt128 V) { return toString(V); }
+inline std::string toFormatArg(int V) { return std::to_string(V); }
+inline std::string toFormatArg(long V) { return std::to_string(V); }
+inline std::string toFormatArg(long long V) { return std::to_string(V); }
+inline std::string toFormatArg(unsigned V) { return std::to_string(V); }
+inline std::string toFormatArg(unsigned long V) { return std::to_string(V); }
+inline std::string toFormatArg(unsigned long long V) {
+  return std::to_string(V);
+}
+inline std::string toFormatArg(double V) { return std::to_string(V); }
+
+/// Substitutes `{N}` placeholders in \p Fmt with \p Args.
+std::string formatImpl(std::string_view Fmt,
+                       const std::vector<std::string> &Args);
+
+} // namespace detail
+
+/// Formats \p Fmt, replacing each `{N}` with the N-th extra argument.
+template <typename... Ts> std::string fmt(std::string_view Fmt, Ts &&...Vals) {
+  std::vector<std::string> Args = {detail::toFormatArg(Vals)...};
+  return detail::formatImpl(Fmt, Args);
+}
+
+/// Joins \p Parts with \p Sep between consecutive elements.
+std::string join(const std::vector<std::string> &Parts, std::string_view Sep);
+
+} // namespace cerb
+
+#endif // CERB_SUPPORT_FORMAT_H

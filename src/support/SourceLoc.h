@@ -1,0 +1,43 @@
+//===-- support/SourceLoc.h - Source locations ------------------*- C++ -*-===//
+///
+/// \file
+/// Source positions for diagnostics. Every AST node from the Cabs parser
+/// onward carries a SourceLoc so that undefined-behaviour reports from the
+/// Core dynamics can cite the originating C source position, as the paper's
+/// tool does (§5.4: "reports which undefined behaviour has been violated,
+/// together with the C source location").
+///
+//===----------------------------------------------------------------------===//
+#ifndef CERB_SUPPORT_SOURCELOC_H
+#define CERB_SUPPORT_SOURCELOC_H
+
+#include "support/Format.h"
+
+#include <string>
+
+namespace cerb {
+
+/// A position in a source buffer (1-based line/column; 0 means unknown).
+struct SourceLoc {
+  unsigned Line = 0;
+  unsigned Col = 0;
+
+  constexpr SourceLoc() = default;
+  constexpr SourceLoc(unsigned Line, unsigned Col) : Line(Line), Col(Col) {}
+
+  bool isValid() const { return Line != 0; }
+
+  std::string str() const {
+    if (!isValid())
+      return "<unknown>";
+    return fmt("{0}:{1}", Line, Col);
+  }
+
+  friend bool operator==(SourceLoc A, SourceLoc B) {
+    return A.Line == B.Line && A.Col == B.Col;
+  }
+};
+
+} // namespace cerb
+
+#endif // CERB_SUPPORT_SOURCELOC_H

@@ -1,0 +1,156 @@
+//===-- survey/Survey.cpp -------------------------------------------------===//
+
+#include "survey/Survey.h"
+
+#include "support/Format.h"
+
+using namespace cerb;
+using namespace cerb::survey;
+
+unsigned SurveyQuestion::totalResponses() const {
+  unsigned T = 0;
+  for (const Answer &A : Answers)
+    T += A.Count;
+  return T;
+}
+
+SurveyInfo cerb::survey::info() {
+  return SurveyInfo{323, 15, 2013, 2015, 42};
+}
+
+const std::vector<ExpertiseRow> &cerb::survey::expertise() {
+  // §1: "Most respondents reported expertise in C systems programming and
+  // many reported expertise in compiler internals and in the C standard".
+  static const std::vector<ExpertiseRow> Rows = {
+      {"C applications programming", 255},
+      {"C systems programming", 230},
+      {"Linux developer", 160},
+      {"Other OS developer", 111},
+      {"C embedded systems programming", 135},
+      {"C standard", 70},
+      {"C or C++ standards committee member", 8},
+      {"Compiler internals", 64},
+      {"GCC developer", 15},
+      {"Clang developer", 26},
+      {"Other C compiler developer", 22},
+      {"Program analysis tools", 44},
+      {"Formal semantics", 18},
+      {"no response", 6},
+      {"other", 18},
+  };
+  return Rows;
+}
+
+const std::vector<SurveyQuestion> &cerb::survey::surveyQuestions() {
+  static const std::vector<SurveyQuestion> Qs = {
+      // §2.5 padding (the paper reports "mixed results" without numbers;
+      // we record the option set it discusses).
+      {"[1/15]", "Q61",
+       "If you zero all bytes of a struct and then write some of its "
+       "members, do reads of the padding produce zeros?",
+       {{"yes, always", 116},
+        {"it depends on the compiler", 95},
+        {"no", 50},
+        {"don't know", 62}}},
+
+      // §2.4 unspecified values — the bimodal result the paper quotes.
+      {"[2/15]", "Q48",
+       "Is reading an uninitialised variable or struct member (with a "
+       "current mainstream compiler):",
+       {{"undefined behaviour (compiler free to arbitrarily miscompile)",
+         139},
+        {"going to make the result of any expression involving it "
+         "unpredictable",
+         42},
+        {"going to give an arbitrary and unstable value", 21},
+        {"going to give an arbitrary but stable value", 112}}},
+
+      // §2.3 pointer copying.
+      {"[5/15]", "Q15",
+       "Can one make a usable copy of a pointer by copying its "
+       "representation bytes in user code?",
+       {{"yes", 216},
+        {"only sometimes", 50},
+        {"no", 18},
+        {"don't know", 24}}},
+
+      // §2.1 Q25 — relational comparison; both sub-questions.
+      {"[7/15]", "Q25",
+       "Can one do relational comparison (<, >, <=, >=) of pointers to "
+       "separately allocated objects? Will that work in normal C "
+       "compilers?",
+       {{"yes", 191},
+        {"only sometimes", 52},
+        {"no", 31},
+        {"don't know", 38},
+        {"I don't know what the question is asking", 3}}},
+      {"[7b/15]", "Q25",
+       "Do you know of real code that relies on it?",
+       {{"yes", 101},
+        {"yes, but it shouldn't", 37},
+        {"no, but there might well be", 89},
+        {"no, that would be crazy", 50},
+        {"don't know", 27}}},
+
+      // §2.2 Q31 — transient out-of-bounds construction.
+      {"[9/15]", "Q31",
+       "Can one transiently construct out-of-bounds pointers (brought "
+       "back in-bounds before use)? Will that work in normal C "
+       "compilers?",
+       {{"yes", 230},
+        {"only sometimes", 43},
+        {"no", 13},
+        {"don't know", 27}}},
+
+      // §2.6 Q75 — char arrays as storage.
+      {"[11/15]", "Q75",
+       "Can an unsigned character array with static or automatic storage "
+       "duration be used (like a malloc'd region) to hold values of "
+       "other types? Will that work?",
+       {{"yes", 243},
+        {"only sometimes", 41},
+        {"no", 11},
+        {"don't know", 28}}},
+      {"[11b/15]", "Q75",
+       "Do you know of real code that relies on it?",
+       {{"yes", 201},
+        {"no, but there might well be", 73},
+        {"no", 31},
+        {"don't know", 18}}},
+  };
+  return Qs;
+}
+
+const SurveyQuestion *cerb::survey::findSurveyQuestion(const std::string &Id) {
+  for (const SurveyQuestion &Q : surveyQuestions())
+    if (Q.Id == Id)
+      return &Q;
+  return nullptr;
+}
+
+unsigned cerb::survey::percentOf(const SurveyQuestion &Q, const Answer &A) {
+  unsigned T = Q.totalResponses();
+  if (T == 0)
+    return 0;
+  // The paper rounds to whole percent (e.g. 191/315 -> 60%).
+  return (A.Count * 100 + T / 2) / T;
+}
+
+std::string cerb::survey::renderQuestion(const SurveyQuestion &Q) {
+  std::string Out = fmt("{0} (probes {1}): {2}\n", Q.Id, Q.LinkedQ, Q.Prompt);
+  for (const Answer &A : Q.Answers)
+    Out += fmt("    {0}: {1} ({2}%)\n", A.Text, A.Count, percentOf(Q, A));
+  Out += fmt("    [total responses: {0}]\n", Q.totalResponses());
+  return Out;
+}
+
+std::string cerb::survey::renderExpertise() {
+  std::string Out;
+  Out += fmt("Survey respondents: {0} (second survey, {1}, {2} questions)\n",
+             info().Respondents, info().SecondSurveyYear,
+             info().QuestionCount);
+  Out += "Self-reported expertise (multiple selections allowed):\n";
+  for (const ExpertiseRow &R : expertise())
+    Out += fmt("    {0}  {1}\n", R.Count, R.Area);
+  return Out;
+}

@@ -1,0 +1,68 @@
+//===-- survey/Survey.h - The de facto standards surveys --------*- C++ -*-===//
+///
+/// \file
+/// The paper's second contribution apparatus: two surveys probing "what
+/// systems programmers and compiler writers believe about compiler
+/// behaviour and extant code" (§1). The responses are an artifact of
+/// record; this module embeds the published counts (323 respondents, the
+/// expertise demographics, and the per-question numbers the paper quotes)
+/// and provides the tabulation machinery that recomputes every percentage
+/// in the paper — regenerating its survey tables (benches T1/T3).
+///
+//===----------------------------------------------------------------------===//
+#ifndef CERB_SURVEY_SURVEY_H
+#define CERB_SURVEY_SURVEY_H
+
+#include <string>
+#include <vector>
+
+namespace cerb::survey {
+
+/// One answer option with its response count.
+struct Answer {
+  std::string Text;
+  unsigned Count;
+};
+
+/// One survey question with its recorded responses.
+struct SurveyQuestion {
+  std::string Id;       ///< "[7/15]" — question n of the 15-question survey
+  std::string LinkedQ;  ///< design-space question it probes ("Q25")
+  std::string Prompt;
+  std::vector<Answer> Answers;
+
+  unsigned totalResponses() const;
+};
+
+/// The expertise self-descriptions of the 323 respondents (§1 table).
+struct ExpertiseRow {
+  std::string Area;
+  unsigned Count;
+};
+
+/// Survey metadata.
+struct SurveyInfo {
+  unsigned Respondents;        ///< 323
+  unsigned QuestionCount;      ///< 15
+  unsigned FirstSurveyYear;    ///< 2013 (42 questions, expert-targeted)
+  unsigned SecondSurveyYear;   ///< 2015 (15 questions, broad)
+  unsigned FirstSurveyQuestions; ///< 42
+};
+
+SurveyInfo info();
+const std::vector<ExpertiseRow> &expertise();
+const std::vector<SurveyQuestion> &surveyQuestions();
+const SurveyQuestion *findSurveyQuestion(const std::string &Id);
+
+/// Percentage with the paper's rounding (integer percent of the question's
+/// total responses).
+unsigned percentOf(const SurveyQuestion &Q, const Answer &A);
+
+/// Renders a question as an ASCII table block (used by the benches).
+std::string renderQuestion(const SurveyQuestion &Q);
+/// Renders the expertise table.
+std::string renderExpertise();
+
+} // namespace cerb::survey
+
+#endif // CERB_SURVEY_SURVEY_H

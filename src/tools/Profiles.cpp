@@ -1,0 +1,133 @@
+//===-- tools/Profiles.cpp ------------------------------------------------===//
+
+#include "tools/Profiles.h"
+
+#include "defacto/Questions.h"
+
+#include <map>
+
+using namespace cerb;
+using namespace cerb::tools;
+
+const std::vector<ToolProfile> &cerb::tools::profiles() {
+  static const std::vector<ToolProfile> Ps = [] {
+    std::vector<ToolProfile> Out;
+
+    // Clang ASan/MSan/UBSan: a deliberately *liberal* semantics "to
+    // accommodate the de facto standards" (§3) — provenance is not
+    // tracked (only concrete bounds/liveness are checked), uninitialised
+    // data flows silently except into control flow (MSan's Q50 catch),
+    // padding is never flagged.
+    {
+      ToolProfile P;
+      P.Name = "sanitizer";
+      P.Emulates = "Clang ASan + MSan + UBSan";
+      P.Discipline =
+          "concrete bounds/liveness checking; silent on provenance, "
+          "padding and most unspecified-value flows";
+      P.Policy = mem::MemoryPolicy::concrete();
+      P.Policy.Name = "sanitizer";
+      Out.push_back(std::move(P));
+    }
+
+    // TrustInSoft tis-interpreter: "aims for a tight semantics ... In many
+    // places it follows a much stricter notion of C than our candidate de
+    // facto model, e.g. flagging most of the unspecified-value tests, and
+    // not permitting comparison of pointer representations" (§3).
+    {
+      ToolProfile P;
+      P.Name = "tis";
+      P.Emulates = "TrustInSoft tis-interpreter";
+      P.Discipline =
+          "strict: provenance, effective types, uninitialised reads and "
+          "byte inspection of unspecified data all flagged";
+      P.Policy = mem::MemoryPolicy::strictIso();
+      P.Policy.Name = "tis";
+      Out.push_back(std::move(P));
+    }
+
+    // KCC / RV-Match: "a very strict semantics for reading uninitialised
+    // values (but not for padding bytes), and permitted some tests that
+    // ISO effective types forbid" (§3).
+    {
+      ToolProfile P;
+      P.Name = "kcc";
+      P.Emulates = "KCC / RV-Match";
+      P.Discipline =
+          "strict on scalar uninitialised reads; lenient on padding "
+          "bytes and effective types";
+      P.Policy = mem::MemoryPolicy::defacto();
+      P.Policy.Name = "kcc";
+      P.Policy.UninitReadIsUB = true;
+      P.Policy.UninitByteOpsAreUB = false;
+      P.Policy.StrictEffectiveTypes = false;
+      Out.push_back(std::move(P));
+    }
+
+    // The reference point: our candidate de facto model.
+    {
+      ToolProfile P;
+      P.Name = "defacto";
+      P.Emulates = "Cerberus candidate de facto model (§5.9)";
+      P.Discipline = "the calibration baseline";
+      P.Policy = mem::MemoryPolicy::defacto();
+      Out.push_back(std::move(P));
+    }
+    return Out;
+  }();
+  return Ps;
+}
+
+std::vector<ToolVerdict> cerb::tools::runTool(const ToolProfile &Profile,
+                                              uint64_t MaxPaths) {
+  std::vector<ToolVerdict> Out;
+  for (const defacto::TestCase &T : defacto::testSuite()) {
+    ToolVerdict V;
+    V.Test = &T;
+    defacto::TestResult R = defacto::runTest(T, Profile.Policy, MaxPaths);
+    if (!R.CompileOk) {
+      V.V = Verdict::Failed;
+      V.Detail = R.CompileError;
+      Out.push_back(std::move(V));
+      continue;
+    }
+    V.V = Verdict::Silent;
+    for (const exec::Outcome &O : R.Outcomes.Distinct) {
+      if (O.Kind == exec::OutcomeKind::Undef ||
+          O.Kind == exec::OutcomeKind::AssertFail) {
+        V.V = Verdict::Flagged;
+        V.Detail = O.Kind == exec::OutcomeKind::Undef
+                       ? std::string(mem::ubName(O.UB.Kind))
+                       : "assert";
+      }
+      if (O.Kind == exec::OutcomeKind::Error ||
+          O.Kind == exec::OutcomeKind::StepLimit) {
+        V.V = Verdict::Failed;
+        V.Detail = O.Message;
+        break;
+      }
+    }
+    Out.push_back(std::move(V));
+  }
+  return Out;
+}
+
+std::vector<CategoryFlags>
+cerb::tools::summarize(const std::vector<ToolVerdict> &Vs) {
+  std::map<std::string, CategoryFlags> ByCat;
+  for (const ToolVerdict &V : Vs) {
+    const defacto::Question *Q = defacto::findQuestion(V.Test->QuestionId);
+    std::string Cat = Q ? Q->Category : "CHERI C (§4)";
+    CategoryFlags &C = ByCat[Cat];
+    C.Category = Cat;
+    ++C.Tests;
+    if (V.V == Verdict::Flagged)
+      ++C.Flagged;
+    if (V.V == Verdict::Failed)
+      ++C.Failed;
+  }
+  std::vector<CategoryFlags> Out;
+  for (auto &[Name, C] : ByCat)
+    Out.push_back(std::move(C));
+  return Out;
+}

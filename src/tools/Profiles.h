@@ -1,0 +1,62 @@
+//===-- tools/Profiles.h - Analysis-tool semantic profiles ------*- C++ -*-===//
+///
+/// \file
+/// §3 studies "the memory semantics of C analysis tools": Clang's
+/// sanitisers, TrustInSoft's tis-interpreter, and KCC each embody an
+/// implicit semantic discipline — and "these three groups of tools gave
+/// radically different results". Here each tool's documented discipline is
+/// expressed as a memory-model policy configuration (a *profile*), and the
+/// de facto test suite is run under each, reproducing the shape of the §3
+/// comparison: which question categories each discipline flags.
+///
+//===----------------------------------------------------------------------===//
+#ifndef CERB_TOOLS_PROFILES_H
+#define CERB_TOOLS_PROFILES_H
+
+#include "defacto/Suite.h"
+#include "mem/Memory.h"
+
+#include <string>
+#include <vector>
+
+namespace cerb::tools {
+
+struct ToolProfile {
+  std::string Name;     ///< short id: "sanitizer", "tis", "kcc"
+  std::string Emulates; ///< the real tool family
+  std::string Discipline;
+  mem::MemoryPolicy Policy;
+};
+
+/// The three §3 profiles plus the reference candidate de facto model.
+const std::vector<ToolProfile> &profiles();
+
+/// A tool's verdict on one test.
+enum class Verdict {
+  Silent,  ///< ran to completion without a report
+  Flagged, ///< reported an error/UB
+  Failed,  ///< could not process the test (KCC's 'Execution failed')
+};
+
+struct ToolVerdict {
+  const defacto::TestCase *Test = nullptr;
+  Verdict V = Verdict::Silent;
+  std::string Detail;
+};
+
+/// Runs the whole de facto suite under one profile.
+std::vector<ToolVerdict> runTool(const ToolProfile &Profile,
+                                 uint64_t MaxPaths = 256);
+
+/// Per-category flag counts for the comparison table.
+struct CategoryFlags {
+  std::string Category;
+  unsigned Tests = 0;
+  unsigned Flagged = 0;
+  unsigned Failed = 0;
+};
+std::vector<CategoryFlags> summarize(const std::vector<ToolVerdict> &Vs);
+
+} // namespace cerb::tools
+
+#endif // CERB_TOOLS_PROFILES_H

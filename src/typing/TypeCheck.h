@@ -1,0 +1,37 @@
+//===-- typing/TypeCheck.h - Ail type inference/checking --------*- C++ -*-===//
+///
+/// \file
+/// The Ail type checker (§5.1, Fig. 1 "type inference/checking (2800)").
+/// Annotates every expression with its C type and value category, applying
+/// the integer promotions (6.3.1.1), usual arithmetic conversions (6.3.1.8),
+/// array/function decay (6.3.2.1), and the per-operator constraints of 6.5.
+/// On failure it identifies the violated ISO clause. It also folds sizeof/
+/// _Alignof expressions to constants (our fragment has no VLAs, so sizeof
+/// operands are never evaluated).
+///
+//===----------------------------------------------------------------------===//
+#ifndef CERB_TYPING_TYPECHECK_H
+#define CERB_TYPING_TYPECHECK_H
+
+#include "ail/Ail.h"
+#include "support/Expected.h"
+
+namespace cerb::typing {
+
+/// Type-checks \p Prog in place. After success every AilExpr has Ty and Cat
+/// set (Typed Ail, ready for elaboration).
+ExpectedVoid typeCheck(ail::AilProgram &Prog);
+
+/// Integer promotion of an integer type (6.3.1.1p2).
+ail::CType promote(const ail::ImplEnv &Env, const ail::CType &Ty);
+
+/// Usual arithmetic conversions for two integer types (6.3.1.8).
+ail::CType usualArithmetic(const ail::ImplEnv &Env, const ail::CType &A,
+                           const ail::CType &B);
+
+/// The conversion rank of an integer kind (6.3.1.1p1).
+int rankOf(ail::IntKind K);
+
+} // namespace cerb::typing
+
+#endif // CERB_TYPING_TYPECHECK_H

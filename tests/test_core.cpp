@@ -1,0 +1,218 @@
+//===-- tests/test_core.cpp - Core AST, printer, rewrites, purity ---------===//
+
+#include "core/Core.h"
+#include "exec/Pipeline.h"
+
+#include <gtest/gtest.h>
+
+using namespace cerb;
+using namespace cerb::core;
+
+TEST(CoreValues, Constructors) {
+  EXPECT_TRUE(Value::boolean(true).isTrue());
+  EXPECT_FALSE(Value::boolean(false).isTrue());
+  Value V = Value::specified(Value::integer(5));
+  ASSERT_TRUE(V.isSpecified());
+  EXPECT_EQ(V.Elems[0].IV.V, Int128(5));
+  EXPECT_EQ(Value::unspecified(CType::intTy()).K, ValueKind::Unspecified);
+}
+
+TEST(CoreValues, MemRoundtrip) {
+  mem::IntegerValue IV(42, mem::Provenance::alloc(3));
+  mem::MemValue MV = valueToMem(CType::intTy(), Value::integer(IV));
+  EXPECT_EQ(MV.Kind, mem::MemValueKind::Integer);
+  Value Back = memToValue(MV);
+  ASSERT_TRUE(Back.isSpecified());
+  EXPECT_EQ(Back.Elems[0].IV.V, Int128(42));
+  EXPECT_TRUE(Back.Elems[0].IV.Prov == mem::Provenance::alloc(3));
+}
+
+TEST(CoreValues, Rendering) {
+  EXPECT_EQ(Value::integer(7).str(), "7");
+  EXPECT_EQ(Value::boolean(true).str(), "True");
+  EXPECT_EQ(Value::specified(Value::integer(1)).str(), "Specified(1)");
+  EXPECT_EQ(Value::unspecified(CType::intTy()).str(),
+            "Unspecified('int')");
+}
+
+TEST(CoreGrammar, SummaryMentionsAllSequencingForms) {
+  std::string G = coreGrammarSummary();
+  for (const char *Form :
+       {"unseq", "let weak", "let strong", "let atomic", "indet", "bound",
+        "nd(", "save", "run", "par", "wait", "Specified", "Unspecified",
+        "create", "kill", "store", "load", "ptrdiff", "intFromPtr"})
+    EXPECT_NE(G.find(Form), std::string::npos) << Form;
+}
+
+TEST(CorePrint, ElaboratedProgramMentionsKeyConstructs) {
+  auto P = exec::compile(R"(
+int g;
+int main(void) {
+  int x = 1;
+  g = x + 1;
+  return g;
+}
+)");
+  ASSERT_TRUE(static_cast<bool>(P));
+  std::string S = printProgram(*P);
+  EXPECT_NE(S.find("create('int'"), std::string::npos);
+  EXPECT_NE(S.find("store('int'"), std::string::npos);
+  EXPECT_NE(S.find("load('int'"), std::string::npos);
+  EXPECT_NE(S.find("let weak"), std::string::npos);
+  EXPECT_NE(S.find("unseq("), std::string::npos);
+  EXPECT_NE(S.find("kill("), std::string::npos);
+  EXPECT_NE(S.find("return("), std::string::npos);
+}
+
+TEST(CorePrint, ShiftElaborationMatchesFig3Shape) {
+  // Fig. 3: the elaboration of << contains the three undef cases and the
+  // case split on Specified/Unspecified.
+  auto P = exec::compile(R"(
+int main(void) {
+  int a = 1, b = 2;
+  return a << b;
+}
+)");
+  ASSERT_TRUE(static_cast<bool>(P));
+  std::string S = printProgram(*P);
+  EXPECT_NE(S.find("undef(Negative_shift)"), std::string::npos);
+  EXPECT_NE(S.find("undef(Shift_too_large)"), std::string::npos);
+  EXPECT_NE(S.find("undef(Exceptional_condition)"), std::string::npos);
+  EXPECT_NE(S.find("Specified("), std::string::npos);
+  EXPECT_NE(S.find("Unspecified(_)"), std::string::npos);
+}
+
+TEST(CoreCheck, ElaboratedProgramsAreWellFormed) {
+  // Every program the elaboration produces must satisfy the Core purity
+  // discipline (§5.2: the pure/effectful distinction).
+  for (const char *Src : {
+           "int main(void){ return 0; }",
+           "int main(void){ int i; for (i=0;i<3;i++); return i; }",
+           "int f(int x){ return x; } int main(void){ return f(1); }",
+           "struct s { int a; }; int main(void){ struct s v = {1}; "
+           "return v.a; }",
+       }) {
+    auto P = exec::compile(Src);
+    ASSERT_TRUE(static_cast<bool>(P)) << Src;
+    EXPECT_EQ(core::typeCheck(*P), std::nullopt) << Src;
+  }
+}
+
+TEST(CoreRewrite, FoldsAndCounts) {
+  auto R = exec::compileWithStats(R"(
+int main(void) {
+  int x = 1;
+  return x;
+}
+)");
+  ASSERT_TRUE(static_cast<bool>(R));
+  // The rewrite runs without breaking the program:
+  exec::RunOptions Opts;
+  EXPECT_EQ(exec::runOnce(R->Prog, Opts).ExitCode, 1);
+}
+
+TEST(CoreClone, DeepCopyIsIndependent) {
+  auto E = Expr::make(ExprKind::Binop);
+  E->BOp = CoreBinop::Add;
+  E->Kids.push_back(Expr::make(ExprKind::Val));
+  E->Kids[0]->V = Value::integer(1);
+  E->Kids.push_back(Expr::make(ExprKind::Val));
+  E->Kids[1]->V = Value::integer(2);
+
+  ExprPtr C = cloneExpr(*E);
+  C->Kids[0]->V = Value::integer(99);
+  EXPECT_EQ(E->Kids[0]->V.IV.V, Int128(1));
+  EXPECT_EQ(C->Kids[1]->V.IV.V, Int128(2));
+  EXPECT_EQ(C->K, ExprKind::Binop);
+}
+
+TEST(CorePurity, DetectsEffectInPureContext) {
+  // Hand-build an ill-formed program: an action inside a pure let body.
+  CoreProgram P;
+  Symbol Main = P.Syms.create("main", ail::SymbolKind::Function);
+  P.MainProc = Main;
+  auto Load = Expr::make(ExprKind::Action);
+  Load->Act = ActionKind::Load;
+  Load->Cty = CType::intTy();
+  Load->Kids.push_back(Expr::make(ExprKind::Val));
+  auto PureLet = Expr::make(ExprKind::PureLet);
+  PureLet->Pat = Pattern::wild();
+  PureLet->Kids.push_back(std::move(Load)); // effect in pure position!
+  PureLet->Kids.push_back(Expr::make(ExprKind::Val));
+  auto Ret = Expr::make(ExprKind::Ret);
+  Ret->Kids.push_back(std::move(PureLet));
+  CoreProc Proc;
+  Proc.Name = Main;
+  Proc.ReturnTy = CType::intTy();
+  Proc.Body = std::move(Ret);
+  P.Procs.emplace(Main.Id, std::move(Proc));
+
+  auto Err = core::typeCheck(P);
+  ASSERT_TRUE(Err.has_value());
+  EXPECT_NE(Err->find("pure context"), std::string::npos);
+}
+
+TEST(CorePatterns, Rendering) {
+  ail::SymbolTable Syms;
+  Symbol S = Syms.create("x", ail::SymbolKind::Object);
+  EXPECT_EQ(Pattern::wild().str(Syms), "_");
+  EXPECT_EQ(Pattern::sym(S).str(Syms), "x");
+  EXPECT_EQ(Pattern::specified(Pattern::sym(S)).str(Syms), "Specified(x)");
+  EXPECT_EQ(Pattern::tuple({Pattern::wild(), Pattern::sym(S)}).str(Syms),
+            "(_, x)");
+  EXPECT_EQ(Pattern::unspecified().str(Syms), "Unspecified(_)");
+}
+
+TEST(CoreScope, DetectsUnboundIdentifier) {
+  CoreProgram P;
+  Symbol Main = P.Syms.create("main", ail::SymbolKind::Function);
+  Symbol Ghost = P.Syms.create("ghost", ail::SymbolKind::Object);
+  P.MainProc = Main;
+  auto Ret = Expr::make(ExprKind::Ret);
+  auto Use = Expr::make(ExprKind::Sym);
+  Use->Sym = Ghost; // never bound anywhere
+  Ret->Kids.push_back(std::move(Use));
+  CoreProc Proc;
+  Proc.Name = Main;
+  Proc.ReturnTy = CType::intTy();
+  Proc.Body = std::move(Ret);
+  P.Procs.emplace(Main.Id, std::move(Proc));
+
+  auto Err = core::typeCheck(P);
+  ASSERT_TRUE(Err.has_value());
+  EXPECT_NE(Err->find("unbound"), std::string::npos);
+  EXPECT_NE(Err->find("ghost"), std::string::npos);
+}
+
+TEST(CoreScope, DetectsRunToUnknownLabel) {
+  CoreProgram P;
+  Symbol Main = P.Syms.create("main", ail::SymbolKind::Function);
+  Symbol Lbl = P.Syms.create("nowhere", ail::SymbolKind::Label);
+  P.MainProc = Main;
+  auto Run = Expr::make(ExprKind::Run);
+  Run->Sym = Lbl; // no save for it
+  CoreProc Proc;
+  Proc.Name = Main;
+  Proc.ReturnTy = CType::intTy();
+  Proc.Body = std::move(Run);
+  P.Procs.emplace(Main.Id, std::move(Proc));
+
+  auto Err = core::typeCheck(P);
+  ASSERT_TRUE(Err.has_value());
+  EXPECT_NE(Err->find("unknown label"), std::string::npos);
+}
+
+TEST(CoreScope, PatternBindingScopesOverBodyOnly) {
+  // let x = 1 in x  is fine; a use of x *outside* the let is not. The
+  // whole-pipeline assertion: every elaborated program is lexically
+  // scoped, including the block kill chains.
+  for (const char *Src : {
+           "int main(void){ int a = 1; { int b = a; a = b; } return a; }",
+           "int main(void){ int i; for (i=0;i<2;i++){ int t=i; (void)t; } "
+           "return i; }",
+       }) {
+    auto P = exec::compile(Src);
+    ASSERT_TRUE(static_cast<bool>(P)) << Src;
+    EXPECT_EQ(core::typeCheck(*P), std::nullopt) << Src;
+  }
+}

@@ -1,0 +1,219 @@
+//===-- tests/test_exhaustive.cpp - drivers, nondeterminism, models -------===//
+
+#include "conc/Conc.h"
+#include "exec/Pipeline.h"
+
+#include <gtest/gtest.h>
+#include <set>
+
+using namespace cerb;
+using namespace cerb::exec;
+
+namespace {
+
+ExhaustiveResult explore(std::string_view Src,
+                         mem::MemoryPolicy P = mem::MemoryPolicy::defacto(),
+                         uint64_t MaxPaths = 2048) {
+  RunOptions Opts;
+  Opts.Policy = P;
+  Opts.MaxPaths = MaxPaths;
+  auto R = evaluateExhaustive(Src, Opts);
+  EXPECT_TRUE(static_cast<bool>(R)) << (R ? "" : R.error().str());
+  return R ? *R : ExhaustiveResult{};
+}
+
+std::set<std::string> stdouts(const ExhaustiveResult &R) {
+  std::set<std::string> Out;
+  for (const Outcome &O : R.Distinct)
+    if (O.Kind == OutcomeKind::Exit)
+      Out.insert(O.Stdout);
+  return Out;
+}
+
+} // namespace
+
+TEST(Exhaustive, DeterministicProgramHasOnePath) {
+  auto R = explore(R"(
+#include <stdio.h>
+int main(void) { printf("once\n"); return 0; }
+)");
+  EXPECT_EQ(R.PathsExplored, 1u);
+  ASSERT_EQ(R.Distinct.size(), 1u);
+  EXPECT_FALSE(R.Truncated);
+}
+
+TEST(Exhaustive, IndeterminatelySequencedCallsGiveBothOrders) {
+  // §5.6: f() and g() bodies are indeterminately sequenced; both orders
+  // are allowed executions and exhaustive mode must find both.
+  auto R = explore(R"(
+#include <stdio.h>
+int g;
+int setg(int v) { g = v; return 0; }
+int main(void) {
+  int r = setg(1) + setg(2);
+  printf("%d\n", g);
+  return r;
+}
+)");
+  EXPECT_EQ(stdouts(R), (std::set<std::string>{"1\n", "2\n"}));
+}
+
+TEST(Exhaustive, ThreeCallsGiveAllFinalValues) {
+  auto R = explore(R"(
+#include <stdio.h>
+int g;
+int setg(int v) { g = v; return 0; }
+int main(void) {
+  int r = setg(1) + setg(2) + setg(3);
+  printf("%d\n", g);
+  return r;
+}
+)");
+  EXPECT_EQ(stdouts(R), (std::set<std::string>{"1\n", "2\n", "3\n"}));
+}
+
+TEST(Exhaustive, UnseqRaceFoundOnEveryPath) {
+  auto R = explore("int g; int main(void){ return (g=1) + (g=2); }");
+  ASSERT_EQ(R.Distinct.size(), 1u);
+  EXPECT_TRUE(R.Distinct[0].isUndef(mem::UBKind::UnsequencedRace));
+}
+
+TEST(Exhaustive, ProvenanceEqualityIsNondeterministic) {
+  // Q2: the de facto model may or may not consult provenance.
+  auto R = explore(R"(
+#include <stdio.h>
+int y = 2, x = 1;
+int main(void) {
+  printf("%d\n", &x + 1 == &y);
+  return 0;
+}
+)");
+  EXPECT_EQ(stdouts(R), (std::set<std::string>{"0\n", "1\n"}));
+  // The concrete model answers purely by address.
+  auto C = explore(R"(
+#include <stdio.h>
+int y = 2, x = 1;
+int main(void) {
+  printf("%d\n", &x + 1 == &y);
+  return 0;
+}
+)",
+                   mem::MemoryPolicy::concrete());
+  EXPECT_EQ(stdouts(C), (std::set<std::string>{"1\n"}));
+}
+
+TEST(Exhaustive, PathBudgetTruncationIsReported) {
+  // Lots of indeterminately sequenced pairs: paths grow combinatorially.
+  auto R = explore(R"(
+int g;
+int s(int v) { g = v; return 0; }
+int main(void) {
+  int i;
+  for (i = 0; i < 10; i++)
+    s(i) + s(i + 1);
+  return 0;
+}
+)",
+                   mem::MemoryPolicy::defacto(), /*MaxPaths=*/16);
+  EXPECT_EQ(R.PathsExplored, 16u);
+  EXPECT_TRUE(R.Truncated);
+}
+
+TEST(Exhaustive, RandomDriverIsReproducible) {
+  auto ProgOr = compile(R"(
+#include <stdio.h>
+int g;
+int s(int v) { g = v; return 0; }
+int main(void) { s(1) + s(2); printf("%d\n", g); return 0; }
+)");
+  ASSERT_TRUE(static_cast<bool>(ProgOr));
+  RunOptions Opts;
+  Outcome A = runRandom(*ProgOr, Opts, 12345);
+  Outcome B = runRandom(*ProgOr, Opts, 12345);
+  EXPECT_EQ(A.str(), B.str());
+}
+
+TEST(Exhaustive, StepLimitProducesTimeoutOutcome) {
+  RunOptions Opts;
+  Opts.Limits.MaxSteps = 10'000;
+  auto R = evaluateOnce("int main(void){ while (1) {} return 0; }", Opts);
+  ASSERT_TRUE(static_cast<bool>(R));
+  EXPECT_EQ(R->Kind, OutcomeKind::StepLimit);
+}
+
+//===----------------------------------------------------------------------===//
+// Restricted concurrency (conc/)
+//===----------------------------------------------------------------------===//
+
+TEST(Concurrency, RacyThreadsAreDataRace) {
+  auto Prog = conc::buildSharedCounterProgram(
+      0, {conc::ThreadSpec{{1}, false}, conc::ThreadSpec{{2}, false}});
+  auto R = conc::explore(Prog);
+  ASSERT_EQ(R.Distinct.size(), 1u);
+  EXPECT_TRUE(R.Distinct[0].isUndef(mem::UBKind::DataRace)) <<
+      R.Distinct[0].str();
+}
+
+TEST(Concurrency, ReadOnlyThreadsDoNotRace) {
+  auto Prog = conc::buildSharedCounterProgram(
+      7, {conc::ThreadSpec{{0, 0}, true}, conc::ThreadSpec{{0}, true}});
+  auto R = conc::explore(Prog);
+  ASSERT_EQ(R.Distinct.size(), 1u);
+  EXPECT_EQ(R.Distinct[0].Kind, OutcomeKind::Exit);
+  EXPECT_EQ(R.Distinct[0].ExitCode, 7);
+}
+
+TEST(Concurrency, WriterPlusReaderRaces) {
+  auto Prog = conc::buildSharedCounterProgram(
+      0, {conc::ThreadSpec{{5}, false}, conc::ThreadSpec{{0}, true}});
+  auto R = conc::explore(Prog);
+  ASSERT_EQ(R.Distinct.size(), 1u);
+  EXPECT_TRUE(R.Distinct[0].isUndef(mem::UBKind::DataRace));
+}
+
+TEST(Concurrency, SingleWriterNoRace) {
+  auto Prog =
+      conc::buildSharedCounterProgram(0, {conc::ThreadSpec{{9}, false}});
+  auto R = conc::explore(Prog);
+  ASSERT_EQ(R.Distinct.size(), 1u);
+  EXPECT_EQ(R.Distinct[0].ExitCode, 9);
+}
+
+TEST(Concurrency, AtomicWritersDoNotRace) {
+  // The restricted C11 regime (§5.2): seq_cst accesses synchronise, so two
+  // atomic writers are race-free and exhaustive mode sees both final
+  // values.
+  conc::ThreadSpec T1{{1}, false, /*Atomic=*/true};
+  conc::ThreadSpec T2{{2}, false, /*Atomic=*/true};
+  auto Prog = conc::buildSharedCounterProgram(0, {T1, T2});
+  auto R = conc::explore(Prog);
+  std::set<int> Finals;
+  for (const Outcome &O : R.Distinct) {
+    ASSERT_EQ(O.Kind, OutcomeKind::Exit) << O.str();
+    Finals.insert(O.ExitCode);
+  }
+  EXPECT_EQ(Finals, (std::set<int>{1, 2}));
+}
+
+TEST(Concurrency, AtomicVsNonAtomicStillRaces) {
+  // Mixed atomic / non-atomic conflicting accesses remain a data race
+  // (only atomic/atomic pairs synchronise).
+  conc::ThreadSpec T1{{1}, false, /*Atomic=*/true};
+  conc::ThreadSpec T2{{2}, false, /*Atomic=*/false};
+  auto Prog = conc::buildSharedCounterProgram(0, {T1, T2});
+  auto R = conc::explore(Prog);
+  bool SawRace = false;
+  for (const Outcome &O : R.Distinct)
+    if (O.isUndef(mem::UBKind::DataRace))
+      SawRace = true;
+  EXPECT_TRUE(SawRace);
+}
+
+TEST(Concurrency, AtomicReadersSeeSomeWrite) {
+  conc::ThreadSpec W{{5}, false, /*Atomic=*/true};
+  conc::ThreadSpec R1{{0}, true, /*Atomic=*/true};
+  auto Prog = conc::buildSharedCounterProgram(7, {W, R1});
+  auto R = conc::explore(Prog);
+  for (const Outcome &O : R.Distinct)
+    EXPECT_EQ(O.Kind, OutcomeKind::Exit) << O.str();
+}

@@ -1,0 +1,92 @@
+//===-- tests/test_support.cpp - support library unit tests ---------------===//
+
+#include "support/Expected.h"
+#include "support/Format.h"
+#include "support/Scheduler.h"
+
+#include <gtest/gtest.h>
+
+using namespace cerb;
+
+TEST(Format, BasicSubstitution) {
+  EXPECT_EQ(fmt("x={0} y={1}", 1, 2), "x=1 y=2");
+  EXPECT_EQ(fmt("{0}{0}{0}", "ab"), "ababab");
+  EXPECT_EQ(fmt("no placeholders"), "no placeholders");
+}
+
+TEST(Format, OutOfRangeIndexLeftVerbatim) {
+  EXPECT_EQ(fmt("{1}", 5), "{1}");
+  EXPECT_EQ(fmt("{x}", 5), "{x}");
+  EXPECT_EQ(fmt("{", 5), "{");
+}
+
+TEST(Format, Int128Rendering) {
+  EXPECT_EQ(toString(Int128(0)), "0");
+  EXPECT_EQ(toString(Int128(-1)), "-1");
+  EXPECT_EQ(toString(Int128(1234567890123456789LL)), "1234567890123456789");
+  // INT128_MIN must not overflow during negation.
+  Int128 Min = Int128(1) << 126;
+  Min = -Min - Min; // == -2^127
+  EXPECT_EQ(toString(Min),
+            "-170141183460469231731687303715884105728");
+  UInt128 Big = ~UInt128(0);
+  EXPECT_EQ(toString(Big), "340282366920938463463374607431768211455");
+}
+
+TEST(Format, Join) {
+  EXPECT_EQ(join({}, ", "), "");
+  EXPECT_EQ(join({"a"}, ", "), "a");
+  EXPECT_EQ(join({"a", "b", "c"}, "-"), "a-b-c");
+}
+
+TEST(Expected, ValueAndError) {
+  Expected<int> V(42);
+  ASSERT_TRUE(static_cast<bool>(V));
+  EXPECT_EQ(*V, 42);
+
+  Expected<int> E(err("boom", SourceLoc(3, 4), "6.5p2"));
+  ASSERT_FALSE(static_cast<bool>(E));
+  EXPECT_EQ(E.error().Message, "boom");
+  EXPECT_EQ(E.error().str(), "3:4: boom [ISO C11 6.5p2]");
+}
+
+TEST(Scheduler, LeftmostAlwaysZero) {
+  LeftmostScheduler S;
+  for (int I = 0; I < 10; ++I)
+    EXPECT_EQ(S.choose(5, "t"), 0u);
+}
+
+TEST(Scheduler, RandomIsDeterministicPerSeed) {
+  RandomScheduler A(7), B(7), C(8);
+  std::vector<unsigned> VA, VB, VC;
+  for (int I = 0; I < 32; ++I) {
+    VA.push_back(A.choose(10, "t"));
+    VB.push_back(B.choose(10, "t"));
+    VC.push_back(C.choose(10, "t"));
+  }
+  EXPECT_EQ(VA, VB);
+  EXPECT_NE(VA, VC);
+}
+
+TEST(Scheduler, RandomCoversAlternatives) {
+  RandomScheduler S(99);
+  std::vector<bool> Seen(4, false);
+  for (int I = 0; I < 200; ++I)
+    Seen[S.choose(4, "t")] = true;
+  for (bool B : Seen)
+    EXPECT_TRUE(B);
+}
+
+TEST(Scheduler, TraceReplaysPrefixThenZero) {
+  TraceScheduler S({2, 1});
+  EXPECT_EQ(S.choose(3, "a"), 2u);
+  EXPECT_EQ(S.choose(2, "b"), 1u);
+  EXPECT_EQ(S.choose(4, "c"), 0u); // past the prefix
+  EXPECT_EQ(S.trace(), (std::vector<unsigned>{2, 1, 0}));
+  EXPECT_EQ(S.widths(), (std::vector<unsigned>{3, 2, 4}));
+}
+
+TEST(Scheduler, TraceClampsStalePrefix) {
+  TraceScheduler S({5});
+  EXPECT_EQ(S.choose(3, "a"), 2u); // clamped to N-1
+}
