@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_policy_knobs.dir/bench/ablation_policy_knobs.cpp.o"
+  "CMakeFiles/ablation_policy_knobs.dir/bench/ablation_policy_knobs.cpp.o.d"
+  "bench/ablation_policy_knobs"
+  "bench/ablation_policy_knobs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_policy_knobs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

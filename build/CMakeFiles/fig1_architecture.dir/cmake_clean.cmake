@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_architecture.dir/bench/fig1_architecture.cpp.o"
+  "CMakeFiles/fig1_architecture.dir/bench/fig1_architecture.cpp.o.d"
+  "bench/fig1_architecture"
+  "bench/fig1_architecture.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_architecture.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

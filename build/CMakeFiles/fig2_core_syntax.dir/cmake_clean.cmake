@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_core_syntax.dir/bench/fig2_core_syntax.cpp.o"
+  "CMakeFiles/fig2_core_syntax.dir/bench/fig2_core_syntax.cpp.o.d"
+  "bench/fig2_core_syntax"
+  "bench/fig2_core_syntax.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_core_syntax.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_elaboration_shift.dir/bench/fig3_elaboration_shift.cpp.o"
+  "CMakeFiles/fig3_elaboration_shift.dir/bench/fig3_elaboration_shift.cpp.o.d"
+  "bench/fig3_elaboration_shift"
+  "bench/fig3_elaboration_shift.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_elaboration_shift.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perf_memory_models.dir/bench/perf_memory_models.cpp.o"
+  "CMakeFiles/perf_memory_models.dir/bench/perf_memory_models.cpp.o.d"
+  "bench/perf_memory_models"
+  "bench/perf_memory_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_memory_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

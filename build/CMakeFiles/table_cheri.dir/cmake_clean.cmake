@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_cheri.dir/bench/table_cheri.cpp.o"
+  "CMakeFiles/table_cheri.dir/bench/table_cheri.cpp.o.d"
+  "bench/table_cheri"
+  "bench/table_cheri.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_cheri.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

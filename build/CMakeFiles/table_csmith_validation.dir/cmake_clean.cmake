@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_csmith_validation.dir/bench/table_csmith_validation.cpp.o"
+  "CMakeFiles/table_csmith_validation.dir/bench/table_csmith_validation.cpp.o.d"
+  "bench/table_csmith_validation"
+  "bench/table_csmith_validation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_csmith_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

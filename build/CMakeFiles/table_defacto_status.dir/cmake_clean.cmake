@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_defacto_status.dir/bench/table_defacto_status.cpp.o"
+  "CMakeFiles/table_defacto_status.dir/bench/table_defacto_status.cpp.o.d"
+  "bench/table_defacto_status"
+  "bench/table_defacto_status.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_defacto_status.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

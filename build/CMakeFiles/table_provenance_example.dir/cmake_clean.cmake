@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_provenance_example.dir/bench/table_provenance_example.cpp.o"
+  "CMakeFiles/table_provenance_example.dir/bench/table_provenance_example.cpp.o.d"
+  "bench/table_provenance_example"
+  "bench/table_provenance_example.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_provenance_example.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_question_categories.dir/bench/table_question_categories.cpp.o"
+  "CMakeFiles/table_question_categories.dir/bench/table_question_categories.cpp.o.d"
+  "bench/table_question_categories"
+  "bench/table_question_categories.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_question_categories.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_survey.dir/bench/table_survey.cpp.o"
+  "CMakeFiles/table_survey.dir/bench/table_survey.cpp.o.d"
+  "bench/table_survey"
+  "bench/table_survey.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_survey.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

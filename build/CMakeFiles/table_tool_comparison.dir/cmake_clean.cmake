@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_tool_comparison.dir/bench/table_tool_comparison.cpp.o"
+  "CMakeFiles/table_tool_comparison.dir/bench/table_tool_comparison.cpp.o.d"
+  "bench/table_tool_comparison"
+  "bench/table_tool_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_tool_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

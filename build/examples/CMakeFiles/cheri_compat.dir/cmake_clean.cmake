@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cheri_compat.dir/cheri_compat.cpp.o"
+  "CMakeFiles/cheri_compat.dir/cheri_compat.cpp.o.d"
+  "cheri_compat"
+  "cheri_compat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cheri_compat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sequencing_graph.dir/sequencing_graph.cpp.o"
+  "CMakeFiles/sequencing_graph.dir/sequencing_graph.cpp.o.d"
+  "sequencing_graph"
+  "sequencing_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sequencing_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

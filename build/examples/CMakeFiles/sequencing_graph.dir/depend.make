@@ -1,0 +1,2 @@
+# Empty dependencies file for sequencing_graph.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ub_hunter.dir/ub_hunter.cpp.o"
+  "CMakeFiles/ub_hunter.dir/ub_hunter.cpp.o.d"
+  "ub_hunter"
+  "ub_hunter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ub_hunter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

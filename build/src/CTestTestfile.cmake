@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("support")
+subdirs("cabs")
+subdirs("ail")
+subdirs("typing")
+subdirs("core")
+subdirs("elab")
+subdirs("mem")
+subdirs("exec")
+subdirs("conc")
+subdirs("defacto")
+subdirs("survey")
+subdirs("tools")
+subdirs("csmith")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cerb_ail.dir/Ail.cpp.o"
+  "CMakeFiles/cerb_ail.dir/Ail.cpp.o.d"
+  "CMakeFiles/cerb_ail.dir/CType.cpp.o"
+  "CMakeFiles/cerb_ail.dir/CType.cpp.o.d"
+  "CMakeFiles/cerb_ail.dir/Desugar.cpp.o"
+  "CMakeFiles/cerb_ail.dir/Desugar.cpp.o.d"
+  "libcerb_ail.a"
+  "libcerb_ail.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cerb_ail.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cerb_cabs.dir/Lexer.cpp.o"
+  "CMakeFiles/cerb_cabs.dir/Lexer.cpp.o.d"
+  "CMakeFiles/cerb_cabs.dir/Parser.cpp.o"
+  "CMakeFiles/cerb_cabs.dir/Parser.cpp.o.d"
+  "libcerb_cabs.a"
+  "libcerb_cabs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cerb_cabs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for cerb_cabs.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cerb_conc.dir/Conc.cpp.o"
+  "CMakeFiles/cerb_conc.dir/Conc.cpp.o.d"
+  "libcerb_conc.a"
+  "libcerb_conc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cerb_conc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for cerb_conc.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/Core.cpp" "src/core/CMakeFiles/cerb_core.dir/Core.cpp.o" "gcc" "src/core/CMakeFiles/cerb_core.dir/Core.cpp.o.d"
+  "/root/repo/src/core/SeqGraph.cpp" "src/core/CMakeFiles/cerb_core.dir/SeqGraph.cpp.o" "gcc" "src/core/CMakeFiles/cerb_core.dir/SeqGraph.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mem/CMakeFiles/cerb_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/ail/CMakeFiles/cerb_ail.dir/DependInfo.cmake"
+  "/root/repo/build/src/cabs/CMakeFiles/cerb_cabs.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/cerb_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cerb_core.dir/Core.cpp.o"
+  "CMakeFiles/cerb_core.dir/Core.cpp.o.d"
+  "CMakeFiles/cerb_core.dir/SeqGraph.cpp.o"
+  "CMakeFiles/cerb_core.dir/SeqGraph.cpp.o.d"
+  "libcerb_core.a"
+  "libcerb_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cerb_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

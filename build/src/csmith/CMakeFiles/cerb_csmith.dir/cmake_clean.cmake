@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cerb_csmith.dir/Differential.cpp.o"
+  "CMakeFiles/cerb_csmith.dir/Differential.cpp.o.d"
+  "CMakeFiles/cerb_csmith.dir/Generator.cpp.o"
+  "CMakeFiles/cerb_csmith.dir/Generator.cpp.o.d"
+  "libcerb_csmith.a"
+  "libcerb_csmith.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cerb_csmith.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cerb_defacto.dir/Questions.cpp.o"
+  "CMakeFiles/cerb_defacto.dir/Questions.cpp.o.d"
+  "CMakeFiles/cerb_defacto.dir/Suite.cpp.o"
+  "CMakeFiles/cerb_defacto.dir/Suite.cpp.o.d"
+  "CMakeFiles/cerb_defacto.dir/SuitePart2.cpp.o"
+  "CMakeFiles/cerb_defacto.dir/SuitePart2.cpp.o.d"
+  "libcerb_defacto.a"
+  "libcerb_defacto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cerb_defacto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

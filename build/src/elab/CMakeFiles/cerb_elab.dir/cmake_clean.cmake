@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cerb_elab.dir/Elaborate.cpp.o"
+  "CMakeFiles/cerb_elab.dir/Elaborate.cpp.o.d"
+  "libcerb_elab.a"
+  "libcerb_elab.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cerb_elab.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

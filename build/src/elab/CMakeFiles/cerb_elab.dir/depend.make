@@ -1,0 +1,2 @@
+# Empty dependencies file for cerb_elab.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cerb_exec.dir/Builtins.cpp.o"
+  "CMakeFiles/cerb_exec.dir/Builtins.cpp.o.d"
+  "CMakeFiles/cerb_exec.dir/Driver.cpp.o"
+  "CMakeFiles/cerb_exec.dir/Driver.cpp.o.d"
+  "CMakeFiles/cerb_exec.dir/Evaluator.cpp.o"
+  "CMakeFiles/cerb_exec.dir/Evaluator.cpp.o.d"
+  "CMakeFiles/cerb_exec.dir/Pipeline.cpp.o"
+  "CMakeFiles/cerb_exec.dir/Pipeline.cpp.o.d"
+  "libcerb_exec.a"
+  "libcerb_exec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cerb_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

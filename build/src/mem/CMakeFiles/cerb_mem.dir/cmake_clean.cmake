@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cerb_mem.dir/Memory.cpp.o"
+  "CMakeFiles/cerb_mem.dir/Memory.cpp.o.d"
+  "libcerb_mem.a"
+  "libcerb_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cerb_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cerb_support.dir/Format.cpp.o"
+  "CMakeFiles/cerb_support.dir/Format.cpp.o.d"
+  "libcerb_support.a"
+  "libcerb_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cerb_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

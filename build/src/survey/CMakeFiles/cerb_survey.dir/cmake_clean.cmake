@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cerb_survey.dir/Survey.cpp.o"
+  "CMakeFiles/cerb_survey.dir/Survey.cpp.o.d"
+  "libcerb_survey.a"
+  "libcerb_survey.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cerb_survey.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

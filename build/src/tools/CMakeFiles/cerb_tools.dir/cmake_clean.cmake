@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cerb_tools.dir/Profiles.cpp.o"
+  "CMakeFiles/cerb_tools.dir/Profiles.cpp.o.d"
+  "libcerb_tools.a"
+  "libcerb_tools.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cerb_tools.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

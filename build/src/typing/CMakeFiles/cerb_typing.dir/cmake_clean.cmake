@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cerb_typing.dir/TypeCheck.cpp.o"
+  "CMakeFiles/cerb_typing.dir/TypeCheck.cpp.o.d"
+  "libcerb_typing.a"
+  "libcerb_typing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cerb_typing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

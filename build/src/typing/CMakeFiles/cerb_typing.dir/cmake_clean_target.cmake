@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcerb_typing.a"
+)

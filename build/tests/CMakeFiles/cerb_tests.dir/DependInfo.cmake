@@ -1,0 +1,44 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_core.cpp" "tests/CMakeFiles/cerb_tests.dir/test_core.cpp.o" "gcc" "tests/CMakeFiles/cerb_tests.dir/test_core.cpp.o.d"
+  "/root/repo/tests/test_defacto.cpp" "tests/CMakeFiles/cerb_tests.dir/test_defacto.cpp.o" "gcc" "tests/CMakeFiles/cerb_tests.dir/test_defacto.cpp.o.d"
+  "/root/repo/tests/test_desugar.cpp" "tests/CMakeFiles/cerb_tests.dir/test_desugar.cpp.o" "gcc" "tests/CMakeFiles/cerb_tests.dir/test_desugar.cpp.o.d"
+  "/root/repo/tests/test_elaborate.cpp" "tests/CMakeFiles/cerb_tests.dir/test_elaborate.cpp.o" "gcc" "tests/CMakeFiles/cerb_tests.dir/test_elaborate.cpp.o.d"
+  "/root/repo/tests/test_eval.cpp" "tests/CMakeFiles/cerb_tests.dir/test_eval.cpp.o" "gcc" "tests/CMakeFiles/cerb_tests.dir/test_eval.cpp.o.d"
+  "/root/repo/tests/test_exhaustive.cpp" "tests/CMakeFiles/cerb_tests.dir/test_exhaustive.cpp.o" "gcc" "tests/CMakeFiles/cerb_tests.dir/test_exhaustive.cpp.o.d"
+  "/root/repo/tests/test_frontend.cpp" "tests/CMakeFiles/cerb_tests.dir/test_frontend.cpp.o" "gcc" "tests/CMakeFiles/cerb_tests.dir/test_frontend.cpp.o.d"
+  "/root/repo/tests/test_memory.cpp" "tests/CMakeFiles/cerb_tests.dir/test_memory.cpp.o" "gcc" "tests/CMakeFiles/cerb_tests.dir/test_memory.cpp.o.d"
+  "/root/repo/tests/test_properties.cpp" "tests/CMakeFiles/cerb_tests.dir/test_properties.cpp.o" "gcc" "tests/CMakeFiles/cerb_tests.dir/test_properties.cpp.o.d"
+  "/root/repo/tests/test_seqgraph.cpp" "tests/CMakeFiles/cerb_tests.dir/test_seqgraph.cpp.o" "gcc" "tests/CMakeFiles/cerb_tests.dir/test_seqgraph.cpp.o.d"
+  "/root/repo/tests/test_support.cpp" "tests/CMakeFiles/cerb_tests.dir/test_support.cpp.o" "gcc" "tests/CMakeFiles/cerb_tests.dir/test_support.cpp.o.d"
+  "/root/repo/tests/test_survey_tools_csmith.cpp" "tests/CMakeFiles/cerb_tests.dir/test_survey_tools_csmith.cpp.o" "gcc" "tests/CMakeFiles/cerb_tests.dir/test_survey_tools_csmith.cpp.o.d"
+  "/root/repo/tests/test_types.cpp" "tests/CMakeFiles/cerb_tests.dir/test_types.cpp.o" "gcc" "tests/CMakeFiles/cerb_tests.dir/test_types.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/defacto/CMakeFiles/cerb_defacto.dir/DependInfo.cmake"
+  "/root/repo/build/src/survey/CMakeFiles/cerb_survey.dir/DependInfo.cmake"
+  "/root/repo/build/src/tools/CMakeFiles/cerb_tools.dir/DependInfo.cmake"
+  "/root/repo/build/src/csmith/CMakeFiles/cerb_csmith.dir/DependInfo.cmake"
+  "/root/repo/build/src/conc/CMakeFiles/cerb_conc.dir/DependInfo.cmake"
+  "/root/repo/build/src/exec/CMakeFiles/cerb_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/elab/CMakeFiles/cerb_elab.dir/DependInfo.cmake"
+  "/root/repo/build/src/typing/CMakeFiles/cerb_typing.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/cerb_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/cerb_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/ail/CMakeFiles/cerb_ail.dir/DependInfo.cmake"
+  "/root/repo/build/src/cabs/CMakeFiles/cerb_cabs.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/cerb_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,36 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cerb_tests.dir/test_core.cpp.o"
+  "CMakeFiles/cerb_tests.dir/test_core.cpp.o.d"
+  "CMakeFiles/cerb_tests.dir/test_defacto.cpp.o"
+  "CMakeFiles/cerb_tests.dir/test_defacto.cpp.o.d"
+  "CMakeFiles/cerb_tests.dir/test_desugar.cpp.o"
+  "CMakeFiles/cerb_tests.dir/test_desugar.cpp.o.d"
+  "CMakeFiles/cerb_tests.dir/test_elaborate.cpp.o"
+  "CMakeFiles/cerb_tests.dir/test_elaborate.cpp.o.d"
+  "CMakeFiles/cerb_tests.dir/test_eval.cpp.o"
+  "CMakeFiles/cerb_tests.dir/test_eval.cpp.o.d"
+  "CMakeFiles/cerb_tests.dir/test_exhaustive.cpp.o"
+  "CMakeFiles/cerb_tests.dir/test_exhaustive.cpp.o.d"
+  "CMakeFiles/cerb_tests.dir/test_frontend.cpp.o"
+  "CMakeFiles/cerb_tests.dir/test_frontend.cpp.o.d"
+  "CMakeFiles/cerb_tests.dir/test_memory.cpp.o"
+  "CMakeFiles/cerb_tests.dir/test_memory.cpp.o.d"
+  "CMakeFiles/cerb_tests.dir/test_properties.cpp.o"
+  "CMakeFiles/cerb_tests.dir/test_properties.cpp.o.d"
+  "CMakeFiles/cerb_tests.dir/test_seqgraph.cpp.o"
+  "CMakeFiles/cerb_tests.dir/test_seqgraph.cpp.o.d"
+  "CMakeFiles/cerb_tests.dir/test_support.cpp.o"
+  "CMakeFiles/cerb_tests.dir/test_support.cpp.o.d"
+  "CMakeFiles/cerb_tests.dir/test_survey_tools_csmith.cpp.o"
+  "CMakeFiles/cerb_tests.dir/test_survey_tools_csmith.cpp.o.d"
+  "CMakeFiles/cerb_tests.dir/test_types.cpp.o"
+  "CMakeFiles/cerb_tests.dir/test_types.cpp.o.d"
+  "cerb_tests"
+  "cerb_tests.pdb"
+  "cerb_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cerb_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
