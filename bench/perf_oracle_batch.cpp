@@ -1,0 +1,110 @@
+//===-- bench/perf_oracle_batch.cpp - oracle batch throughput (P4) --------===//
+///
+/// \file
+/// Batch-oracle throughput over the de facto semantic suite × all four
+/// memory-model policies at 1/2/4/8 worker threads. The workload is the
+/// paper's §6 sweep as one batch (jobs = tests × policies); items/sec is
+/// jobs per second. After the benchmark series, a summary reports the
+/// speedup of each thread count over --jobs 1 and verifies that the
+/// serialized no-timings reports are byte-identical across thread counts
+/// (the oracle's determinism contract).
+///
+//===----------------------------------------------------------------------===//
+
+#include "oracle/Oracle.h"
+#include "oracle/Report.h"
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+
+using namespace cerb;
+using namespace cerb::oracle;
+
+namespace {
+
+const std::vector<Job> &suiteBatch() {
+  static const std::vector<Job> Jobs = Oracle::suiteJobs(
+      defacto::testSuite(), mem::MemoryPolicy::allPresets(), JobBudget());
+  return Jobs;
+}
+
+void BM_OracleSuiteBatch(benchmark::State &State) {
+  OracleConfig Cfg;
+  Cfg.Threads = static_cast<unsigned>(State.range(0));
+  Oracle Orc(Cfg);
+  const std::vector<Job> &Jobs = suiteBatch();
+  uint64_t CacheMisses = 0;
+  for (auto _ : State) {
+    BatchResult B = Orc.run(Jobs);
+    CacheMisses = B.Stats.CacheMisses;
+    if (B.Stats.ChecksFailed) {
+      State.SkipWithError("suite expectations failed under the oracle");
+      return;
+    }
+    benchmark::DoNotOptimize(B);
+  }
+  State.SetItemsProcessed(State.iterations() * suiteBatch().size());
+  State.counters["threads"] = static_cast<double>(Cfg.Threads);
+  State.counters["distinct_sources"] = static_cast<double>(CacheMisses);
+}
+
+BENCHMARK(BM_OracleSuiteBatch)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+/// Direct wall-clock measurement (outside the benchmark harness) for the
+/// speedup table and the determinism check.
+double measureOnce(unsigned Threads, std::string *ReportOut) {
+  OracleConfig Cfg;
+  Cfg.Threads = Threads;
+  auto T0 = std::chrono::steady_clock::now();
+  BatchResult B = Oracle(Cfg).run(suiteBatch());
+  double Ms = std::chrono::duration<double, std::milli>(
+                  std::chrono::steady_clock::now() - T0)
+                  .count();
+  if (ReportOut) {
+    ReportOptions RO;
+    RO.IncludeTimings = false;
+    *ReportOut = toJson(B, RO);
+  }
+  return Ms;
+}
+
+void speedupSummary() {
+  std::printf("\nP4 summary: oracle batch over the de facto suite "
+              "(%zu jobs)\n",
+              suiteBatch().size());
+  std::string Baseline;
+  double Base = measureOnce(1, &Baseline);
+  std::printf("  threads=1: %8.1f ms  (baseline)\n", Base);
+  bool AllIdentical = true;
+  for (unsigned T : {2u, 4u, 8u}) {
+    std::string Rep;
+    double Ms = measureOnce(T, &Rep);
+    bool Same = Rep == Baseline;
+    AllIdentical = AllIdentical && Same;
+    std::printf("  threads=%u: %8.1f ms  speedup %.2fx  report-identical: "
+                "%s\n",
+                T, Ms, Base / Ms, Same ? "yes" : "NO");
+  }
+  std::printf("  determinism: no-timings JSON byte-identical across thread "
+              "counts: %s\n",
+              AllIdentical ? "yes" : "NO");
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv))
+    return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  speedupSummary();
+  return 0;
+}

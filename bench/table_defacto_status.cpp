@@ -22,9 +22,8 @@ int main() {
               "(§6)\n");
   std::printf("=============================================================\n");
 
-  const mem::MemoryPolicy Policies[] = {
-      mem::MemoryPolicy::concrete(), mem::MemoryPolicy::defacto(),
-      mem::MemoryPolicy::strictIso(), mem::MemoryPolicy::cheri()};
+  const std::vector<mem::MemoryPolicy> Policies =
+      mem::MemoryPolicy::allPresets();
 
   std::map<std::string, std::map<std::string, std::pair<unsigned, unsigned>>>
       ByCat; // category -> model -> {pass, total}

@@ -40,17 +40,12 @@ int main(int argc, char **argv) {
 
   exec::RunOptions Opts;
   if (argc > 2) {
-    std::string M = argv[2];
-    if (M == "concrete")
-      Opts.Policy = mem::MemoryPolicy::concrete();
-    else if (M == "strict-iso")
-      Opts.Policy = mem::MemoryPolicy::strictIso();
-    else if (M == "cheri")
-      Opts.Policy = mem::MemoryPolicy::cheri();
-    else if (M != "defacto") {
-      std::fprintf(stderr, "unknown model '%s'\n", M.c_str());
+    auto P = mem::MemoryPolicy::byName(argv[2]);
+    if (!P) {
+      std::fprintf(stderr, "unknown model '%s'\n", argv[2]);
       return 2;
     }
+    Opts.Policy = std::move(*P);
   }
 
   auto ProgOr = exec::compile(SS.str());

@@ -1,0 +1,13 @@
+#!/bin/sh
+# Tier-1 verify: the one command CI and humans both run (see ROADMAP.md).
+# Builds everything and runs the full test suite; exits non-zero on any
+# failure.
+set -e
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD="${BUILD_DIR:-$ROOT/build}"
+JOBS="${JOBS:-$(nproc 2>/dev/null || echo 2)}"
+
+cmake -B "$BUILD" -S "$ROOT"
+cmake --build "$BUILD" -j "$JOBS"
+cd "$BUILD" && ctest --output-on-failure -j "$JOBS"

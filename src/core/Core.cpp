@@ -570,6 +570,50 @@ void rewriteExpr(ExprPtr &E, RewriteStats &Stats) {
 
 } // namespace
 
+bool core::hasEffects(const Expr &E) {
+  if (E.HasEffectsCache >= 0)
+    return E.HasEffectsCache != 0;
+  bool R = (E.K == ExprKind::Action && E.Act != ActionKind::Load) ||
+           E.K == ExprKind::ProcCall || E.K == ExprKind::CallPtr ||
+           E.K == ExprKind::Nd || E.K == ExprKind::Par;
+  if (!R) {
+    for (const ExprPtr &K : E.Kids)
+      if (hasEffects(*K)) {
+        R = true;
+        break;
+      }
+    if (!R)
+      for (const auto &[Pat, Body] : E.Branches)
+        if (hasEffects(*Body)) {
+          R = true;
+          break;
+        }
+  }
+  E.HasEffectsCache = R ? 1 : 0;
+  return R;
+}
+
+namespace {
+/// Full traversal (no early exit, unlike hasEffects itself) so that every
+/// node's cache is populated, not just the prefix a lazy query touches.
+void warmExpr(const Expr &E) {
+  for (const ExprPtr &K : E.Kids)
+    warmExpr(*K);
+  for (const auto &[Pat, Body] : E.Branches)
+    warmExpr(*Body);
+  (void)core::hasEffects(E);
+}
+} // namespace
+
+void core::warmDynamicsCaches(const CoreProgram &P) {
+  for (const auto &[Id, Proc] : P.Procs)
+    if (Proc.Body)
+      warmExpr(*Proc.Body);
+  for (const CoreGlobal &G : P.Globals)
+    if (G.Init)
+      warmExpr(*G.Init);
+}
+
 RewriteStats core::rewrite(CoreProgram &P) {
   RewriteStats Stats;
   for (auto &[Id, Proc] : P.Procs)

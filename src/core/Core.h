@@ -360,6 +360,19 @@ ExprPtr cloneExpr(const Expr &E);
 /// True iff \p E is a pure Core expression (fits the `pe` layer of Fig. 2).
 bool isPureExpr(const Expr &E);
 
+/// Does the subtree contain state *mutation* or calls — anything whose
+/// execution order another unseq branch could observe? Loads are excluded:
+/// among race-free branches a load commutes with every other load, and a
+/// load/store conflict is an unsequenced race (UB) regardless of order.
+/// Memoised in Expr::HasEffectsCache.
+bool hasEffects(const Expr &E);
+
+/// Populates Expr::HasEffectsCache for *every* node of \p P. After this
+/// pass the dynamics never writes to a shared CoreProgram, so one compiled
+/// program can be evaluated concurrently from many threads (the oracle's
+/// compile-once/run-many contract). Called by exec::compile.
+void warmDynamicsCaches(const CoreProgram &P);
+
 //===----------------------------------------------------------------------===//
 // Core-to-Core transformations (§5.1 "Core-to-Core transformation (600)")
 //===----------------------------------------------------------------------===//

@@ -32,8 +32,16 @@ ExhaustiveResult cerb::exec::runExhaustive(const core::CoreProgram &Prog,
     Evaluator Eval(Prog, Sched, Opts.Policy, Opts.Limits);
     Outcome O = Eval.run();
     ++Result.PathsExplored;
+    bool PathTimedOut = O.Kind == OutcomeKind::Timeout;
     if (Seen.insert(O.str()).second)
       Result.Distinct.push_back(std::move(O));
+
+    // A shared deadline bounds the whole exploration: once it fires, every
+    // further path would also instantly time out, so stop here.
+    if (PathTimedOut || Opts.Limits.deadlinePassed()) {
+      Result.TimedOut = true;
+      return Result;
+    }
 
     if (Result.PathsExplored >= Opts.MaxPaths) {
       // Check whether anything is actually left to explore.

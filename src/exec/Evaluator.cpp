@@ -21,6 +21,7 @@ std::string_view cerb::exec::outcomeKindName(OutcomeKind K) {
   case OutcomeKind::AssertFail: return "assert-fail";
   case OutcomeKind::Error: return "error";
   case OutcomeKind::StepLimit: return "step-limit";
+  case OutcomeKind::Timeout: return "timed-out";
   }
   return "?";
 }
@@ -39,6 +40,8 @@ std::string Outcome::str() const {
     return fmt("error({0})", Message);
   case OutcomeKind::StepLimit:
     return "step-limit";
+  case OutcomeKind::Timeout:
+    return "timed-out";
   }
   return "?";
 }
@@ -90,7 +93,9 @@ Outcome Evaluator::run() {
       O.Message = "run signal escaped the program";
       return O;
     case Res::ErrSig:
-      O.Kind = R.StepLimitHit ? OutcomeKind::StepLimit : OutcomeKind::Error;
+      O.Kind = R.DeadlineHit    ? OutcomeKind::Timeout
+               : R.StepLimitHit ? OutcomeKind::StepLimit
+                                : OutcomeKind::Error;
       O.Message = R.Err;
       return O;
     }
@@ -213,32 +218,10 @@ Evaluator::conflict(const Footprint &A, const Footprint &B,
   return std::nullopt;
 }
 
-/// Does the subtree contain state *mutation* or calls — anything whose
-/// execution order another unseq branch could observe? Loads are excluded:
-/// among race-free branches a load commutes with every other load, and a
-/// load/store conflict is an unsequenced race (UB) regardless of order.
-static bool hasEffects(const Expr &E) {
-  if (E.HasEffectsCache >= 0)
-    return E.HasEffectsCache != 0;
-  bool R = (E.K == ExprKind::Action && E.Act != ActionKind::Load) ||
-           E.K == ExprKind::ProcCall || E.K == ExprKind::CallPtr ||
-           E.K == ExprKind::Nd || E.K == ExprKind::Par;
-  if (!R) {
-    for (const ExprPtr &K : E.Kids)
-      if (hasEffects(*K)) {
-        R = true;
-        break;
-      }
-    if (!R)
-      for (const auto &[Pat, Body] : E.Branches)
-        if (hasEffects(*Body)) {
-          R = true;
-          break;
-        }
-  }
-  E.HasEffectsCache = R ? 1 : 0;
-  return R;
-}
+// hasEffects lives in core:: so that compile() can pre-warm the per-node
+// cache (core::warmDynamicsCaches) before a program is shared across
+// evaluator threads.
+using core::hasEffects;
 
 bool Evaluator::containsSave(const Expr &E, Symbol Label) const {
   if (E.K == ExprKind::Save && E.Sym == Label)
@@ -295,8 +278,10 @@ Evaluator::Res Evaluator::applyScopeDiff(
 
 Evaluator::Res Evaluator::eval(const Expr &E, Footprint &FP) {
   if (!budget()) {
-    Res R = Res::error("step limit exceeded");
-    R.StepLimitHit = true;
+    Res R = Res::error(DeadlineHit ? "wall-clock deadline exceeded"
+                                   : "step limit exceeded");
+    R.StepLimitHit = !DeadlineHit;
+    R.DeadlineHit = DeadlineHit;
     return R;
   }
 
@@ -811,8 +796,10 @@ Evaluator::Res Evaluator::evalJump(const Expr &E, Symbol Label,
                                    const std::vector<ScopeObject> &RunScope,
                                    Footprint &FP) {
   if (!budget()) {
-    Res R = Res::error("step limit exceeded");
-    R.StepLimitHit = true;
+    Res R = Res::error(DeadlineHit ? "wall-clock deadline exceeded"
+                                   : "step limit exceeded");
+    R.StepLimitHit = !DeadlineHit;
+    R.DeadlineHit = DeadlineHit;
     return R;
   }
   switch (E.K) {

@@ -29,6 +29,7 @@
 #include "mem/Memory.h"
 #include "support/Scheduler.h"
 
+#include <chrono>
 #include <map>
 #include <string>
 #include <vector>
@@ -36,8 +37,19 @@
 namespace cerb::exec {
 
 struct ExecLimits {
-  uint64_t MaxSteps = 20'000'000; ///< evaluation step budget ("timeout")
+  uint64_t MaxSteps = 20'000'000; ///< evaluation step budget
   unsigned MaxCallDepth = 400;
+  /// Absolute wall-clock deadline; the epoch default means "none". Shared
+  /// across all paths of one oracle job, so the whole job (not each path)
+  /// is bounded. Checked every 8192 steps to keep the hot loop cheap.
+  std::chrono::steady_clock::time_point Deadline{};
+
+  bool hasDeadline() const {
+    return Deadline != std::chrono::steady_clock::time_point{};
+  }
+  bool deadlinePassed() const {
+    return hasDeadline() && std::chrono::steady_clock::now() >= Deadline;
+  }
 };
 
 /// Counters of noteworthy dynamic events (consumed by the §3 analysis-tool
@@ -111,6 +123,7 @@ private:
     int ExitCode = 0;
     std::string Err;
     bool StepLimitHit = false;
+    bool DeadlineHit = false;
 
     static Res value(core::Value V) {
       Res R;
@@ -180,7 +193,16 @@ private:
   std::optional<mem::PointerValue> asPointer(const core::Value &V) const;
   std::optional<mem::IntegerValue> asInteger(const core::Value &V) const;
 
-  bool budget() { return ++Steps <= Limits.MaxSteps; }
+  bool budget() {
+    if (++Steps > Limits.MaxSteps)
+      return false;
+    if ((Steps & 0x1FFF) == 0 && Limits.deadlinePassed()) {
+      DeadlineHit = true;
+      return false;
+    }
+    return true;
+  }
+  bool DeadlineHit = false;
 };
 
 } // namespace cerb::exec

@@ -22,7 +22,8 @@ enum class OutcomeKind {
   Abort,      ///< abort() was called
   AssertFail, ///< __cerb_assert failed (used by the de facto test suite)
   Error,      ///< internal dynamic error (ill-formed Core reached)
-  StepLimit,  ///< execution exceeded the step budget ("timeout")
+  StepLimit,  ///< execution exceeded the step budget
+  Timeout,    ///< execution exceeded its wall-clock deadline (oracle jobs)
 };
 
 std::string_view outcomeKindName(OutcomeKind K);
@@ -47,6 +48,7 @@ struct ExhaustiveResult {
   std::vector<Outcome> Distinct; ///< deduplicated outcomes
   uint64_t PathsExplored = 0;
   bool Truncated = false; ///< hit the path budget before completing
+  bool TimedOut = false;  ///< hit the wall-clock deadline before completing
 
   bool hasUndef() const {
     for (const Outcome &O : Distinct)

@@ -7,23 +7,75 @@
 #include "elab/Elaborate.h"
 #include "typing/TypeCheck.h"
 
+#include <chrono>
+#include <fstream>
+#include <sstream>
+
 using namespace cerb;
 using namespace cerb::exec;
 
+namespace {
+/// Runs \p F, adding its wall-clock cost to \p Ms.
+template <typename Fn> auto timed(double &Ms, Fn &&F) {
+  auto T0 = std::chrono::steady_clock::now();
+  auto R = F();
+  Ms += std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - T0)
+            .count();
+  return R;
+}
+} // namespace
+
 Expected<CompileResult> cerb::exec::compileWithStats(std::string_view Src) {
-  CERB_TRY(Unit, cabs::parseTranslationUnit(Src));
-  CERB_TRY(Ail, ail::desugar(Unit));
-  CERB_CHECK(typing::typeCheck(Ail));
-  CERB_TRY(Prog, elab::elaborate(std::move(Ail)));
-  CompileResult Result{std::move(Prog), {}};
+  StageTimings T;
+  CERB_TRY(Unit, timed(T.ParseMs, [&] {
+    return cabs::parseTranslationUnit(Src);
+  }));
+  CERB_TRY(Ail, timed(T.DesugarMs, [&] { return ail::desugar(Unit); }));
+  CERB_CHECK(timed(T.TypecheckMs, [&] { return typing::typeCheck(Ail); }));
+  CERB_TRY(Prog, timed(T.ElaborateMs, [&] {
+    return elab::elaborate(std::move(Ail));
+  }));
+  CompileResult Result{std::move(Prog), {}, {}};
+  auto T0 = std::chrono::steady_clock::now();
   Result.Rewrites = core::rewrite(Result.Prog);
   if (auto Err = core::typeCheck(Result.Prog))
     return err("Core type checking failed: " + *Err);
+  // Pre-warm the per-node dynamics caches: after this, evaluation never
+  // writes to the program, so one compiled unit can serve many concurrent
+  // evaluator threads (the oracle's compile-once/run-many contract).
+  core::warmDynamicsCaches(Result.Prog);
+  T.ElaborateMs += std::chrono::duration<double, std::milli>(
+                       std::chrono::steady_clock::now() - T0)
+                       .count();
+  Result.Timings = T;
   return Result;
 }
 
 Expected<core::CoreProgram> cerb::exec::compile(std::string_view Src) {
   CERB_TRY(R, compileWithStats(Src));
+  return std::move(R.Prog);
+}
+
+Expected<std::string> cerb::exec::readSourceFile(const std::string &Path) {
+  std::ifstream In(Path, std::ios::binary);
+  if (!In)
+    return err("cannot open source file '" + Path + "'");
+  std::ostringstream Buf;
+  Buf << In.rdbuf();
+  if (In.bad())
+    return err("error reading source file '" + Path + "'");
+  return Buf.str();
+}
+
+Expected<CompileResult>
+cerb::exec::compileFileWithStats(const std::string &Path) {
+  CERB_TRY(Src, readSourceFile(Path));
+  return compileWithStats(Src);
+}
+
+Expected<core::CoreProgram> cerb::exec::compileFile(const std::string &Path) {
+  CERB_TRY(R, compileFileWithStats(Path));
   return std::move(R.Prog);
 }
 

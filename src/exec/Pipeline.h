@@ -25,18 +25,45 @@
 
 namespace cerb::exec {
 
+/// Wall-clock cost of each front-half stage (Fig. 1's pass structure),
+/// surfaced per job by the oracle's observability layer.
+struct StageTimings {
+  double ParseMs = 0;
+  double DesugarMs = 0;
+  double TypecheckMs = 0;
+  double ElaborateMs = 0; ///< elaboration + Core-to-Core + Core typecheck
+
+  double totalMs() const {
+    return ParseMs + DesugarMs + TypecheckMs + ElaborateMs;
+  }
+};
+
 /// Everything the front half of the pipeline produced (for tools that want
 /// to inspect intermediate stages, e.g. the Fig. 3 bench).
 struct CompileResult {
   core::CoreProgram Prog;
   core::RewriteStats Rewrites;
+  StageTimings Timings;
 };
 
-/// Runs the full front end + elaboration on \p Source.
+/// Runs the full front end + elaboration on \p Source. The returned program
+/// has its dynamics caches pre-warmed (core::warmDynamicsCaches), so it may
+/// be evaluated concurrently from many threads without further preparation.
 Expected<core::CoreProgram> compile(std::string_view Source);
 
-/// Like compile(), also reporting the Core-to-Core rewrite statistics.
+/// Like compile(), also reporting the Core-to-Core rewrite statistics and
+/// per-stage timings.
 Expected<CompileResult> compileWithStats(std::string_view Source);
+
+/// Reads \p Path from disk and compiles it. An unreadable file is reported
+/// as a StaticError (not an exception), like any other front-end failure.
+Expected<core::CoreProgram> compileFile(const std::string &Path);
+
+/// compileFile() with rewrite statistics and per-stage timings.
+Expected<CompileResult> compileFileWithStats(const std::string &Path);
+
+/// Reads a whole file; shared by compileFile and the oracle's job loader.
+Expected<std::string> readSourceFile(const std::string &Path);
 
 /// Compile + run one leftmost execution.
 Expected<Outcome> evaluateOnce(std::string_view Source,

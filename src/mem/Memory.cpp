@@ -174,6 +174,32 @@ MemoryPolicy MemoryPolicy::cheri() {
   return P;
 }
 
+std::optional<MemoryPolicy> MemoryPolicy::byName(std::string_view Name) {
+  if (Name == "concrete")
+    return concrete();
+  if (Name == "defacto" || Name == "de-facto")
+    return defacto();
+  if (Name == "strict-iso" || Name == "strictIso" || Name == "strict" ||
+      Name == "iso")
+    return strictIso();
+  if (Name == "cheri")
+    return cheri();
+  return std::nullopt;
+}
+
+const std::vector<std::string> &MemoryPolicy::presetNames() {
+  static const std::vector<std::string> Names = {"concrete", "defacto",
+                                                 "strict-iso", "cheri"};
+  return Names;
+}
+
+std::vector<MemoryPolicy> MemoryPolicy::allPresets() {
+  std::vector<MemoryPolicy> Out;
+  for (const std::string &N : presetNames())
+    Out.push_back(*byName(N));
+  return Out;
+}
+
 //===----------------------------------------------------------------------===//
 // Construction / allocation
 //===----------------------------------------------------------------------===//

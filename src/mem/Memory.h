@@ -33,6 +33,7 @@
 #include <map>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace cerb::mem {
@@ -82,6 +83,19 @@ struct MemoryPolicy {
   static MemoryPolicy defacto();
   static MemoryPolicy strictIso();
   static MemoryPolicy cheri();
+
+  /// Looks a preset up by name. Accepts the canonical Name of each preset
+  /// ("concrete", "defacto", "strict-iso", "cheri") plus common aliases
+  /// ("de-facto", "strictIso", "strict", "iso"); unknown names yield
+  /// nullopt. This is the single source of policy spelling for CLIs,
+  /// benches, and tests.
+  static std::optional<MemoryPolicy> byName(std::string_view Name);
+
+  /// The canonical preset names, in the order the paper discusses them.
+  static const std::vector<std::string> &presetNames();
+
+  /// All four presets, in presetNames() order (for sweeps).
+  static std::vector<MemoryPolicy> allPresets();
 };
 
 /// One allocation (object or heap region).

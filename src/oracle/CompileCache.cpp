@@ -1,0 +1,63 @@
+//===-- oracle/CompileCache.cpp -------------------------------------------===//
+
+#include "oracle/CompileCache.h"
+
+using namespace cerb;
+using namespace cerb::oracle;
+
+uint64_t CompileCache::hashSource(std::string_view Src) {
+  uint64_t H = 0xcbf29ce484222325ull;
+  for (unsigned char C : Src) {
+    H ^= C;
+    H *= 0x100000001b3ull;
+  }
+  return H;
+}
+
+std::shared_ptr<const CompiledUnit>
+CompileCache::get(const std::string &Source, bool *OutHit) {
+  std::unique_lock<std::mutex> L(M);
+  auto [It, Inserted] = Map.try_emplace(Source);
+  // Element references survive rehashing; iterators do not.
+  Slot &S = It->second;
+  if (!Inserted) {
+    ++Hits;
+    if (OutHit)
+      *OutHit = true;
+    CV.wait(L, [&S] { return S.Ready; });
+    return S.Unit;
+  }
+  ++Misses;
+  if (OutHit)
+    *OutHit = false;
+  L.unlock();
+
+  auto Unit = std::make_shared<CompiledUnit>();
+  Unit->SourceHash = hashSource(Source);
+  auto R = exec::compileWithStats(Source);
+  if (R) {
+    Unit->Prog = std::make_shared<const core::CoreProgram>(std::move(R->Prog));
+    Unit->Rewrites = R->Rewrites;
+    Unit->Timings = R->Timings;
+  } else {
+    Unit->Error = R.error().str();
+  }
+
+  L.lock();
+  S.Unit = std::move(Unit);
+  S.Ready = true;
+  auto Out = S.Unit; // copy under the lock; rehashing invalidates iterators
+  L.unlock();
+  CV.notify_all();
+  return Out;
+}
+
+uint64_t CompileCache::hits() const {
+  std::lock_guard<std::mutex> L(M);
+  return Hits;
+}
+
+uint64_t CompileCache::misses() const {
+  std::lock_guard<std::mutex> L(M);
+  return Misses;
+}

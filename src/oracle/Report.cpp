@@ -1,0 +1,252 @@
+//===-- oracle/Report.cpp -------------------------------------------------===//
+
+#include "oracle/Report.h"
+
+#include <cstdio>
+#include <fstream>
+#include <map>
+
+using namespace cerb;
+using namespace cerb::oracle;
+
+namespace {
+
+std::string jsonEscape(std::string_view S) {
+  std::string Out;
+  Out.reserve(S.size() + 2);
+  for (char C : S) {
+    switch (C) {
+    case '"': Out += "\\\""; break;
+    case '\\': Out += "\\\\"; break;
+    case '\n': Out += "\\n"; break;
+    case '\r': Out += "\\r"; break;
+    case '\t': Out += "\\t"; break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        Out += Buf;
+      } else {
+        Out += C;
+      }
+    }
+  }
+  return Out;
+}
+
+std::string xmlEscape(std::string_view S) {
+  std::string Out;
+  Out.reserve(S.size());
+  for (char C : S) {
+    switch (C) {
+    case '&': Out += "&amp;"; break;
+    case '<': Out += "&lt;"; break;
+    case '>': Out += "&gt;"; break;
+    case '"': Out += "&quot;"; break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20 && C != '\t')
+        Out += ' '; // control chars are not valid XML 1.0
+      else
+        Out += C;
+    }
+  }
+  return Out;
+}
+
+std::string ms(double V) {
+  char Buf[32];
+  std::snprintf(Buf, sizeof(Buf), "%.3f", V);
+  return Buf;
+}
+
+std::string hex64(uint64_t V) {
+  char Buf[24];
+  std::snprintf(Buf, sizeof(Buf), "0x%016llx",
+                static_cast<unsigned long long>(V));
+  return Buf;
+}
+
+std::string str(uint64_t V) { return std::to_string(V); }
+
+} // namespace
+
+std::string cerb::oracle::toJson(const BatchResult &B,
+                                 const ReportOptions &Opts) {
+  std::string J;
+  J += "{\n";
+  J += "  \"schema\": \"cerb-oracle-report/1\",\n";
+
+  const OracleStats &S = B.Stats;
+  J += "  \"stats\": {\n";
+  J += "    \"jobs\": " + str(S.Jobs) + ",\n";
+  J += "    \"ok\": " + str(S.Ok) + ",\n";
+  J += "    \"degraded\": " + str(S.Degraded) + ",\n";
+  J += "    \"timed_out\": " + str(S.TimedOut) + ",\n";
+  J += "    \"compile_errors\": " + str(S.CompileErrors) + ",\n";
+  J += "    \"errors\": " + str(S.Errors) + ",\n";
+  J += "    \"checks_passed\": " + str(S.ChecksPassed) + ",\n";
+  J += "    \"checks_failed\": " + str(S.ChecksFailed) + ",\n";
+  J += "    \"cache_misses\": " + str(S.CacheMisses) + ",\n";
+  J += "    \"cache_hits\": " + str(S.CacheHits) + ",\n";
+  J += "    \"paths_explored\": " + str(S.PathsExplored) + ",\n";
+  J += "    \"random_samples\": " + str(S.RandomSamples) + ",\n";
+  J += "    \"ub_tally\": {";
+  bool First = true;
+  for (const auto &[Name, N] : S.UBTally) {
+    if (!First)
+      J += ", ";
+    J += "\"" + jsonEscape(Name) + "\": " + str(N);
+    First = false;
+  }
+  J += "}";
+  if (Opts.IncludeTimings) {
+    J += ",\n    \"steals\": " + str(S.Steals) + ",\n";
+    J += "    \"compile_ms\": " + ms(S.CompileTotals.totalMs()) + ",\n";
+    J += "    \"run_ms\": " + ms(S.RunMsTotal) + ",\n";
+    J += "    \"wall_ms\": " + ms(S.WallMs);
+  }
+  J += "\n  },\n";
+
+  J += "  \"jobs\": [\n";
+  for (size_t I = 0; I < B.Results.size(); ++I) {
+    const JobResult &R = B.Results[I];
+    J += "    {\n";
+    J += "      \"name\": \"" + jsonEscape(R.Name) + "\",\n";
+    J += "      \"policy\": \"" + jsonEscape(R.PolicyName) + "\",\n";
+    J += "      \"mode\": \"" + std::string(modeName(R.ExecMode)) + "\",\n";
+    J += "      \"status\": \"" + std::string(jobStatusName(R.Status)) +
+         "\",\n";
+    J += "      \"source_hash\": \"" + hex64(R.SourceHash) + "\",\n";
+    switch (R.Check) {
+    case JobResult::Verdict::None: J += "      \"check\": null,\n"; break;
+    case JobResult::Verdict::Pass: J += "      \"check\": \"pass\",\n"; break;
+    case JobResult::Verdict::Fail: J += "      \"check\": \"fail\",\n"; break;
+    }
+    if (!R.CompileError.empty())
+      J += "      \"compile_error\": \"" + jsonEscape(R.CompileError) +
+           "\",\n";
+    J += "      \"paths_explored\": " + str(R.Outcomes.PathsExplored) + ",\n";
+    J += "      \"truncated\": " +
+         std::string(R.Outcomes.Truncated ? "true" : "false") + ",\n";
+    J += "      \"random_samples\": " + str(R.RandomSamples) + ",\n";
+    J += "      \"outcomes\": [";
+    for (size_t K = 0; K < R.Outcomes.Distinct.size(); ++K) {
+      if (K)
+        J += ", ";
+      J += "\"" + jsonEscape(R.Outcomes.Distinct[K].str()) + "\"";
+    }
+    J += "],\n";
+    J += "      \"ub\": {";
+    First = true;
+    for (const auto &[K, N] : R.UBTally) {
+      if (!First)
+        J += ", ";
+      J += "\"" + jsonEscape(mem::ubName(K)) + "\": " + str(N);
+      First = false;
+    }
+    J += "}";
+    if (Opts.IncludeTimings) {
+      J += ",\n      \"cache_hit\": " +
+           std::string(R.CacheHit ? "true" : "false") + ",\n";
+      J += "      \"timings_ms\": {\"parse\": " + ms(R.Compile.ParseMs) +
+           ", \"desugar\": " + ms(R.Compile.DesugarMs) +
+           ", \"typecheck\": " + ms(R.Compile.TypecheckMs) +
+           ", \"elaborate\": " + ms(R.Compile.ElaborateMs) +
+           ", \"run\": " + ms(R.RunMs) + ", \"total\": " + ms(R.TotalMs) + "}";
+    }
+    J += "\n    }";
+    if (I + 1 < B.Results.size())
+      J += ",";
+    J += "\n";
+  }
+  J += "  ]\n";
+  J += "}\n";
+  return J;
+}
+
+std::string cerb::oracle::toJUnitXml(const BatchResult &B,
+                                     const ReportOptions &Opts) {
+  // Group jobs by policy, preserving submission order within a group.
+  std::map<std::string, std::vector<const JobResult *>> ByPolicy;
+  for (const JobResult &R : B.Results)
+    ByPolicy[R.PolicyName].push_back(&R);
+
+  auto isError = [](const JobResult &R) {
+    return R.Status == JobStatus::CompileError || R.Status == JobStatus::Error;
+  };
+  auto isFailure = [](const JobResult &R) {
+    return R.Check == JobResult::Verdict::Fail &&
+           R.Status != JobStatus::CompileError;
+  };
+
+  uint64_t Tests = B.Results.size(), Failures = 0, Errors = 0;
+  for (const JobResult &R : B.Results) {
+    if (isError(R))
+      ++Errors;
+    else if (isFailure(R))
+      ++Failures;
+  }
+
+  std::string X;
+  X += "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n";
+  X += "<testsuites tests=\"" + str(Tests) + "\" failures=\"" +
+       str(Failures) + "\" errors=\"" + str(Errors) + "\" time=\"" +
+       ms(Opts.IncludeTimings ? B.Stats.WallMs / 1000.0 : 0.0) + "\">\n";
+  for (const auto &[Policy, Rs] : ByPolicy) {
+    uint64_t F = 0, E = 0;
+    double T = 0;
+    for (const JobResult *R : Rs) {
+      if (isError(*R))
+        ++E;
+      else if (isFailure(*R))
+        ++F;
+      T += R->TotalMs;
+    }
+    X += "  <testsuite name=\"" + xmlEscape(Policy) + "\" tests=\"" +
+         str(Rs.size()) + "\" failures=\"" + str(F) + "\" errors=\"" +
+         str(E) + "\" time=\"" +
+         ms(Opts.IncludeTimings ? T / 1000.0 : 0.0) + "\">\n";
+    for (const JobResult *R : Rs) {
+      X += "    <testcase name=\"" + xmlEscape(R->Name) +
+           "\" classname=\"cerb." + xmlEscape(Policy) + "\" time=\"" +
+           ms(Opts.IncludeTimings ? R->TotalMs / 1000.0 : 0.0) + "\"";
+      if (isError(*R)) {
+        std::string Msg = R->Status == JobStatus::CompileError
+                              ? R->CompileError
+                              : std::string(jobStatusName(R->Status));
+        X += ">\n      <error message=\"" + xmlEscape(Msg) + "\"/>\n";
+        X += "    </testcase>\n";
+      } else if (isFailure(*R)) {
+        std::string Msg = "unexpected behaviour:";
+        for (const exec::Outcome &O : R->Outcomes.Distinct)
+          Msg += " " + O.str();
+        X += ">\n      <failure message=\"" + xmlEscape(Msg) + "\"/>\n";
+        X += "    </testcase>\n";
+      } else {
+        X += "/>\n";
+      }
+    }
+    X += "  </testsuite>\n";
+  }
+  X += "</testsuites>\n";
+  return X;
+}
+
+bool cerb::oracle::writeTextFile(const std::string &Path,
+                                 const std::string &Content,
+                                 std::string *Err) {
+  std::ofstream Out(Path, std::ios::binary | std::ios::trunc);
+  if (!Out) {
+    if (Err)
+      *Err = "cannot open '" + Path + "' for writing";
+    return false;
+  }
+  Out << Content;
+  Out.flush();
+  if (!Out) {
+    if (Err)
+      *Err = "error writing '" + Path + "'";
+    return false;
+  }
+  return true;
+}

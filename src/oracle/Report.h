@@ -1,0 +1,45 @@
+//===-- oracle/Report.h - Batch report serialization ------------*- C++ -*-===//
+///
+/// \file
+/// Serializers for BatchResult: a JSON document (machine-readable, stable
+/// key order, jobs in submission order) and a JUnit-style XML document
+/// (one <testsuite> per policy) for CI ingestion.
+///
+/// Determinism contract: with IncludeTimings=false the JSON output is
+/// byte-identical for any oracle thread count — everything emitted is a
+/// deterministic function of the jobs. Timing fields (and the per-job
+/// cache-hit attribution, which depends on which worker reached a source
+/// first) are therefore segregated behind IncludeTimings.
+///
+//===----------------------------------------------------------------------===//
+#ifndef CERB_ORACLE_REPORT_H
+#define CERB_ORACLE_REPORT_H
+
+#include "oracle/Oracle.h"
+
+#include <string>
+
+namespace cerb::oracle {
+
+struct ReportOptions {
+  /// Emit wall-clock fields (and per-job cache attribution). Turn off to
+  /// get byte-identical reports across thread counts.
+  bool IncludeTimings = true;
+};
+
+/// Serializes the batch as JSON (schema "cerb-oracle-report/1").
+std::string toJson(const BatchResult &B,
+                   const ReportOptions &Opts = ReportOptions());
+
+/// Serializes the batch as JUnit XML (one testsuite per policy; a failed
+/// expectation is a <failure>, a compile/internal error an <error>).
+std::string toJUnitXml(const BatchResult &B,
+                       const ReportOptions &Opts = ReportOptions());
+
+/// Writes \p Content to \p Path; returns false and fills \p Err on failure.
+bool writeTextFile(const std::string &Path, const std::string &Content,
+                   std::string *Err = nullptr);
+
+} // namespace cerb::oracle
+
+#endif // CERB_ORACLE_REPORT_H

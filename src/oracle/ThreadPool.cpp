@@ -1,0 +1,83 @@
+//===-- oracle/ThreadPool.cpp ---------------------------------------------===//
+
+#include "oracle/ThreadPool.h"
+
+#include <algorithm>
+
+using namespace cerb::oracle;
+
+ThreadPool::ThreadPool(unsigned ThreadCount) {
+  ThreadCount = std::max(1u, ThreadCount);
+  Queues.resize(ThreadCount);
+  Workers.reserve(ThreadCount);
+  for (unsigned I = 0; I < ThreadCount; ++I)
+    Workers.emplace_back([this, I] { workerLoop(I); });
+}
+
+ThreadPool::~ThreadPool() {
+  wait();
+  {
+    std::lock_guard<std::mutex> L(M);
+    Stop = true;
+  }
+  CV.notify_all();
+  for (std::thread &T : Workers)
+    T.join();
+}
+
+void ThreadPool::submit(std::function<void()> Task) {
+  {
+    std::lock_guard<std::mutex> L(M);
+    Queues[NextQueue].push_back(std::move(Task));
+    NextQueue = (NextQueue + 1) % Queues.size();
+    ++Pending;
+  }
+  CV.notify_one();
+}
+
+void ThreadPool::wait() {
+  std::unique_lock<std::mutex> L(M);
+  DoneCV.wait(L, [this] { return Pending == 0; });
+}
+
+uint64_t ThreadPool::stealCount() const {
+  std::lock_guard<std::mutex> L(M);
+  return Steals;
+}
+
+bool ThreadPool::takeLocked(unsigned Me, std::function<void()> &Task) {
+  if (!Queues[Me].empty()) {
+    Task = std::move(Queues[Me].back());
+    Queues[Me].pop_back();
+    return true;
+  }
+  for (size_t Off = 1; Off < Queues.size(); ++Off) {
+    auto &Victim = Queues[(Me + Off) % Queues.size()];
+    if (!Victim.empty()) {
+      Task = std::move(Victim.front());
+      Victim.pop_front();
+      ++Steals;
+      return true;
+    }
+  }
+  return false;
+}
+
+void ThreadPool::workerLoop(unsigned Me) {
+  std::unique_lock<std::mutex> L(M);
+  for (;;) {
+    std::function<void()> Task;
+    if (takeLocked(Me, Task)) {
+      L.unlock();
+      Task();
+      Task = nullptr; // release captures before re-locking
+      L.lock();
+      if (--Pending == 0)
+        DoneCV.notify_all();
+      continue;
+    }
+    if (Stop)
+      return;
+    CV.wait(L);
+  }
+}

@@ -1,0 +1,425 @@
+//===-- tools/cerb_main.cpp - The cerb batch test-oracle CLI --------------===//
+///
+/// \file
+/// The executable entry point of the repository: drives the oracle
+/// subsystem from the command line.
+///
+///   cerb run file.c --policy defacto
+///   cerb suite defacto --policies defacto,strict,concrete,cheri --jobs 8 \
+///        --report out.json --junit out.xml
+///   cerb suite tests/defacto            (a directory of .c files)
+///   cerb export-suite tests/defacto     (materialise the built-in suite)
+///   cerb policies
+///
+//===----------------------------------------------------------------------===//
+
+#include "defacto/Suite.h"
+#include "oracle/Oracle.h"
+#include "oracle/Report.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+using namespace cerb;
+using namespace cerb::oracle;
+
+namespace {
+
+int usage(const char *Prog) {
+  std::fprintf(stderr,
+               "usage: %s <command> [options]\n"
+               "\n"
+               "commands:\n"
+               "  run <file.c>           compile and run one C file\n"
+               "  suite <dir|defacto>    run every .c file in a directory, or\n"
+               "                         the built-in de facto semantic suite\n"
+               "  export-suite <dir>     write the built-in suite as .c files\n"
+               "  policies               list the memory-model policy presets\n"
+               "\n"
+               "options:\n"
+               "  --policy NAME          one policy (repeatable)\n"
+               "  --policies a,b,c       comma-separated policies\n"
+               "                         (default: defacto for run, all "
+               "presets for suite)\n"
+               "  --mode MODE            once | random | exhaustive "
+               "(default: exhaustive)\n"
+               "  --seed N               random-mode / fallback-sampling seed\n"
+               "  --jobs N               worker threads (default: hardware "
+               "concurrency)\n"
+               "  --max-paths N          exhaustive path budget (default: "
+               "512)\n"
+               "  --max-steps N          per-path step budget\n"
+               "  --deadline-ms N        per-job wall-clock deadline\n"
+               "  --fallback-samples N   random paths sampled after a path-"
+               "budget trip\n"
+               "  --report FILE          write a JSON report\n"
+               "  --junit FILE           write a JUnit XML report\n"
+               "  --no-timings           omit wall-clock fields from reports\n"
+               "                         (byte-identical across --jobs)\n"
+               "  --quiet                only print the final summary\n",
+               Prog);
+  return 2;
+}
+
+struct Options {
+  std::vector<std::string> PolicyNames;
+  Mode ExecMode = Mode::Exhaustive;
+  uint64_t Seed = 1;
+  unsigned Jobs = 0;
+  JobBudget Budget;
+  std::string ReportPath;
+  std::string JUnitPath;
+  bool IncludeTimings = true;
+  bool Quiet = false;
+};
+
+void splitCommas(const std::string &S, std::vector<std::string> &Out) {
+  size_t Pos = 0;
+  while (Pos <= S.size()) {
+    size_t Comma = S.find(',', Pos);
+    if (Comma == std::string::npos)
+      Comma = S.size();
+    if (Comma > Pos)
+      Out.push_back(S.substr(Pos, Comma - Pos));
+    Pos = Comma + 1;
+  }
+}
+
+/// Parses flags from argv[From..]; returns the positional arguments, or
+/// nullopt on a malformed/unknown flag (after printing a diagnostic).
+std::optional<std::vector<std::string>> parseArgs(int Argc, char **Argv,
+                                                  int From, Options &O) {
+  std::vector<std::string> Positional;
+  for (int I = From; I < Argc; ++I) {
+    std::string A = Argv[I];
+    auto Value = [&](const char *Flag) -> std::optional<std::string> {
+      if (I + 1 >= Argc) {
+        std::fprintf(stderr, "cerb: %s requires a value\n", Flag);
+        return std::nullopt;
+      }
+      return std::string(Argv[++I]);
+    };
+    if (A == "--policy" || A == "--policies") {
+      auto V = Value(A.c_str());
+      if (!V)
+        return std::nullopt;
+      splitCommas(*V, O.PolicyNames);
+    } else if (A == "--mode") {
+      auto V = Value("--mode");
+      if (!V)
+        return std::nullopt;
+      auto M = modeByName(*V);
+      if (!M) {
+        std::fprintf(stderr, "cerb: unknown mode '%s'\n", V->c_str());
+        return std::nullopt;
+      }
+      O.ExecMode = *M;
+    } else if (A == "--seed") {
+      auto V = Value("--seed");
+      if (!V)
+        return std::nullopt;
+      O.Seed = std::strtoull(V->c_str(), nullptr, 0);
+    } else if (A == "--jobs") {
+      auto V = Value("--jobs");
+      if (!V)
+        return std::nullopt;
+      O.Jobs = static_cast<unsigned>(std::strtoul(V->c_str(), nullptr, 0));
+    } else if (A == "--max-paths") {
+      auto V = Value("--max-paths");
+      if (!V)
+        return std::nullopt;
+      O.Budget.MaxPaths = std::strtoull(V->c_str(), nullptr, 0);
+    } else if (A == "--max-steps") {
+      auto V = Value("--max-steps");
+      if (!V)
+        return std::nullopt;
+      O.Budget.Limits.MaxSteps = std::strtoull(V->c_str(), nullptr, 0);
+    } else if (A == "--deadline-ms") {
+      auto V = Value("--deadline-ms");
+      if (!V)
+        return std::nullopt;
+      O.Budget.DeadlineMs = std::strtoull(V->c_str(), nullptr, 0);
+    } else if (A == "--fallback-samples") {
+      auto V = Value("--fallback-samples");
+      if (!V)
+        return std::nullopt;
+      O.Budget.FallbackSamples = std::strtoull(V->c_str(), nullptr, 0);
+    } else if (A == "--report") {
+      auto V = Value("--report");
+      if (!V)
+        return std::nullopt;
+      O.ReportPath = *V;
+    } else if (A == "--junit") {
+      auto V = Value("--junit");
+      if (!V)
+        return std::nullopt;
+      O.JUnitPath = *V;
+    } else if (A == "--no-timings") {
+      O.IncludeTimings = false;
+    } else if (A == "--quiet") {
+      O.Quiet = true;
+    } else if (!A.empty() && A[0] == '-') {
+      std::fprintf(stderr, "cerb: unknown option '%s'\n", A.c_str());
+      return std::nullopt;
+    } else {
+      Positional.push_back(std::move(A));
+    }
+  }
+  return Positional;
+}
+
+std::optional<std::vector<mem::MemoryPolicy>>
+resolvePolicies(const std::vector<std::string> &Names, bool DefaultAll) {
+  std::vector<mem::MemoryPolicy> Out;
+  if (Names.empty()) {
+    if (DefaultAll)
+      return mem::MemoryPolicy::allPresets();
+    Out.push_back(mem::MemoryPolicy::defacto());
+    return Out;
+  }
+  for (const std::string &N : Names) {
+    auto P = mem::MemoryPolicy::byName(N);
+    if (!P) {
+      std::fprintf(stderr, "cerb: unknown policy '%s' (known: ", N.c_str());
+      for (const std::string &K : mem::MemoryPolicy::presetNames())
+        std::fprintf(stderr, "%s ", K.c_str());
+      std::fprintf(stderr, "\b)\n");
+      return std::nullopt;
+    }
+    Out.push_back(std::move(*P));
+  }
+  return Out;
+}
+
+/// Writes the requested reports; returns false on I/O failure.
+bool emitReports(const BatchResult &B, const Options &O) {
+  ReportOptions RO;
+  RO.IncludeTimings = O.IncludeTimings;
+  std::string Err;
+  if (!O.ReportPath.empty()) {
+    if (!writeTextFile(O.ReportPath, toJson(B, RO), &Err)) {
+      std::fprintf(stderr, "cerb: %s\n", Err.c_str());
+      return false;
+    }
+    if (!O.Quiet)
+      std::printf("wrote JSON report: %s\n", O.ReportPath.c_str());
+  }
+  if (!O.JUnitPath.empty()) {
+    if (!writeTextFile(O.JUnitPath, toJUnitXml(B, RO), &Err)) {
+      std::fprintf(stderr, "cerb: %s\n", Err.c_str());
+      return false;
+    }
+    if (!O.Quiet)
+      std::printf("wrote JUnit report: %s\n", O.JUnitPath.c_str());
+  }
+  return true;
+}
+
+void printJobLine(const JobResult &R) {
+  std::printf("  [%s] %s: %s", R.PolicyName.c_str(), R.Name.c_str(),
+              std::string(jobStatusName(R.Status)).c_str());
+  if (R.Check == JobResult::Verdict::Pass)
+    std::printf(" (expectation: pass)");
+  else if (R.Check == JobResult::Verdict::Fail)
+    std::printf(" (expectation: FAIL)");
+  std::printf("\n");
+  if (R.Status == JobStatus::CompileError) {
+    std::printf("      %s\n", R.CompileError.c_str());
+    return;
+  }
+  for (const exec::Outcome &O : R.Outcomes.Distinct)
+    std::printf("      %s\n", O.str().c_str());
+}
+
+int runBatch(std::vector<Job> Jobs, const Options &O, bool Verbose) {
+  OracleConfig Cfg;
+  Cfg.Threads = O.Jobs;
+  Oracle Orc(Cfg);
+  BatchResult B = Orc.run(Jobs);
+
+  if (Verbose && !O.Quiet)
+    for (const JobResult &R : B.Results)
+      printJobLine(R);
+  if (!O.Quiet && !Verbose)
+    for (const JobResult &R : B.Results)
+      if (R.Status != JobStatus::Ok || R.Check == JobResult::Verdict::Fail)
+        printJobLine(R);
+
+  std::printf("%s", B.Stats.str().c_str());
+  if (!emitReports(B, O))
+    return 1;
+  bool Bad = B.Stats.ChecksFailed || B.Stats.CompileErrors || B.Stats.Errors;
+  return Bad ? 1 : 0;
+}
+
+int cmdRun(const std::vector<std::string> &Files, const Options &O) {
+  auto Policies = resolvePolicies(O.PolicyNames, /*DefaultAll=*/false);
+  if (!Policies)
+    return 2;
+  std::vector<Job> Jobs;
+  for (const std::string &Path : Files) {
+    auto Src = exec::readSourceFile(Path);
+    if (!Src) {
+      std::fprintf(stderr, "cerb: %s\n", Src.error().str().c_str());
+      return 2;
+    }
+    for (const mem::MemoryPolicy &P : *Policies) {
+      Job J;
+      J.Name = Path;
+      J.Source = *Src;
+      J.Policy = P;
+      J.ExecMode = O.ExecMode;
+      J.Seed = O.Seed;
+      J.Budget = O.Budget;
+      Jobs.push_back(std::move(J));
+    }
+  }
+  return runBatch(std::move(Jobs), O, /*Verbose=*/true);
+}
+
+int cmdSuite(const std::string &Target, const Options &O) {
+  auto Policies = resolvePolicies(O.PolicyNames, /*DefaultAll=*/true);
+  if (!Policies)
+    return 2;
+
+  std::vector<Job> Jobs;
+  if (Target == "defacto") {
+    Jobs = Oracle::suiteJobs(defacto::testSuite(), *Policies, O.Budget,
+                             O.ExecMode);
+    for (Job &J : Jobs)
+      J.Seed = O.Seed;
+  } else {
+    namespace fs = std::filesystem;
+    std::error_code EC;
+    if (!fs::is_directory(Target, EC)) {
+      std::fprintf(stderr,
+                   "cerb: '%s' is not a directory (or 'defacto' for the "
+                   "built-in suite)\n",
+                   Target.c_str());
+      return 2;
+    }
+    std::vector<std::string> Paths;
+    for (const fs::directory_entry &E : fs::directory_iterator(Target, EC))
+      if (E.is_regular_file() && E.path().extension() == ".c")
+        Paths.push_back(E.path().string());
+    std::sort(Paths.begin(), Paths.end()); // deterministic job order
+    if (Paths.empty()) {
+      std::fprintf(stderr, "cerb: no .c files in '%s'\n", Target.c_str());
+      return 2;
+    }
+    for (const std::string &Path : Paths) {
+      auto Src = exec::readSourceFile(Path);
+      if (!Src) {
+        std::fprintf(stderr, "cerb: %s\n", Src.error().str().c_str());
+        return 2;
+      }
+      // Directory tests may match built-in suite names (export-suite round
+      // trip); attach the built-in expectations when they do.
+      const defacto::TestCase *Known =
+          defacto::findTest(fs::path(Path).stem().string());
+      for (const mem::MemoryPolicy &P : *Policies) {
+        Job J;
+        J.Name = fs::path(Path).stem().string();
+        J.Source = *Src;
+        J.Policy = P;
+        J.ExecMode = O.ExecMode;
+        J.Seed = O.Seed;
+        J.Budget = O.Budget;
+        if (Known) {
+          auto It = Known->Expected.find(P.Name);
+          if (It != Known->Expected.end())
+            J.Expected = It->second;
+        }
+        Jobs.push_back(std::move(J));
+      }
+    }
+  }
+  std::printf("running %zu jobs (%zu policies) on %u threads...\n",
+              Jobs.size(), Policies->size(),
+              Oracle(OracleConfig{O.Jobs}).threadCount());
+  return runBatch(std::move(Jobs), O, /*Verbose=*/false);
+}
+
+int cmdExportSuite(const std::string &Dir) {
+  namespace fs = std::filesystem;
+  std::error_code EC;
+  fs::create_directories(Dir, EC);
+  if (EC) {
+    std::fprintf(stderr, "cerb: cannot create '%s': %s\n", Dir.c_str(),
+                 EC.message().c_str());
+    return 1;
+  }
+  unsigned N = 0;
+  for (const defacto::TestCase &T : defacto::testSuite()) {
+    std::string Path = Dir + "/" + T.Name + ".c";
+    std::string Header = "/* " + T.QuestionId + ": " + T.Description + " */\n";
+    std::string Err;
+    if (!writeTextFile(Path, Header + T.Source, &Err)) {
+      std::fprintf(stderr, "cerb: %s\n", Err.c_str());
+      return 1;
+    }
+    ++N;
+  }
+  std::printf("exported %u tests to %s/\n", N, Dir.c_str());
+  return 0;
+}
+
+int cmdPolicies() {
+  std::printf("memory-model policy presets (select with --policy/--policies):"
+              "\n");
+  for (const mem::MemoryPolicy &P : mem::MemoryPolicy::allPresets())
+    std::printf("  %-11s provenance=%d oob-construction=%d relational-ub=%d "
+                "effective-types=%d uninit-ub=%d alignment=%d cheri=%d\n",
+                P.Name.c_str(), P.TrackProvenance, P.PermitOOBConstruction,
+                P.RelationalAcrossObjectsUB, P.StrictEffectiveTypes,
+                P.UninitReadIsUB, P.CheckAlignment, P.Cheri);
+  return 0;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  if (Argc < 2)
+    return usage(Argv[0]);
+  std::string Cmd = Argv[1];
+  if (Cmd == "help" || Cmd == "--help" || Cmd == "-h") {
+    usage(Argv[0]);
+    return 0;
+  }
+  if (Cmd == "policies")
+    return cmdPolicies();
+
+  Options O;
+  auto Positional = parseArgs(Argc, Argv, 2, O);
+  if (!Positional)
+    return 2;
+
+  if (Cmd == "run") {
+    if (Positional->empty()) {
+      std::fprintf(stderr, "cerb: run requires at least one file\n");
+      return 2;
+    }
+    return cmdRun(*Positional, O);
+  }
+  if (Cmd == "suite") {
+    if (Positional->size() != 1) {
+      std::fprintf(stderr,
+                   "cerb: suite requires exactly one directory (or "
+                   "'defacto')\n");
+      return 2;
+    }
+    return cmdSuite(Positional->front(), O);
+  }
+  if (Cmd == "export-suite") {
+    if (Positional->size() != 1) {
+      std::fprintf(stderr, "cerb: export-suite requires a directory\n");
+      return 2;
+    }
+    return cmdExportSuite(Positional->front());
+  }
+  std::fprintf(stderr, "cerb: unknown command '%s'\n", Cmd.c_str());
+  return usage(Argv[0]);
+}

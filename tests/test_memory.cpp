@@ -32,14 +32,8 @@ MemValue intVal(Int128 V, Provenance P = Provenance::empty()) {
 class MemRoundtrip : public ::testing::TestWithParam<const char *> {
 protected:
   MemoryPolicy policy() const {
-    std::string N = GetParam();
-    if (N == "concrete")
-      return MemoryPolicy::concrete();
-    if (N == "strict-iso")
-      return MemoryPolicy::strictIso();
-    if (N == "cheri")
-      return MemoryPolicy::cheri();
-    return MemoryPolicy::defacto();
+    auto P = MemoryPolicy::byName(GetParam());
+    return P ? *P : MemoryPolicy::defacto();
   }
 };
 
