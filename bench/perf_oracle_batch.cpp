@@ -9,8 +9,15 @@
 /// serialized no-timings reports are byte-identical across thread counts
 /// (the oracle's determinism contract).
 ///
+/// A second series scales the *parallel exhaustive explorer* (subtree
+/// work-sharing, exec/Driver.h) at 1/2/4/8 workers over one multi-path
+/// concurrency program (seven indeterminately sequenced call pairs — 128
+/// allowed executions, each doing real arithmetic work), again checking
+/// that the no-timings oracle reports are byte-identical per thread count.
+///
 //===----------------------------------------------------------------------===//
 
+#include "exec/Pipeline.h"
 #include "oracle/Oracle.h"
 #include "oracle/Report.h"
 
@@ -18,6 +25,7 @@
 
 #include <chrono>
 #include <cstdio>
+#include <thread>
 
 using namespace cerb;
 using namespace cerb::oracle;
@@ -75,6 +83,124 @@ double measureOnce(unsigned Threads, std::string *ReportOut) {
   return Ms;
 }
 
+//===----------------------------------------------------------------------===//
+// Exhaustive-mode scaling: one program, many allowed executions
+//===----------------------------------------------------------------------===//
+
+/// Seven indeterminately sequenced pairs of calls -> 2^7 = 128 paths;
+/// every call burns enough (well-defined, unsigned) arithmetic that one
+/// path — one subtree task, a few ms of interpretation — is far coarser
+/// than the frontier's queue operations.
+const char *multiPathSource() {
+  return R"(
+#include <stdio.h>
+unsigned g;
+int work(int v) {
+  unsigned i, s = 0;
+  for (i = 0; i < 30u; i++)
+    s += (i ^ (unsigned)v) + (s >> 3);
+  g = g * 10u + (unsigned)v + (s & 0u);
+  return 0;
+}
+int main(void) {
+  work(1) + work(2);
+  work(3) + work(4);
+  work(5) + work(6);
+  work(7) + work(8);
+  work(1) + work(3);
+  work(2) + work(5);
+  work(4) + work(7);
+  printf("%u\n", g);
+  return 0;
+}
+)";
+}
+
+Job multiPathJob(unsigned ExploreJobs) {
+  Job J;
+  J.Name = "multi_path_concurrency";
+  J.Source = multiPathSource();
+  J.Policy = mem::MemoryPolicy::defacto();
+  J.ExecMode = Mode::Exhaustive;
+  J.Budget.MaxPaths = 4096;
+  J.Budget.ExploreJobs = ExploreJobs;
+  return J;
+}
+
+void BM_ExhaustiveExplore(benchmark::State &State) {
+  unsigned Threads = static_cast<unsigned>(State.range(0));
+  auto ProgOr = exec::compile(multiPathSource());
+  if (!ProgOr) {
+    State.SkipWithError("multi-path program failed to compile");
+    return;
+  }
+  exec::RunOptions Opts;
+  Opts.MaxPaths = 4096;
+  Opts.ExploreJobs = Threads;
+  uint64_t Paths = 0;
+  for (auto _ : State) {
+    exec::ExhaustiveResult R = exec::runExhaustive(*ProgOr, Opts);
+    Paths = R.PathsExplored;
+    benchmark::DoNotOptimize(R);
+  }
+  State.SetItemsProcessed(State.iterations() * Paths);
+  State.counters["threads"] = static_cast<double>(Threads);
+  State.counters["paths"] = static_cast<double>(Paths);
+}
+
+BENCHMARK(BM_ExhaustiveExplore)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+/// Wall-clock of the multi-path job through the oracle (threads = explore
+/// workers), capturing the no-timings JSON report for the identity check.
+double measureExploreOnce(unsigned Threads, std::string *ReportOut) {
+  OracleConfig Cfg;
+  Cfg.Threads = Threads;
+  std::vector<Job> Jobs{multiPathJob(Threads)};
+  auto T0 = std::chrono::steady_clock::now();
+  BatchResult B = Oracle(Cfg).run(Jobs);
+  double Ms = std::chrono::duration<double, std::milli>(
+                  std::chrono::steady_clock::now() - T0)
+                  .count();
+  if (ReportOut) {
+    ReportOptions RO;
+    RO.IncludeTimings = false;
+    *ReportOut = toJson(B, RO);
+  }
+  return Ms;
+}
+
+void exhaustiveScalingSummary() {
+  std::printf("\nP4b summary: parallel exhaustive exploration "
+              "(subtree work-sharing, 128-path concurrency program)\n");
+  std::string Baseline;
+  double Base = measureExploreOnce(1, &Baseline);
+  std::printf("  explore-jobs=1: %8.1f ms  (baseline)\n", Base);
+  bool AllIdentical = true;
+  double SpeedupAt8 = 1.0;
+  for (unsigned T : {2u, 4u, 8u}) {
+    std::string Rep;
+    double Ms = measureExploreOnce(T, &Rep);
+    bool Same = Rep == Baseline;
+    AllIdentical = AllIdentical && Same;
+    if (T == 8)
+      SpeedupAt8 = Base / Ms;
+    std::printf("  explore-jobs=%u: %8.1f ms  speedup %.2fx  "
+                "report-identical: %s\n",
+                T, Ms, Base / Ms, Same ? "yes" : "NO");
+  }
+  std::printf("  determinism: no-timings JSON byte-identical across "
+              "explore-jobs: %s\n",
+              AllIdentical ? "yes" : "NO");
+  std::printf("  speedup at 8 workers: %.2fx (target >= 2.5x on >= 8 "
+              "hardware threads; %u available here)\n",
+              SpeedupAt8, std::thread::hardware_concurrency());
+}
+
 void speedupSummary() {
   std::printf("\nP4 summary: oracle batch over the de facto suite "
               "(%zu jobs)\n",
@@ -106,5 +232,6 @@ int main(int argc, char **argv) {
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   speedupSummary();
+  exhaustiveScalingSummary();
   return 0;
 }

@@ -1,0 +1,15 @@
+#!/bin/sh
+# Full CI gate: tier-1 unit suite plus the slow golden-outcome regression
+# sweep (tests/test_golden_defacto.cpp). Use scripts/tier1.sh alone for
+# the fast inner loop; this script is what a merge gate should run.
+set -e
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD="${BUILD_DIR:-$ROOT/build}"
+JOBS="${JOBS:-$(nproc 2>/dev/null || echo 2)}"
+
+cmake -B "$BUILD" -S "$ROOT"
+cmake --build "$BUILD" -j "$JOBS"
+cd "$BUILD"
+ctest --output-on-failure -L tier1 -j "$JOBS"
+ctest --output-on-failure -L slow -j "$JOBS"

@@ -1,7 +1,8 @@
 #!/bin/sh
-# Tier-1 verify: the one command CI and humans both run (see ROADMAP.md).
-# Builds everything and runs the full test suite; exits non-zero on any
-# failure.
+# Tier-1 verify: the fast gate CI and humans both run on every change
+# (see ROADMAP.md). Builds everything and runs the tests labelled `tier1`;
+# exits non-zero on any failure. The slow golden-outcome sweep carries the
+# `slow`/`golden` labels and is run by scripts/ci.sh (or plain `ctest`).
 set -e
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
@@ -10,4 +11,4 @@ JOBS="${JOBS:-$(nproc 2>/dev/null || echo 2)}"
 
 cmake -B "$BUILD" -S "$ROOT"
 cmake --build "$BUILD" -j "$JOBS"
-cd "$BUILD" && ctest --output-on-failure -j "$JOBS"
+cd "$BUILD" && ctest --output-on-failure -L tier1 -j "$JOBS"

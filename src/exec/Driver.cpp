@@ -2,7 +2,11 @@
 
 #include "exec/Driver.h"
 
-#include <set>
+#include "support/StripedHashSet.h"
+
+#include <algorithm>
+#include <atomic>
+#include <mutex>
 
 using namespace cerb;
 using namespace cerb::exec;
@@ -21,54 +25,177 @@ Outcome cerb::exec::runRandom(const core::CoreProgram &Prog,
   return Eval.run();
 }
 
-ExhaustiveResult cerb::exec::runExhaustive(const core::CoreProgram &Prog,
-                                           const RunOptions &Opts) {
-  ExhaustiveResult Result;
-  std::set<std::string> Seen;
-  std::vector<unsigned> Prefix;
+void cerb::exec::canonicalizeDistinct(ExhaustiveResult &R) {
+  std::sort(R.Distinct.begin(), R.Distinct.end(),
+            [](const Outcome &A, const Outcome &B) { return A.str() < B.str(); });
+}
 
-  for (;;) {
-    TraceScheduler Sched(Prefix);
+namespace {
+
+/// One exhaustive exploration: shared state for the frontier of
+/// decision-vector prefixes and the claimed-path accounting.
+///
+/// Work-sharing scheme: a claimed prefix P identifies the subtree of all
+/// decision vectors extending P. Running P's task replays P and continues
+/// leftmost, visiting the subtree's leftmost leaf; at every choice point at
+/// depth >= |P| with untried alternatives, each alternative is published as
+/// a new (disjoint) subtree prefix. Choice points at depths < |P| were
+/// published by the ancestor that first reached them, so every leaf of the
+/// full tree is claimed by exactly one task and the task count equals the
+/// leaf count — the same number of Evaluator runs the old single-threaded
+/// DFS performed, now partitioned across workers.
+///
+/// Determinism: outcomes are merged through a hash set and finally sorted,
+/// so Distinct is order-independent; the path budget is claimed through one
+/// atomic reservation counter, so PathsExplored == min(leaves, MaxPaths)
+/// and Truncated == (leaves > MaxPaths) for any thread count and any task
+/// interleaving.
+class Explorer {
+public:
+  Explorer(const core::CoreProgram &Prog, const RunOptions &Opts)
+      : Prog(Prog), Opts(Opts) {}
+
+  /// Serial mode: the frontier is a LIFO stack drained by this thread.
+  ExhaustiveResult runSerial() {
+    spawn({});
+    while (!LocalFrontier.empty()) {
+      std::vector<unsigned> P = std::move(LocalFrontier.back());
+      LocalFrontier.pop_back();
+      runPrefix(std::move(P));
+      if (Stopped.load(std::memory_order_relaxed))
+        break; // budget/deadline: the rest of the frontier stays unexplored
+    }
+    return finish(/*Workers=*/1);
+  }
+
+  /// Pooled mode: subtree tasks go to \p Pool under a private TaskGroup;
+  /// the calling thread helps drain the group, so this may itself run
+  /// inside a pool task (oracle jobs share the batch pool this way).
+  ExhaustiveResult runPooled(ThreadPool &P) {
+    Pool = &P;
+    spawn({});
+    P.wait(Group);
+    return finish(P.threadCount());
+  }
+
+private:
+  void spawn(std::vector<unsigned> Prefix) {
+    uint64_t Size =
+        FrontierSize.fetch_add(1, std::memory_order_relaxed) + 1;
+    uint64_t HWM = FrontierHighWater.load(std::memory_order_relaxed);
+    while (Size > HWM &&
+           !FrontierHighWater.compare_exchange_weak(
+               HWM, Size, std::memory_order_relaxed))
+      ;
+    if (Pool)
+      Pool->submit(Group, [this, P = std::move(Prefix)]() mutable {
+        runPrefix(std::move(P));
+      });
+    else
+      LocalFrontier.push_back(std::move(Prefix));
+  }
+
+  /// Claims and explores one subtree: budget reservation, one replayed
+  /// run, outcome merge, sibling publication.
+  void runPrefix(std::vector<unsigned> Prefix) {
+    FrontierSize.fetch_sub(1, std::memory_order_relaxed);
+    if (Stopped.load(std::memory_order_relaxed))
+      return; // draining after a stop; subtree intentionally abandoned
+
+    // Atomic path-budget reservation: exactly min(leaves, MaxPaths) tasks
+    // acquire a slot, independent of thread count and interleaving.
+    uint64_t Slot = Reserved.fetch_add(1);
+    if (Slot >= Opts.MaxPaths) {
+      // This unexplored subtree proves the budget truncated the space.
+      Truncated.store(true);
+      Stopped.store(true);
+      return;
+    }
+
+    TraceScheduler Sched(std::move(Prefix));
     Evaluator Eval(Prog, Sched, Opts.Policy, Opts.Limits);
     Outcome O = Eval.run();
-    ++Result.PathsExplored;
+    ReplayedSteps.fetch_add(Sched.replayedChoices(),
+                            std::memory_order_relaxed);
+
     bool PathTimedOut = O.Kind == OutcomeKind::Timeout;
-    if (Seen.insert(O.str()).second)
-      Result.Distinct.push_back(std::move(O));
+    std::string Key = O.str();
+    if (Seen.insert(hashBytes(Key))) {
+      std::lock_guard<std::mutex> L(DistinctM);
+      Distinct.push_back(std::move(O));
+    }
 
     // A shared deadline bounds the whole exploration: once it fires, every
     // further path would also instantly time out, so stop here.
     if (PathTimedOut || Opts.Limits.deadlinePassed()) {
-      Result.TimedOut = true;
-      return Result;
+      TimedOut.store(true);
+      Stopped.store(true);
+      return;
     }
 
-    if (Result.PathsExplored >= Opts.MaxPaths) {
-      // Check whether anything is actually left to explore.
-      const auto &Trace = Sched.trace();
-      const auto &Widths = Sched.widths();
-      bool MoreLeft = false;
-      for (size_t I = 0; I < Trace.size(); ++I)
-        if (Trace[I] + 1 < Widths[I])
-          MoreLeft = true;
-      Result.Truncated = MoreLeft;
-      return Result;
-    }
-
-    // DFS backtrack: advance the deepest choice that still has untried
-    // alternatives; drop everything after it.
-    const auto &Trace = Sched.trace();
-    const auto &Widths = Sched.widths();
-    bool Advanced = false;
-    for (size_t I = Trace.size(); I-- > 0;) {
-      if (Trace[I] + 1 < Widths[I]) {
-        Prefix.assign(Trace.begin(), Trace.begin() + I);
-        Prefix.push_back(Trace[I] + 1);
-        Advanced = true;
-        break;
+    // Publish every untried sibling alternative beyond the claimed prefix
+    // as a new subtree. (Beyond the prefix the scheduler picked leftmost,
+    // so Trace[I] + 1 is normally 1; within the prefix the siblings were
+    // already published by the ancestor that discovered the choice point.)
+    const std::vector<unsigned> &Trace = Sched.trace();
+    const std::vector<unsigned> &Widths = Sched.widths();
+    for (size_t I = Sched.prefixLength(); I < Trace.size(); ++I)
+      for (unsigned J = Trace[I] + 1; J < Widths[I]; ++J) {
+        std::vector<unsigned> Sub(Trace.begin(), Trace.begin() + I);
+        Sub.push_back(J);
+        spawn(std::move(Sub));
       }
-    }
-    if (!Advanced)
-      return Result; // fully explored
   }
+
+  ExhaustiveResult finish(unsigned Workers) {
+    ExhaustiveResult R;
+    R.Distinct = std::move(Distinct);
+    canonicalizeDistinct(R);
+    R.PathsExplored = std::min(Reserved.load(), Opts.MaxPaths);
+    R.Truncated = Truncated.load();
+    R.TimedOut = TimedOut.load();
+    R.Stats.FrontierHighWater = FrontierHighWater.load();
+    R.Stats.ReplayedSteps = ReplayedSteps.load();
+    R.Stats.Workers = Workers;
+    return R;
+  }
+
+  const core::CoreProgram &Prog;
+  const RunOptions &Opts;
+
+  ThreadPool *Pool = nullptr;
+  ThreadPool::TaskGroup Group;
+  std::vector<std::vector<unsigned>> LocalFrontier; ///< serial mode only
+
+  StripedHashSet Seen; ///< 64-bit outcome hashes (dedupe without copies)
+  std::mutex DistinctM;
+  std::vector<Outcome> Distinct;
+
+  std::atomic<uint64_t> Reserved{0};
+  std::atomic<bool> Truncated{false};
+  std::atomic<bool> TimedOut{false};
+  std::atomic<bool> Stopped{false};
+  std::atomic<uint64_t> ReplayedSteps{0};
+  std::atomic<uint64_t> FrontierSize{0};
+  std::atomic<uint64_t> FrontierHighWater{0};
+};
+
+} // namespace
+
+ExhaustiveResult cerb::exec::runExhaustive(const core::CoreProgram &Prog,
+                                           const RunOptions &Opts) {
+  Explorer E(Prog, Opts);
+  if (Opts.ExploreJobs <= 1)
+    return E.runSerial();
+  ThreadPool Pool(Opts.ExploreJobs);
+  ExhaustiveResult R = E.runPooled(Pool);
+  R.Stats.Steals = Pool.stealCount();
+  return R;
+}
+
+ExhaustiveResult cerb::exec::runExhaustiveOn(const core::CoreProgram &Prog,
+                                             const RunOptions &Opts,
+                                             ThreadPool &Pool) {
+  Explorer E(Prog, Opts);
+  return E.runPooled(Pool);
 }

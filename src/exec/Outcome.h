@@ -43,12 +43,39 @@ struct Outcome {
   }
 };
 
+/// Observability counters for one exhaustive exploration (surfaced through
+/// oracle::Report's timing-gated fields; none of these is part of the
+/// byte-identical determinism contract).
+struct ExploreStats {
+  /// Most subtree prefixes ever simultaneously queued on the frontier.
+  uint64_t FrontierHighWater = 0;
+  /// Scheduler choices re-driven from claimed prefixes across all runs —
+  /// the price of replay-based work-sharing (0 when the program has a
+  /// single path).
+  uint64_t ReplayedSteps = 0;
+  /// Pool steals during the exploration. Only attributable when the
+  /// explorer owns its pool; 0 in shared-pool mode (the oracle reports the
+  /// batch-wide steal count instead).
+  uint64_t Steals = 0;
+  /// Worker threads that participated (1 for the serial explorer).
+  unsigned Workers = 1;
+};
+
 /// The result of exploring all decision vectors.
+///
+/// Determinism contract: Distinct is sorted by Outcome::str(), and
+/// Distinct/PathsExplored/Truncated are identical for any explorer thread
+/// count whenever the exploration ran to completion (no budget trip, no
+/// deadline). Under a path-budget trip, the *counters* are still
+/// thread-count-independent (paths are claimed through one atomic
+/// reservation counter), but which paths made the cut — and hence Distinct
+/// — may vary; Stats is always scheduling-dependent.
 struct ExhaustiveResult {
-  std::vector<Outcome> Distinct; ///< deduplicated outcomes
+  std::vector<Outcome> Distinct; ///< deduplicated outcomes, sorted by str()
   uint64_t PathsExplored = 0;
   bool Truncated = false; ///< hit the path budget before completing
   bool TimedOut = false;  ///< hit the wall-clock deadline before completing
+  ExploreStats Stats;
 
   bool hasUndef() const {
     for (const Outcome &O : Distinct)

@@ -6,6 +6,7 @@
 #include "oracle/ThreadPool.h"
 #include "support/Format.h"
 
+#include <algorithm>
 #include <chrono>
 #include <set>
 #include <thread>
@@ -75,7 +76,8 @@ JobStatus statusOf(const exec::ExhaustiveResult &R, uint64_t RandomSamples) {
 
 } // namespace
 
-JobResult cerb::oracle::runJob(const Job &J, CompileCache &Cache) {
+JobResult cerb::oracle::runJob(const Job &J, CompileCache &Cache,
+                               ThreadPool *Pool) {
   JobResult R;
   R.Name = J.Name;
   R.PolicyName = J.Policy.Name;
@@ -125,7 +127,14 @@ JobResult cerb::oracle::runJob(const Job &J, CompileCache &Cache) {
     break;
   }
   case Mode::Exhaustive: {
-    R.Outcomes = exec::runExhaustive(Prog, Opts);
+    Opts.ExploreJobs = std::max(1u, J.Budget.ExploreJobs);
+    if (Pool && Opts.ExploreJobs > 1)
+      // Subtree work-sharing on the caller's pool: the exploration's
+      // prefix tasks interleave with other jobs' tasks, and this thread
+      // helps drain its own group (no nested pool, no deadlock).
+      R.Outcomes = exec::runExhaustiveOn(Prog, Opts, *Pool);
+    else
+      R.Outcomes = exec::runExhaustive(Prog, Opts);
     if (R.Outcomes.Truncated && !R.Outcomes.TimedOut &&
         J.Budget.FallbackSamples > 0) {
       // Graceful degradation: the DFS prefix saturated the path budget, so
@@ -150,6 +159,9 @@ JobResult cerb::oracle::runJob(const Job &J, CompileCache &Cache) {
         if (Seen.insert(O.str()).second)
           R.Outcomes.Distinct.push_back(std::move(O));
       }
+      // Sampling appends; restore the canonical (sorted) order so reports
+      // stay byte-identical across thread counts.
+      exec::canonicalizeDistinct(R.Outcomes);
     }
     break;
   }
@@ -190,8 +202,8 @@ BatchResult Oracle::run(const std::vector<Job> &Jobs) {
   {
     ThreadPool Pool(Threads);
     for (size_t I = 0; I < Jobs.size(); ++I)
-      Pool.submit([&B, &Jobs, &Cache, I] {
-        B.Results[I] = runJob(Jobs[I], Cache);
+      Pool.submit([&B, &Jobs, &Cache, &Pool, I] {
+        B.Results[I] = runJob(Jobs[I], Cache, &Pool);
       });
     Pool.wait();
     Steals = Pool.stealCount();
@@ -216,6 +228,9 @@ BatchResult Oracle::run(const std::vector<Job> &Jobs) {
       ++S.ChecksFailed;
     S.PathsExplored += R.Outcomes.PathsExplored;
     S.RandomSamples += R.RandomSamples;
+    S.ExploreReplayedSteps += R.Outcomes.Stats.ReplayedSteps;
+    S.ExploreFrontierHighWater = std::max(
+        S.ExploreFrontierHighWater, R.Outcomes.Stats.FrontierHighWater);
     for (const auto &[K, N] : R.UBTally)
       S.UBTally[std::string(mem::ubName(K))] += N;
     if (!R.CacheHit) {
@@ -264,6 +279,10 @@ std::string OracleStats::str() const {
              CacheMisses, CacheHits);
   Out += fmt("paths:         {0} explored ({1} degraded-mode samples)\n",
              PathsExplored, RandomSamples);
+  if (ExploreReplayedSteps || ExploreFrontierHighWater)
+    Out += fmt("explore:       {0} replayed choices, frontier high-water "
+               "{1}\n",
+               ExploreReplayedSteps, ExploreFrontierHighWater);
   if (!UBTally.empty()) {
     Out += "ub tally:      ";
     bool First = true;

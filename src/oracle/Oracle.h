@@ -26,6 +26,7 @@
 #include "defacto/Suite.h"
 #include "exec/Pipeline.h"
 #include "oracle/CompileCache.h"
+#include "oracle/ThreadPool.h"
 
 #include <map>
 #include <optional>
@@ -56,6 +57,12 @@ struct JobBudget {
   /// On a path-budget trip, how many pseudorandom paths to sample beyond
   /// the DFS prefix (graceful degradation; 0 disables sampling).
   uint64_t FallbackSamples = 16;
+  /// Workers for this job's exhaustive exploration. 1 (the default) keeps
+  /// the exploration serial so batch-level parallelism dominates; >1 makes
+  /// the job publish subtree prefixes onto the batch's shared pool (or,
+  /// for a standalone runJob, onto a private pool of this size). The cerb
+  /// CLI wires --jobs into this for single-program exhaustive runs.
+  unsigned ExploreJobs = 1;
 };
 
 /// One unit of work: a program under one policy in one mode.
@@ -124,6 +131,10 @@ struct OracleStats {
   uint64_t PathsExplored = 0;
   uint64_t RandomSamples = 0;
   uint64_t Steals = 0; ///< pool tasks run by a non-owning worker
+  /// Exploration observability, summed/maxed over exhaustive jobs (see
+  /// exec::ExploreStats; scheduling-dependent, reported behind timings).
+  uint64_t ExploreReplayedSteps = 0;
+  uint64_t ExploreFrontierHighWater = 0;
   /// UB occurrences across all jobs' distinct outcomes, keyed by ubName.
   std::map<std::string, uint64_t> UBTally;
   exec::StageTimings CompileTotals; ///< summed over cache *misses* only
@@ -168,8 +179,12 @@ private:
 };
 
 /// Runs one job against an explicit cache (the building block of
-/// Oracle::run; exposed for tests and custom harnesses).
-JobResult runJob(const Job &J, CompileCache &Cache);
+/// Oracle::run; exposed for tests and custom harnesses). When \p Pool is
+/// given and the job's Budget.ExploreJobs > 1, an exhaustive job shares the
+/// pool with its exploration's subtree tasks (ThreadPool task groups make
+/// this deadlock-free); without a pool such a job spins up its own.
+JobResult runJob(const Job &J, CompileCache &Cache,
+                 ThreadPool *Pool = nullptr);
 
 } // namespace cerb::oracle
 

@@ -101,6 +101,9 @@ std::string cerb::oracle::toJson(const BatchResult &B,
   J += "}";
   if (Opts.IncludeTimings) {
     J += ",\n    \"steals\": " + str(S.Steals) + ",\n";
+    J += "    \"explore\": {\"replayed_steps\": " +
+         str(S.ExploreReplayedSteps) + ", \"frontier_high_water\": " +
+         str(S.ExploreFrontierHighWater) + "},\n";
     J += "    \"compile_ms\": " + ms(S.CompileTotals.totalMs()) + ",\n";
     J += "    \"run_ms\": " + ms(S.RunMsTotal) + ",\n";
     J += "    \"wall_ms\": " + ms(S.WallMs);
@@ -148,6 +151,13 @@ std::string cerb::oracle::toJson(const BatchResult &B,
     if (Opts.IncludeTimings) {
       J += ",\n      \"cache_hit\": " +
            std::string(R.CacheHit ? "true" : "false") + ",\n";
+      if (R.ExecMode == Mode::Exhaustive)
+        J += "      \"explore\": {\"workers\": " +
+             str(R.Outcomes.Stats.Workers) + ", \"replayed_steps\": " +
+             str(R.Outcomes.Stats.ReplayedSteps) +
+             ", \"frontier_high_water\": " +
+             str(R.Outcomes.Stats.FrontierHighWater) + ", \"steals\": " +
+             str(R.Outcomes.Stats.Steals) + "},\n";
       J += "      \"timings_ms\": {\"parse\": " + ms(R.Compile.ParseMs) +
            ", \"desugar\": " + ms(R.Compile.DesugarMs) +
            ", \"typecheck\": " + ms(R.Compile.TypecheckMs) +

@@ -1,71 +1,19 @@
-//===-- oracle/ThreadPool.h - Fixed-size work-stealing pool -----*- C++ -*-===//
+//===-- oracle/ThreadPool.h - Pool alias (now lives in support) -*- C++ -*-===//
 ///
 /// \file
-/// The oracle's execution substrate: a fixed-size pool of workers, each
-/// owning a deque of tasks. Owners pop from the back of their own deque
-/// (LIFO, for cache locality between a test's policy instantiations, which
-/// submit() places on the same deque); idle workers steal from the front of
-/// a victim's deque (FIFO, taking the oldest — and typically largest —
-/// remaining chunk of work).
-///
-/// All deques share one mutex: oracle tasks are coarse (each compiles
-/// and/or interprets a whole C program, hundreds of microseconds at the
-/// very least), so queue operations are nowhere near the contention point
-/// and the single lock keeps the sleep/wake protocol trivially correct.
+/// The work-stealing pool started life as the oracle's private substrate;
+/// the parallel exhaustive explorer (exec/Driver) generalised it with task
+/// groups and moved it below the exec layer, to support/ThreadPool.h. This
+/// header keeps the oracle-side spelling working.
 ///
 //===----------------------------------------------------------------------===//
 #ifndef CERB_ORACLE_THREADPOOL_H
 #define CERB_ORACLE_THREADPOOL_H
 
-#include <condition_variable>
-#include <cstdint>
-#include <deque>
-#include <functional>
-#include <mutex>
-#include <thread>
-#include <vector>
+#include "support/ThreadPool.h"
 
 namespace cerb::oracle {
-
-class ThreadPool {
-public:
-  /// Spawns \p ThreadCount workers (clamped to at least 1).
-  explicit ThreadPool(unsigned ThreadCount);
-  /// Drains nothing: outstanding tasks are completed before destruction
-  /// returns (wait() then join).
-  ~ThreadPool();
-
-  ThreadPool(const ThreadPool &) = delete;
-  ThreadPool &operator=(const ThreadPool &) = delete;
-
-  /// Enqueues a task; round-robins across worker deques so related
-  /// consecutive submissions land on the same few owners.
-  void submit(std::function<void()> Task);
-
-  /// Blocks until every submitted task has finished running.
-  void wait();
-
-  unsigned threadCount() const { return static_cast<unsigned>(Workers.size()); }
-  /// Tasks executed by a worker other than the one they were submitted to.
-  uint64_t stealCount() const;
-
-private:
-  void workerLoop(unsigned Me);
-  /// Pops a task for worker \p Me (own back, then steal a victim's front).
-  /// Must hold M. Returns false if every deque is empty.
-  bool takeLocked(unsigned Me, std::function<void()> &Task);
-
-  std::vector<std::deque<std::function<void()>>> Queues;
-  std::vector<std::thread> Workers;
-  mutable std::mutex M;
-  std::condition_variable CV;     ///< wakes idle workers
-  std::condition_variable DoneCV; ///< wakes wait()ers
-  unsigned NextQueue = 0;
-  uint64_t Pending = 0; ///< queued + running tasks
-  uint64_t Steals = 0;
-  bool Stop = false;
-};
-
+using cerb::ThreadPool;
 } // namespace cerb::oracle
 
 #endif // CERB_ORACLE_THREADPOOL_H

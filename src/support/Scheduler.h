@@ -12,6 +12,7 @@
 #ifndef CERB_SUPPORT_SCHEDULER_H
 #define CERB_SUPPORT_SCHEDULER_H
 
+#include <algorithm>
 #include <cassert>
 #include <cstdint>
 #include <vector>
@@ -76,6 +77,11 @@ public:
   const std::vector<unsigned> &trace() const { return Trace; }
   /// The number of alternatives at each choice point this run.
   const std::vector<unsigned> &widths() const { return Widths; }
+  /// How many choices were replayed from the prefix (vs freshly taken).
+  /// The explorer sums this across runs as its redundant-work metric.
+  size_t replayedChoices() const { return std::min(Next, Prefix.size()); }
+  /// The claimed prefix length (the subtree root's depth for exploration).
+  size_t prefixLength() const { return Prefix.size(); }
 
 private:
   std::vector<unsigned> Prefix;

@@ -1,0 +1,87 @@
+//===-- support/StripedHashSet.h - Sharded concurrent hash set --*- C++ -*-===//
+///
+/// \file
+/// A minimal concurrent set of 64-bit keys, sharded ("striped") across
+/// independently locked buckets so concurrent inserters rarely contend.
+/// Used by the parallel exhaustive explorer to deduplicate outcomes by
+/// hash: workers on different subtrees insert from different threads, and
+/// one exploration performs exactly one insert per path, so a handful of
+/// stripes removes the lock from the hot path entirely.
+///
+/// Keys are expected to be well-mixed hashes already (the stripe index and
+/// the inner std::unordered_set both consume the raw key), so callers
+/// should hash with something like FNV-1a / splitmix64 first — hashUint64
+/// and hashBytes below are provided for that.
+///
+//===----------------------------------------------------------------------===//
+#ifndef CERB_SUPPORT_STRIPEDHASHSET_H
+#define CERB_SUPPORT_STRIPEDHASHSET_H
+
+#include <cstdint>
+#include <mutex>
+#include <string_view>
+#include <unordered_set>
+
+namespace cerb {
+
+/// FNV-1a over a byte string; the explorer hashes Outcome::str() with this.
+inline uint64_t hashBytes(std::string_view Bytes) {
+  uint64_t H = 0xcbf29ce484222325ull;
+  for (unsigned char C : Bytes) {
+    H ^= C;
+    H *= 0x100000001b3ull;
+  }
+  return H;
+}
+
+/// splitmix64 finalizer: whitens an arbitrary 64-bit value into a hash.
+inline uint64_t hashUint64(uint64_t X) {
+  X += 0x9e3779b97f4a7c15ull;
+  X = (X ^ (X >> 30)) * 0xbf58476d1ce4e5b9ull;
+  X = (X ^ (X >> 27)) * 0x94d049bb133111ebull;
+  return X ^ (X >> 31);
+}
+
+class StripedHashSet {
+public:
+  static constexpr unsigned StripeCount = 16;
+
+  /// Inserts \p Key; returns true iff it was not already present.
+  bool insert(uint64_t Key) {
+    Stripe &S = Stripes[stripeOf(Key)];
+    std::lock_guard<std::mutex> L(S.M);
+    return S.Keys.insert(Key).second;
+  }
+
+  bool contains(uint64_t Key) const {
+    const Stripe &S = Stripes[stripeOf(Key)];
+    std::lock_guard<std::mutex> L(S.M);
+    return S.Keys.count(Key) != 0;
+  }
+
+  size_t size() const {
+    size_t N = 0;
+    for (const Stripe &S : Stripes) {
+      std::lock_guard<std::mutex> L(S.M);
+      N += S.Keys.size();
+    }
+    return N;
+  }
+
+private:
+  static unsigned stripeOf(uint64_t Key) {
+    // Top bits: the inner unordered_set consumes the low bits via its
+    // modulo, so stripe selection stays independent of bucket selection.
+    return static_cast<unsigned>(Key >> 60) & (StripeCount - 1);
+  }
+
+  struct Stripe {
+    mutable std::mutex M;
+    std::unordered_set<uint64_t> Keys;
+  };
+  Stripe Stripes[StripeCount];
+};
+
+} // namespace cerb
+
+#endif // CERB_SUPPORT_STRIPEDHASHSET_H

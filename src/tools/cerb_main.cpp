@@ -49,6 +49,12 @@ int usage(const char *Prog) {
                "  --seed N               random-mode / fallback-sampling seed\n"
                "  --jobs N               worker threads (default: hardware "
                "concurrency)\n"
+               "  --explore-jobs N       workers per exhaustive exploration "
+               "(subtree\n"
+               "                         work-sharing; default: --jobs for "
+               "run, 1 for\n"
+               "                         suite, where batch parallelism "
+               "dominates)\n"
                "  --max-paths N          exhaustive path budget (default: "
                "512)\n"
                "  --max-steps N          per-path step budget\n"
@@ -69,6 +75,7 @@ struct Options {
   Mode ExecMode = Mode::Exhaustive;
   uint64_t Seed = 1;
   unsigned Jobs = 0;
+  unsigned ExploreJobs = 0; ///< 0 = auto (run: --jobs; suite: 1)
   JobBudget Budget;
   std::string ReportPath;
   std::string JUnitPath;
@@ -127,6 +134,12 @@ std::optional<std::vector<std::string>> parseArgs(int Argc, char **Argv,
       if (!V)
         return std::nullopt;
       O.Jobs = static_cast<unsigned>(std::strtoul(V->c_str(), nullptr, 0));
+    } else if (A == "--explore-jobs") {
+      auto V = Value("--explore-jobs");
+      if (!V)
+        return std::nullopt;
+      O.ExploreJobs =
+          static_cast<unsigned>(std::strtoul(V->c_str(), nullptr, 0));
     } else if (A == "--max-paths") {
       auto V = Value("--max-paths");
       if (!V)
@@ -255,10 +268,14 @@ int runBatch(std::vector<Job> Jobs, const Options &O, bool Verbose) {
   return Bad ? 1 : 0;
 }
 
-int cmdRun(const std::vector<std::string> &Files, const Options &O) {
+int cmdRun(const std::vector<std::string> &Files, Options O) {
   auto Policies = resolvePolicies(O.PolicyNames, /*DefaultAll=*/false);
   if (!Policies)
     return 2;
+  // Single-program exhaustive runs are where subtree work-sharing pays:
+  // wire --jobs into the exploration unless --explore-jobs overrides it.
+  O.Budget.ExploreJobs =
+      O.ExploreJobs ? O.ExploreJobs : Oracle(OracleConfig{O.Jobs}).threadCount();
   std::vector<Job> Jobs;
   for (const std::string &Path : Files) {
     auto Src = exec::readSourceFile(Path);
@@ -280,10 +297,14 @@ int cmdRun(const std::vector<std::string> &Files, const Options &O) {
   return runBatch(std::move(Jobs), O, /*Verbose=*/true);
 }
 
-int cmdSuite(const std::string &Target, const Options &O) {
+int cmdSuite(const std::string &Target, Options O) {
   auto Policies = resolvePolicies(O.PolicyNames, /*DefaultAll=*/true);
   if (!Policies)
     return 2;
+  // Suites have ample batch-level parallelism; keep explorations serial
+  // unless the user explicitly shares workers into them.
+  if (O.ExploreJobs)
+    O.Budget.ExploreJobs = O.ExploreJobs;
 
   std::vector<Job> Jobs;
   if (Target == "defacto") {

@@ -1,0 +1,339 @@
+//===-- tests/test_explore.cpp - parallel exhaustive explorer -------------===//
+//
+// The parallel frontier explorer's contracts (exec/Driver.h):
+//  - thread-count determinism: the ExhaustiveResult of a completed
+//    exploration is byte-identical for 1 vs 8 workers (sorted Distinct,
+//    reservation-claimed counters);
+//  - replay: any recorded decision vector re-executed through a
+//    TraceScheduler reproduces its outcome and trace exactly;
+//  - budgets: path-budget truncation and wall-clock deadlines stop the
+//    exploration with thread-count-independent counters;
+//  - substrate: ThreadPool task groups (helping wait, nested fan-out) and
+//    the striped outcome-hash set.
+//
+//===----------------------------------------------------------------------===//
+
+#include "exec/Pipeline.h"
+#include "support/StripedHashSet.h"
+#include "support/ThreadPool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <thread>
+
+using namespace cerb;
+using namespace cerb::exec;
+
+namespace {
+
+/// Programs with several allowed executions (indeterminately sequenced
+/// calls, Q2 provenance latitude) — the explorer's interesting inputs.
+const char *NondetSources[] = {
+    R"(
+#include <stdio.h>
+int g;
+int s(int v) { g = v; return 0; }
+int main(void) { s(1) + s(2); printf("%d\n", g); return 0; }
+)",
+    R"(
+#include <stdio.h>
+int g;
+int s(int v) { g = g * 10 + v; return v; }
+int main(void) { int r = s(1) + s(2) + s(3); printf("%d %d\n", g, r);
+  return 0; }
+)",
+    R"(
+#include <stdio.h>
+int y = 2, x = 1;
+int main(void) { printf("%d\n", &x + 1 == &y); return 0; }
+)",
+    R"(
+#include <stdio.h>
+int g;
+int s(int v) { g = g * 10 + v; return 0; }
+int main(void) { s(1) + s(2); s(3) + s(4); s(5) + s(6); printf("%d\n", g);
+  return 0; }
+)",
+};
+
+ExhaustiveResult explore(std::string_view Src, unsigned Jobs,
+                         uint64_t MaxPaths = 4096,
+                         mem::MemoryPolicy P = mem::MemoryPolicy::defacto()) {
+  RunOptions Opts;
+  Opts.Policy = P;
+  Opts.MaxPaths = MaxPaths;
+  Opts.ExploreJobs = Jobs;
+  auto R = evaluateExhaustive(Src, Opts);
+  EXPECT_TRUE(static_cast<bool>(R)) << (R ? "" : R.error().str());
+  return R ? *R : ExhaustiveResult{};
+}
+
+/// Serializes the determinism-relevant part of an ExhaustiveResult (i.e.
+/// everything except the scheduling-dependent Stats).
+std::string fingerprint(const ExhaustiveResult &R) {
+  std::string S = "paths=" + std::to_string(R.PathsExplored) +
+                  " truncated=" + std::to_string(R.Truncated) +
+                  " timed_out=" + std::to_string(R.TimedOut) + "\n";
+  for (const Outcome &O : R.Distinct)
+    S += O.str() + "\n";
+  return S;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Thread-count determinism
+//===----------------------------------------------------------------------===//
+
+TEST(Explore, ThreadCountDeterminism) {
+  for (const char *Src : NondetSources) {
+    ExhaustiveResult R1 = explore(Src, 1);
+    ASSERT_FALSE(R1.Truncated);
+    for (unsigned Jobs : {2u, 8u}) {
+      ExhaustiveResult RN = explore(Src, Jobs);
+      EXPECT_EQ(fingerprint(R1), fingerprint(RN))
+          << "jobs=" << Jobs << " diverged on:\n" << Src;
+    }
+  }
+}
+
+TEST(Explore, DistinctIsCanonicallySorted) {
+  for (unsigned Jobs : {1u, 8u}) {
+    ExhaustiveResult R = explore(NondetSources[1], Jobs);
+    for (size_t I = 1; I < R.Distinct.size(); ++I)
+      EXPECT_LT(R.Distinct[I - 1].str(), R.Distinct[I].str());
+  }
+}
+
+TEST(Explore, ParallelFindsAllQ2Outcomes) {
+  ExhaustiveResult R = explore(NondetSources[2], 8);
+  EXPECT_EQ(R.PathsExplored, 2u);
+  std::set<std::string> Outs;
+  for (const Outcome &O : R.Distinct)
+    if (O.Kind == OutcomeKind::Exit)
+      Outs.insert(O.Stdout);
+  EXPECT_EQ(Outs, (std::set<std::string>{"0\n", "1\n"}));
+}
+
+TEST(Explore, SharedPoolMatchesOwnedPool) {
+  auto Prog = compile(NondetSources[3]);
+  ASSERT_TRUE(static_cast<bool>(Prog));
+  RunOptions Opts;
+  ExhaustiveResult Serial = runExhaustive(*Prog, Opts);
+  ThreadPool Pool(4);
+  ExhaustiveResult Shared = runExhaustiveOn(*Prog, Opts, Pool);
+  EXPECT_EQ(fingerprint(Serial), fingerprint(Shared));
+  EXPECT_EQ(Shared.Stats.Workers, 4u);
+}
+
+TEST(Explore, StatsCountReplayedWork) {
+  // 3 indeterminately sequenced pairs -> 8 leaves; every non-root subtree
+  // claim replays its prefix, so replayed choices must be non-zero and
+  // identical across thread counts for a completed exploration.
+  ExhaustiveResult R1 = explore(NondetSources[3], 1);
+  ExhaustiveResult R8 = explore(NondetSources[3], 8);
+  EXPECT_EQ(R1.PathsExplored, 8u);
+  EXPECT_GT(R1.Stats.ReplayedSteps, 0u);
+  EXPECT_EQ(R1.Stats.ReplayedSteps, R8.Stats.ReplayedSteps);
+  EXPECT_GT(R1.Stats.FrontierHighWater, 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Replay: recorded decision vectors reproduce their outcomes
+//===----------------------------------------------------------------------===//
+
+TEST(Explore, RecordedDecisionVectorReplaysExactly) {
+  for (const char *Src : NondetSources) {
+    auto Prog = compile(Src);
+    ASSERT_TRUE(static_cast<bool>(Prog));
+    // Enumerate every leaf by explicit DFS, then replay each recorded
+    // trace and demand the identical outcome, trace, and widths.
+    std::vector<std::vector<unsigned>> Frontier{{}};
+    unsigned Leaves = 0;
+    while (!Frontier.empty() && Leaves < 64) {
+      std::vector<unsigned> Prefix = std::move(Frontier.back());
+      Frontier.pop_back();
+      TraceScheduler Sched(Prefix);
+      Evaluator Eval(*Prog, Sched, mem::MemoryPolicy::defacto());
+      Outcome O = Eval.run();
+      ++Leaves;
+
+      TraceScheduler Re(Sched.trace());
+      Evaluator ReEval(*Prog, Re, mem::MemoryPolicy::defacto());
+      Outcome O2 = ReEval.run();
+      EXPECT_EQ(O.str(), O2.str());
+      EXPECT_EQ(Sched.trace(), Re.trace());
+      EXPECT_EQ(Sched.widths(), Re.widths());
+      EXPECT_EQ(Re.replayedChoices(), Re.trace().size());
+
+      const auto &Trace = Sched.trace();
+      const auto &Widths = Sched.widths();
+      for (size_t I = Prefix.size(); I < Trace.size(); ++I)
+        for (unsigned J = Trace[I] + 1; J < Widths[I]; ++J) {
+          std::vector<unsigned> Sub(Trace.begin(), Trace.begin() + I);
+          Sub.push_back(J);
+          Frontier.push_back(std::move(Sub));
+        }
+    }
+    EXPECT_TRUE(Frontier.empty()) << "enumeration did not terminate";
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Budgets: truncation and deadlines
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// 10 indeterminately sequenced pairs -> far more than 16 paths.
+const char *Combinatorial = R"(
+int g;
+int s(int v) { g = v; return 0; }
+int main(void) {
+  int i;
+  for (i = 0; i < 10; i++)
+    s(i) + s(i + 1);
+  return 0;
+}
+)";
+
+} // namespace
+
+TEST(Explore, BudgetTruncationIsThreadCountIndependent) {
+  for (unsigned Jobs : {1u, 2u, 8u}) {
+    ExhaustiveResult R = explore(Combinatorial, Jobs, /*MaxPaths=*/16);
+    EXPECT_EQ(R.PathsExplored, 16u) << "jobs=" << Jobs;
+    EXPECT_TRUE(R.Truncated) << "jobs=" << Jobs;
+    EXPECT_FALSE(R.TimedOut) << "jobs=" << Jobs;
+  }
+}
+
+TEST(Explore, ExactBudgetIsNotTruncation) {
+  // NondetSources[3] has exactly 8 leaves; a budget of exactly 8 must not
+  // report truncation (every reservation succeeds, none fails).
+  for (unsigned Jobs : {1u, 8u}) {
+    ExhaustiveResult R = explore(NondetSources[3], Jobs, /*MaxPaths=*/8);
+    EXPECT_EQ(R.PathsExplored, 8u);
+    EXPECT_FALSE(R.Truncated) << "jobs=" << Jobs;
+  }
+}
+
+TEST(Explore, DeadlineStopsExploration) {
+  auto Prog = compile("int main(void){ while (1) {} return 0; }");
+  ASSERT_TRUE(static_cast<bool>(Prog));
+  for (unsigned Jobs : {1u, 4u}) {
+    RunOptions Opts;
+    Opts.ExploreJobs = Jobs;
+    Opts.Limits.Deadline =
+        std::chrono::steady_clock::now() + std::chrono::milliseconds(30);
+    auto T0 = std::chrono::steady_clock::now();
+    ExhaustiveResult R = runExhaustive(*Prog, Opts);
+    double Ms = std::chrono::duration<double, std::milli>(
+                    std::chrono::steady_clock::now() - T0)
+                    .count();
+    EXPECT_TRUE(R.TimedOut) << "jobs=" << Jobs;
+    ASSERT_EQ(R.Distinct.size(), 1u);
+    EXPECT_EQ(R.Distinct[0].Kind, OutcomeKind::Timeout);
+    EXPECT_LT(Ms, 5000.0) << "deadline failed to stop exploration";
+  }
+}
+
+TEST(Explore, DeadlineAbandonsRemainingFrontier) {
+  // A combinatorial space with an already-expired deadline: the first path
+  // times out and the rest of the frontier must be abandoned quickly.
+  auto Prog = compile(Combinatorial);
+  ASSERT_TRUE(static_cast<bool>(Prog));
+  for (unsigned Jobs : {1u, 4u}) {
+    RunOptions Opts;
+    Opts.ExploreJobs = Jobs;
+    Opts.Limits.Deadline = std::chrono::steady_clock::now();
+    ExhaustiveResult R = runExhaustive(*Prog, Opts);
+    EXPECT_TRUE(R.TimedOut) << "jobs=" << Jobs;
+    EXPECT_LE(R.PathsExplored, 8u) << "jobs=" << Jobs;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Substrate: ThreadPool task groups and the striped hash set
+//===----------------------------------------------------------------------===//
+
+TEST(ThreadPoolGroups, GroupsDrainIndependently) {
+  ThreadPool Pool(2);
+  ThreadPool::TaskGroup A, B;
+  std::atomic<int> DoneA{0}, DoneB{0};
+  for (int I = 0; I < 50; ++I) {
+    Pool.submit(A, [&DoneA] { ++DoneA; });
+    Pool.submit(B, [&DoneB] { ++DoneB; });
+  }
+  Pool.wait(A);
+  EXPECT_EQ(DoneA.load(), 50);
+  Pool.wait(B);
+  EXPECT_EQ(DoneB.load(), 50);
+  Pool.wait();
+}
+
+TEST(ThreadPoolGroups, NestedFanOutDoesNotDeadlock) {
+  // More outer tasks than workers, each waiting on its own inner group:
+  // the helping wait() must let every blocked outer task drain its group
+  // itself (this deadlocks with a naive blocking wait).
+  ThreadPool Pool(2);
+  std::atomic<int> Inner{0};
+  std::atomic<int> Outer{0};
+  for (int I = 0; I < 8; ++I)
+    Pool.submit([&Pool, &Inner, &Outer] {
+      ThreadPool::TaskGroup G;
+      for (int K = 0; K < 32; ++K)
+        Pool.submit(G, [&Inner] { ++Inner; });
+      Pool.wait(G);
+      ++Outer;
+    });
+  Pool.wait();
+  EXPECT_EQ(Outer.load(), 8);
+  EXPECT_EQ(Inner.load(), 8 * 32);
+}
+
+TEST(ThreadPoolGroups, GroupTasksCanSpawnGroupTasks) {
+  ThreadPool Pool(4);
+  ThreadPool::TaskGroup G;
+  std::atomic<int> Count{0};
+  // Each task re-submits two children until depth 6: 2^7 - 1 tasks total.
+  std::function<void(int)> Grow = [&](int Depth) {
+    ++Count;
+    if (Depth < 6)
+      for (int K = 0; K < 2; ++K)
+        Pool.submit(G, [&Grow, Depth] { Grow(Depth + 1); });
+  };
+  Pool.submit(G, [&Grow] { Grow(0); });
+  Pool.wait(G);
+  EXPECT_EQ(Count.load(), 127);
+}
+
+TEST(StripedHashSetTest, InsertDeduplicates) {
+  StripedHashSet S;
+  EXPECT_TRUE(S.insert(42));
+  EXPECT_FALSE(S.insert(42));
+  EXPECT_TRUE(S.contains(42));
+  EXPECT_FALSE(S.contains(43));
+  EXPECT_EQ(S.size(), 1u);
+}
+
+TEST(StripedHashSetTest, ConcurrentInsertersAgreeOnMembership) {
+  StripedHashSet S;
+  constexpr int N = 4, PerThread = 5000;
+  std::vector<std::thread> Ts;
+  std::atomic<uint64_t> FirstInserts{0};
+  for (int T = 0; T < N; ++T)
+    Ts.emplace_back([&S, &FirstInserts, T] {
+      for (int I = 0; I < PerThread; ++I)
+        // Overlapping key ranges across threads: every key is attempted
+        // at least twice in total.
+        if (S.insert(hashUint64(static_cast<uint64_t>((T % 2) * PerThread + I))))
+          ++FirstInserts;
+    });
+  for (std::thread &T : Ts)
+    T.join();
+  EXPECT_EQ(FirstInserts.load(), 2u * PerThread);
+  EXPECT_EQ(S.size(), 2u * PerThread);
+}

@@ -1,0 +1,207 @@
+//===-- tests/test_golden_defacto.cpp - golden-outcome regression suite ---===//
+//
+// Pins the distinct-outcome set (canonical Outcome::str() strings, in the
+// explorer's canonical sorted order) of ~25 representative de facto suite
+// programs under every memory policy preset. Any semantics change that
+// alters an allowed-execution set shows up here as a readable diff, not as
+// a silent drift.
+//
+// Goldens live in tests/goldens/defacto_outcomes.golden. To regenerate
+// after an *intentional* semantics change (see DESIGN.md):
+//
+//   CERB_UPDATE_GOLDENS=1 ./build/tests/cerb_golden_tests
+//
+//===----------------------------------------------------------------------===//
+
+#include "defacto/Suite.h"
+#include "exec/Pipeline.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+using namespace cerb;
+
+namespace {
+
+/// The representative corpus: at least one test per design-space area
+/// (provenance, pointer equality/relational, copying, unions, null, OOB,
+/// arithmetic, effective types, uninitialised values, sequencing, padding,
+/// lifetime/heap, control flow, CHERI).
+const char *GoldenTests[] = {
+    "provenance_basic_global_yx",
+    "provenance_same_object_roundtrip",
+    "provenance_int_arith_xor",
+    "ptr_eq_one_past_adjacent",
+    "ptr_rel_distinct_objects",
+    "ptr_copy_memcpy",
+    "ptr_copy_bytewise",
+    "union_pun_int_bytes",
+    "null_deref",
+    "null_compare",
+    "oob_transient",
+    "one_past_ok",
+    "one_past_deref",
+    "ptrdiff_same_array",
+    "ptrdiff_cross_object",
+    "char_walk_int",
+    "use_after_free",
+    "dangling_stack_pointer",
+    "uninit_signed_arith",
+    "uninit_into_printf",
+    "unseq_race_two_stores",
+    "unseq_race_incr",
+    "indet_seq_calls",
+    "comma_sequences",
+    "padding_member_store_preserves",
+    "effective_malloc_first_store",
+    "tbaa_int_as_short",
+    "cheri_offset_and",
+    "malloc_free_roundtrip",
+    "double_free",
+    "goto_into_block",
+    "switch_duff_fallthrough",
+};
+
+std::string goldenPath() {
+  return std::string(CERB_SOURCE_DIR) + "/tests/goldens/defacto_outcomes.golden";
+}
+
+std::string escape(const std::string &S) {
+  std::string Out;
+  for (char C : S) {
+    if (C == '\\')
+      Out += "\\\\";
+    else if (C == '\n')
+      Out += "\\n";
+    else
+      Out += C;
+  }
+  return Out;
+}
+
+std::string unescape(const std::string &S) {
+  std::string Out;
+  for (size_t I = 0; I < S.size(); ++I) {
+    if (S[I] == '\\' && I + 1 < S.size()) {
+      ++I;
+      Out += S[I] == 'n' ? '\n' : S[I];
+    } else {
+      Out += S[I];
+    }
+  }
+  return Out;
+}
+
+/// Key "test_name policy" -> sorted canonical outcome strings.
+using GoldenMap = std::map<std::string, std::vector<std::string>>;
+
+GoldenMap computeActual(unsigned ExploreJobs) {
+  GoldenMap Actual;
+  for (const char *Name : GoldenTests) {
+    const defacto::TestCase *T = defacto::findTest(Name);
+    EXPECT_NE(T, nullptr) << "golden corpus names unknown test " << Name;
+    if (!T)
+      continue;
+    for (const mem::MemoryPolicy &P : mem::MemoryPolicy::allPresets()) {
+      exec::RunOptions Opts;
+      Opts.Policy = P;
+      Opts.MaxPaths = 4096;
+      Opts.ExploreJobs = ExploreJobs;
+      auto R = exec::evaluateExhaustive(T->Source, Opts);
+      std::vector<std::string> &Outs = Actual[std::string(Name) + " " + P.Name];
+      if (!R) {
+        Outs.push_back("compile-error(" + R.error().str() + ")");
+        continue;
+      }
+      EXPECT_FALSE(R->Truncated) << Name << "/" << P.Name
+                                 << ": golden corpus must explore fully";
+      for (const exec::Outcome &O : R->Distinct)
+        Outs.push_back(O.str());
+    }
+  }
+  return Actual;
+}
+
+std::string serialize(const GoldenMap &M) {
+  std::string Out =
+      "# Golden distinct-outcome sets for the de facto suite corpus.\n"
+      "# One [test policy] record per exploration; outcomes are canonical\n"
+      "# Outcome::str() strings in sorted order, \\n-escaped.\n"
+      "# Regenerate: CERB_UPDATE_GOLDENS=1 ./build/tests/cerb_golden_tests\n";
+  for (const auto &[Key, Outs] : M) {
+    Out += "\n[" + Key + "]\n";
+    for (const std::string &O : Outs)
+      Out += escape(O) + "\n";
+  }
+  return Out;
+}
+
+bool parseGoldens(const std::string &Path, GoldenMap &M, std::string &Err) {
+  std::ifstream In(Path, std::ios::binary);
+  if (!In) {
+    Err = "cannot open " + Path +
+          " (regenerate: CERB_UPDATE_GOLDENS=1 ./build/tests/cerb_golden_tests)";
+    return false;
+  }
+  std::string Line, Key;
+  while (std::getline(In, Line)) {
+    if (Line.empty() || Line[0] == '#')
+      continue;
+    if (Line.front() == '[' && Line.back() == ']') {
+      Key = Line.substr(1, Line.size() - 2);
+      M[Key]; // a record may legitimately be empty (compile-error sentinel aside)
+      continue;
+    }
+    if (Key.empty()) {
+      Err = "stray line before first record: " + Line;
+      return false;
+    }
+    M[Key].push_back(unescape(Line));
+  }
+  return true;
+}
+
+} // namespace
+
+TEST(GoldenDefacto, OutcomeSetsMatchGoldens) {
+  GoldenMap Actual = computeActual(/*ExploreJobs=*/1);
+
+  if (std::getenv("CERB_UPDATE_GOLDENS")) {
+    std::ofstream Out(goldenPath(), std::ios::binary | std::ios::trunc);
+    ASSERT_TRUE(static_cast<bool>(Out)) << "cannot write " << goldenPath();
+    Out << serialize(Actual);
+    GTEST_LOG_(INFO) << "regenerated " << goldenPath();
+    return;
+  }
+
+  GoldenMap Golden;
+  std::string Err;
+  ASSERT_TRUE(parseGoldens(goldenPath(), Golden, Err)) << Err;
+
+  for (const auto &[Key, Outs] : Golden)
+    EXPECT_TRUE(Actual.count(Key))
+        << "golden record '" << Key
+        << "' no longer produced (corpus changed? regenerate goldens)";
+  for (const auto &[Key, Outs] : Actual) {
+    auto It = Golden.find(Key);
+    if (It == Golden.end()) {
+      ADD_FAILURE() << "no golden record for '" << Key
+                    << "' (new corpus entry? regenerate goldens)";
+      continue;
+    }
+    EXPECT_EQ(It->second, Outs) << "distinct-outcome set drifted for " << Key;
+  }
+}
+
+TEST(GoldenDefacto, ParallelExplorerMatchesGoldenOutcomes) {
+  // The same corpus explored with 4 workers must reproduce the exact
+  // golden sets: the golden suite doubles as an end-to-end determinism
+  // check for the parallel explorer.
+  GoldenMap Serial = computeActual(/*ExploreJobs=*/1);
+  GoldenMap Parallel = computeActual(/*ExploreJobs=*/4);
+  EXPECT_EQ(Serial, Parallel);
+}

@@ -49,14 +49,23 @@ int main(void) { int r = s(1) + s(2) + s(3); printf("%d %d\n", g, r);
 } // namespace
 
 class RandomInExhaustive
-    : public ::testing::TestWithParam<std::tuple<int, uint64_t>> {};
+    : public ::testing::TestWithParam<std::tuple<int, uint64_t, int>> {};
 
 TEST_P(RandomInExhaustive, EveryRandomPathIsAnAllowedBehaviour) {
   const char *Src = NondetPrograms[std::get<0>(GetParam())];
   uint64_t Seed = std::get<1>(GetParam());
+  // Membership must hold under every memory policy, and against the
+  // exhaustive set produced by either explorer (serial and parallel agree
+  // by the determinism contract — checked directly in test_explore.cpp).
+  const mem::MemoryPolicy Policies[] = {
+      mem::MemoryPolicy::defacto(), mem::MemoryPolicy::concrete(),
+      mem::MemoryPolicy::strictIso(), mem::MemoryPolicy::cheri()};
+  const mem::MemoryPolicy &Policy = Policies[std::get<2>(GetParam())];
   auto Prog = exec::compile(Src);
   ASSERT_TRUE(static_cast<bool>(Prog));
   exec::RunOptions Opts;
+  Opts.Policy = Policy;
+  Opts.ExploreJobs = Seed % 2 ? 2 : 1; // alternate serial/parallel explorer
   auto Ex = exec::runExhaustive(*Prog, Opts);
   ASSERT_FALSE(Ex.Truncated);
   std::set<std::string> Allowed;
@@ -64,14 +73,16 @@ TEST_P(RandomInExhaustive, EveryRandomPathIsAnAllowedBehaviour) {
     Allowed.insert(O.str());
   exec::Outcome R = exec::runRandom(*Prog, Opts, Seed);
   EXPECT_TRUE(Allowed.count(R.str()))
-      << "random path produced a behaviour outside the exhaustive set:\n"
+      << "random path under " << Policy.Name
+      << " produced a behaviour outside the exhaustive set:\n"
       << R.str();
 }
 
 INSTANTIATE_TEST_SUITE_P(
     Seeds, RandomInExhaustive,
     ::testing::Combine(::testing::Values(0, 1, 2),
-                       ::testing::Values(1u, 7u, 99u, 1234u, 777777u)));
+                       ::testing::Values(1u, 7u, 99u, 1234u, 777777u),
+                       ::testing::Values(0, 1, 2, 3)));
 
 TEST(Properties, GeneratedProgramsAreDeterministic) {
   // The csmith-lite generator emits choice-free programs: exhaustive mode
