@@ -15,9 +15,16 @@
 /// allowed executions, each doing real arithmetic work), again checking
 /// that the no-timings oracle reports are byte-identical per thread count.
 ///
+/// A third series scales the *differential fuzzing campaign* (src/fuzz)
+/// over a fixed seed range at 1/2/4/8 workers: programs/sec vs --jobs,
+/// plus the campaign's own determinism contract (default reports
+/// byte-identical across worker counts). Skipped when no host C compiler
+/// is available.
+///
 //===----------------------------------------------------------------------===//
 
 #include "exec/Pipeline.h"
+#include "fuzz/Campaign.h"
 #include "oracle/Oracle.h"
 #include "oracle/Report.h"
 
@@ -223,6 +230,60 @@ void speedupSummary() {
               AllIdentical ? "yes" : "NO");
 }
 
+//===----------------------------------------------------------------------===//
+// Campaign throughput: the §6 experiment at scale (programs/sec vs --jobs)
+//===----------------------------------------------------------------------===//
+
+/// One fixed-seed-range campaign (reduction on, as in production use);
+/// returns wall ms and captures the default (no-timings) report.
+double measureCampaignOnce(unsigned Jobs, std::string *ReportOut,
+                           uint64_t *Programs) {
+  fuzz::CampaignOptions C;
+  C.FirstSeed = 1;
+  C.LastSeed = 32;
+  C.Gen.Size = 6;
+  C.Jobs = Jobs;
+  C.TestDeadlineMs = 10'000;
+  auto T0 = std::chrono::steady_clock::now();
+  fuzz::CampaignResult R = fuzz::runCampaign(C);
+  double Ms = std::chrono::duration<double, std::milli>(
+                  std::chrono::steady_clock::now() - T0)
+                  .count();
+  if (ReportOut)
+    *ReportOut = fuzz::toJson(R, C);
+  if (Programs)
+    *Programs = C.LastSeed - C.FirstSeed + 1;
+  return Ms;
+}
+
+void campaignThroughputSummary() {
+  std::printf("\nP4c summary: differential fuzzing campaign throughput "
+              "(seeds 1..32, reduction on)\n");
+  if (!csmith::oracleAvailable()) {
+    std::printf("  skipped: no host C compiler available\n");
+    return;
+  }
+  std::string Baseline;
+  uint64_t Programs = 0;
+  double Base = measureCampaignOnce(1, &Baseline, &Programs);
+  std::printf("  jobs=1: %8.1f ms  %6.1f programs/sec  (baseline)\n", Base,
+              Programs / (Base / 1000.0));
+  bool AllIdentical = true;
+  for (unsigned J : {2u, 4u, 8u}) {
+    std::string Rep;
+    double Ms = measureCampaignOnce(J, &Rep, nullptr);
+    bool Same = Rep == Baseline;
+    AllIdentical = AllIdentical && Same;
+    std::printf("  jobs=%u: %8.1f ms  %6.1f programs/sec  speedup %.2fx  "
+                "report-identical: %s\n",
+                J, Ms, Programs / (Ms / 1000.0), Base / Ms,
+                Same ? "yes" : "NO");
+  }
+  std::printf("  determinism: default fuzz report byte-identical across "
+              "--jobs: %s\n",
+              AllIdentical ? "yes" : "NO");
+}
+
 } // namespace
 
 int main(int argc, char **argv) {
@@ -233,5 +294,6 @@ int main(int argc, char **argv) {
   benchmark::Shutdown();
   speedupSummary();
   exhaustiveScalingSummary();
+  campaignThroughputSummary();
   return 0;
 }

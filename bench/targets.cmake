@@ -25,4 +25,4 @@ cerb_bench(ablation_policy_knobs cerb_defacto)
 cerb_bench(perf_pipeline cerb_csmith benchmark::benchmark)
 cerb_bench(perf_exhaustive cerb_exec benchmark::benchmark)
 cerb_bench(perf_memory_models cerb_exec benchmark::benchmark)
-cerb_bench(perf_oracle_batch cerb_oracle benchmark::benchmark)
+cerb_bench(perf_oracle_batch cerb_oracle cerb_fuzz benchmark::benchmark)

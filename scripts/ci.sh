@@ -1,7 +1,9 @@
 #!/bin/sh
-# Full CI gate: tier-1 unit suite plus the slow golden-outcome regression
-# sweep (tests/test_golden_defacto.cpp). Use scripts/tier1.sh alone for
-# the fast inner loop; this script is what a merge gate should run.
+# Full CI gate: tier-1 unit suite, the slow golden-outcome regression
+# sweep (tests/test_golden_defacto.cpp), and a fixed-seed-range fuzz
+# campaign smoke stage (label `fuzz`, excluded from tier-1). Use
+# scripts/tier1.sh alone for the fast inner loop; this script is what a
+# merge gate should run.
 set -e
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
@@ -13,3 +15,4 @@ cmake --build "$BUILD" -j "$JOBS"
 cd "$BUILD"
 ctest --output-on-failure -L tier1 -j "$JOBS"
 ctest --output-on-failure -L slow -j "$JOBS"
+ctest --output-on-failure -L fuzz -j "$JOBS"

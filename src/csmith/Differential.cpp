@@ -2,14 +2,12 @@
 
 #include "csmith/Differential.h"
 
-#include "exec/Pipeline.h"
 #include "support/Format.h"
+#include "support/Subprocess.h"
 
+#include <chrono>
 #include <cstdio>
-#include <cstdlib>
 #include <fstream>
-#include <sys/wait.h>
-#include <unistd.h>
 
 using namespace cerb;
 using namespace cerb::csmith;
@@ -25,40 +23,64 @@ std::string_view cerb::csmith::diffStatusName(DiffStatus S) {
   return "?";
 }
 
-namespace {
-
-/// Runs a shell command, capturing stdout; nullopt on nonzero exit.
-std::optional<std::string> capture(const std::string &Cmd) {
-  FILE *P = popen((Cmd + " 2>/dev/null").c_str(), "r");
-  if (!P)
-    return std::nullopt;
-  std::string Out;
-  char Buf[4096];
-  size_t N;
-  while ((N = fread(Buf, 1, sizeof Buf, P)) > 0)
-    Out.append(Buf, N);
-  int Status = pclose(P);
-  if (!WIFEXITED(Status) || WEXITSTATUS(Status) != 0)
-    return std::nullopt;
-  return Out;
+std::optional<DiffStatus>
+cerb::csmith::diffStatusByName(std::string_view Name) {
+  for (DiffStatus S : {DiffStatus::Agree, DiffStatus::Mismatch,
+                       DiffStatus::OursTimeout, DiffStatus::OursFail,
+                       DiffStatus::OracleFail})
+    if (diffStatusName(S) == Name)
+      return S;
+  return std::nullopt;
 }
 
-std::string tempDir() {
-  static std::string Dir = [] {
-    std::string D = "/tmp/cerb-diff-" + std::to_string(getpid());
-    std::string Cmd = "mkdir -p " + D;
-    if (std::system(Cmd.c_str()) != 0)
-      return std::string("/tmp");
-    return D;
-  }();
-  return Dir;
+std::string_view cerb::csmith::diffStageName(DiffStage S) {
+  switch (S) {
+  case DiffStage::None: return "none";
+  case DiffStage::Frontend: return "frontend";
+  case DiffStage::Dynamic: return "dynamic";
+  case DiffStage::Oracle: return "oracle";
+  case DiffStage::Output: return "output";
+  }
+  return "?";
+}
+
+namespace {
+
+/// FNV-1a over \p S with digits and whitespace runs stripped: line numbers,
+/// offsets, and concrete values vary under reduction, but the *shape* of a
+/// diagnostic does not.
+uint64_t normalizedHash(std::string_view S) {
+  uint64_t H = 0xcbf29ce484222325ULL;
+  bool LastWasSpace = false;
+  for (char C : S) {
+    if (C >= '0' && C <= '9')
+      continue;
+    bool Space = C == ' ' || C == '\t' || C == '\n';
+    if (Space && LastWasSpace)
+      continue;
+    LastWasSpace = Space;
+    H ^= static_cast<unsigned char>(Space ? ' ' : C);
+    H *= 0x100000001b3ULL;
+  }
+  return H;
 }
 
 } // namespace
 
+std::string cerb::csmith::diffSignature(const DiffResult &R) {
+  std::string UBPart = R.UB ? std::string(mem::ubName(*R.UB)) : "-";
+  char Hash[24];
+  std::snprintf(Hash, sizeof(Hash), "%016llx",
+                static_cast<unsigned long long>(
+                    R.Stage == DiffStage::None ? 0
+                                               : normalizedHash(R.Detail)));
+  return fmt("{0}|{1}|{2}|{3}", diffStatusName(R.Status),
+             diffStageName(R.Stage), UBPart, Hash);
+}
+
 bool cerb::csmith::oracleAvailable() {
   static bool Available = [] {
-    return capture("cc --version").has_value();
+    return captureCommand("cc --version").has_value();
   }();
   return Available;
 }
@@ -67,54 +89,94 @@ std::optional<std::string>
 cerb::csmith::runOracle(const std::string &Source) {
   if (!oracleAvailable())
     return std::nullopt;
-  static unsigned Counter = 0;
-  std::string Base = tempDir() + "/t" + std::to_string(Counter++);
+  std::string Base =
+      processScratchDir() + "/t" + std::to_string(nextScratchId());
   {
     std::ofstream F(Base + ".c");
     F << Source;
   }
-  if (!capture("cc -O1 -o " + Base + " " + Base + ".c"))
-    return std::nullopt;
-  auto Out = capture("timeout 10 " + Base);
-  std::string Cleanup = "rm -f " + Base + " " + Base + ".c";
-  (void)std::system(Cleanup.c_str());
+  std::optional<std::string> Out;
+  if (captureCommand("cc -O1 -o " + Base + " " + Base + ".c"))
+    Out = captureCommand("timeout 10 " + Base);
+  removeFiles(Base, Base + ".c");
   return Out;
+}
+
+DifferentialRunner::DifferentialRunner(std::string Source)
+    : Source(std::move(Source)) {}
+
+DiffResult DifferentialRunner::run(const DiffOptions &O) {
+  DiffResult R;
+
+  if (!Prog)
+    Prog.emplace(exec::compile(Source));
+  if (!*Prog) {
+    R.Status = DiffStatus::OursFail;
+    R.Stage = DiffStage::Frontend;
+    R.Detail = Prog->error().str();
+    return R;
+  }
+
+  exec::RunOptions Opts;
+  Opts.Policy = O.Policy;
+  Opts.Limits.MaxSteps = O.StepBudget;
+  if (O.DeadlineMs)
+    Opts.Limits.Deadline = std::chrono::steady_clock::now() +
+                           std::chrono::milliseconds(O.DeadlineMs);
+  exec::Outcome Ours = exec::runOnce(**Prog, Opts);
+
+  if (Ours.Kind == exec::OutcomeKind::StepLimit ||
+      Ours.Kind == exec::OutcomeKind::Timeout) {
+    R.Status = DiffStatus::OursTimeout;
+    // Which limit tripped first (step budget vs wall-clock deadline) is a
+    // race against machine load for near-budget programs; record the
+    // deterministic union so campaign reports stay byte-identical across
+    // worker counts.
+    R.Detail = "timeout";
+    return R;
+  }
+  if (Ours.Kind != exec::OutcomeKind::Exit) {
+    // A generated program must be UB-free: any UB report is a generator or
+    // semantics bug and counts as a failure (the interesting kind!).
+    R.Status = DiffStatus::OursFail;
+    R.Stage = DiffStage::Dynamic;
+    if (Ours.Kind == exec::OutcomeKind::Undef)
+      R.UB = Ours.UB.Kind;
+    R.Detail = Ours.str();
+    return R;
+  }
+  R.Ours = Ours.Stdout;
+
+  if (!Host)
+    Host.emplace(runOracle(Source));
+  if (!*Host) {
+    R.Status = DiffStatus::OracleFail;
+    R.Stage = DiffStage::Oracle;
+    return R;
+  }
+  R.Oracle = **Host;
+  if (R.Ours == R.Oracle) {
+    R.Status = DiffStatus::Agree;
+  } else {
+    R.Status = DiffStatus::Mismatch;
+    R.Stage = DiffStage::Output;
+    // Keep the Detail *shape* independent of the concrete checksums so all
+    // output divergences of one program family share a bucket.
+    R.Detail = "stdout-divergence";
+  }
+  return R;
+}
+
+DiffResult cerb::csmith::differentialTest(const std::string &Source,
+                                          const DiffOptions &O) {
+  return DifferentialRunner(Source).run(O);
 }
 
 DiffResult cerb::csmith::differentialTest(const std::string &Source,
                                           uint64_t StepBudget) {
-  DiffResult R;
-
-  exec::RunOptions Opts;
-  Opts.Policy = mem::MemoryPolicy::defacto();
-  Opts.Limits.MaxSteps = StepBudget;
-  auto OursOr = exec::evaluateOnce(Source, Opts);
-  if (!OursOr) {
-    R.Status = DiffStatus::OursFail;
-    R.Detail = OursOr.error().str();
-    return R;
-  }
-  if (OursOr->Kind == exec::OutcomeKind::StepLimit) {
-    R.Status = DiffStatus::OursTimeout;
-    return R;
-  }
-  if (OursOr->Kind != exec::OutcomeKind::Exit) {
-    // A generated program must be UB-free: any UB report is a generator or
-    // semantics bug and counts as a failure (the interesting kind!).
-    R.Status = DiffStatus::OursFail;
-    R.Detail = OursOr->str();
-    return R;
-  }
-  R.Ours = OursOr->Stdout;
-
-  auto Oracle = runOracle(Source);
-  if (!Oracle) {
-    R.Status = DiffStatus::OracleFail;
-    return R;
-  }
-  R.Oracle = *Oracle;
-  R.Status = R.Ours == R.Oracle ? DiffStatus::Agree : DiffStatus::Mismatch;
-  return R;
+  DiffOptions O;
+  O.StepBudget = StepBudget;
+  return differentialTest(Source, O);
 }
 
 ValidationSummary cerb::csmith::validateSeeds(uint64_t FirstSeed,

@@ -7,11 +7,18 @@
 /// small + 400 larger Csmith tests; we regenerate the same experiment
 /// shape (agree / timeout / fail counts) with the host compiler as oracle.
 ///
+/// The fuzz-campaign subsystem (src/fuzz) drives this harness at scale:
+/// DiffOptions exposes the memory policy and a wall-clock deadline (so a
+/// pathological program cannot stall a campaign worker), DifferentialRunner
+/// shares one elaboration and one host-compiler run across a policy set,
+/// and diffSignature computes the stable triage-bucket key.
+///
 //===----------------------------------------------------------------------===//
 #ifndef CERB_CSMITH_DIFFERENTIAL_H
 #define CERB_CSMITH_DIFFERENTIAL_H
 
 #include "csmith/Generator.h"
+#include "exec/Pipeline.h"
 
 #include <cstdint>
 #include <optional>
@@ -23,19 +30,52 @@ namespace cerb::csmith {
 enum class DiffStatus {
   Agree,       ///< same stdout + exit status
   Mismatch,    ///< both ran, different results (a bug somewhere!)
-  OursTimeout, ///< our interpreter hit the step budget (§6 "times out")
+  OursTimeout, ///< our interpreter hit the step budget or deadline (§6
+               ///< "times out")
   OursFail,    ///< our pipeline rejected or errored on the program
   OracleFail,  ///< the host compiler failed (unavailable / crashed)
 };
 
 std::string_view diffStatusName(DiffStatus S);
+std::optional<DiffStatus> diffStatusByName(std::string_view Name);
+
+/// The first pipeline stage at which the two implementations diverged
+/// (part of the triage-bucket key).
+enum class DiffStage {
+  None,     ///< agreement, or a timeout (no divergence established)
+  Frontend, ///< our front half rejected the program (static error)
+  Dynamic,  ///< our execution ended in UB / abort / internal error
+  Oracle,   ///< the host compiler itself failed
+  Output,   ///< both ran to completion; the printed checksums differ
+};
+
+std::string_view diffStageName(DiffStage S);
+
+struct DiffOptions {
+  mem::MemoryPolicy Policy = mem::MemoryPolicy::defacto();
+  uint64_t StepBudget = 20'000'000;
+  /// Wall-clock deadline for *our* execution (plumbed into
+  /// exec::ExecLimits::Deadline; the host oracle run is separately bounded
+  /// by `timeout`). 0 = none.
+  uint64_t DeadlineMs = 0;
+};
 
 struct DiffResult {
   DiffStatus Status = DiffStatus::OracleFail;
+  DiffStage Stage = DiffStage::None;
+  /// The UB kind when our execution flagged undefined behaviour.
+  std::optional<mem::UBKind> UB;
   std::string Ours;
   std::string Oracle;
   std::string Detail;
 };
+
+/// Stable triage signature of a result: "status|stage|ub|hash" where hash
+/// is an FNV-1a of the digit-normalized Detail (line numbers and literal
+/// values are stripped so that reduction, which renumbers lines, cannot
+/// move a reproducer out of its bucket). Deterministic across runs,
+/// machines, and thread counts.
+std::string diffSignature(const DiffResult &R);
 
 /// Is a host C compiler available? (checked once, cached)
 bool oracleAvailable();
@@ -45,8 +85,26 @@ std::optional<std::string> runOracle(const std::string &Source);
 
 /// Runs \p Source through our pipeline + one (deterministic) execution and
 /// through the oracle, and compares.
+DiffResult differentialTest(const std::string &Source, const DiffOptions &O);
+/// Back-compat shim: de facto policy, step budget only.
 DiffResult differentialTest(const std::string &Source,
                             uint64_t StepBudget = 20'000'000);
+
+/// Compile-once / compare-many harness for sweeping one program across a
+/// policy set: the elaboration and the host-compiler run are both shared
+/// between run() calls (compilation is policy-independent; the oracle's
+/// output obviously is too). Not thread-safe; use one per worker.
+class DifferentialRunner {
+public:
+  explicit DifferentialRunner(std::string Source);
+
+  DiffResult run(const DiffOptions &O);
+
+private:
+  std::string Source;
+  std::optional<Expected<core::CoreProgram>> Prog; ///< compiled lazily
+  std::optional<std::optional<std::string>> Host;  ///< memoized oracle run
+};
 
 /// The §6 aggregate over a seed range.
 struct ValidationSummary {

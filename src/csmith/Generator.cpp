@@ -34,16 +34,24 @@ public:
   Generator(const GenOptions &Opts) : Opts(Opts), R(Opts.Seed) {}
 
   std::string run();
+  std::vector<SourceChunk> takeChunks() { return std::move(Chunks); }
 
   /// Generates a statement sequence into a fresh buffer; returns the
-  /// needed loop-counter declarations plus the body.
-  std::pair<std::string, std::string> genBody(unsigned Budget,
-                                              unsigned Depth) {
+  /// needed loop-counter declarations plus the body. When \p Spans is
+  /// given, the [begin,end) span of each top-level statement within the
+  /// body is recorded (the reducer's Statement chunk boundaries).
+  std::pair<std::string, std::string>
+  genBody(unsigned Budget, unsigned Depth,
+          std::vector<std::pair<size_t, size_t>> *Spans = nullptr) {
     unsigned FirstCounter = LocalCounter;
     std::string Saved;
     std::swap(Out, Saved);
-    while (Budget > 0)
+    while (Budget > 0) {
+      size_t B = Out.size();
       stmt(1, Depth, Budget);
+      if (Spans && Out.size() > B)
+        Spans->push_back({B, Out.size()});
+    }
     std::string Body;
     std::swap(Out, Body);
     Out = std::move(Saved);
@@ -71,6 +79,12 @@ private:
   std::vector<Var> Globals;
   std::vector<Var> Locals; ///< in-scope unsigned locals
   std::vector<std::string> Functions; ///< generated helper names
+  std::vector<SourceChunk> Chunks;    ///< reducible spans of Out
+
+  void markChunk(SourceChunk::Kind K, size_t Begin) {
+    if (Out.size() > Begin)
+      Chunks.push_back(SourceChunk{K, Begin, Out.size()});
+  }
 
   void line(unsigned Indent, const std::string &S) {
     Out += std::string(2 * Indent, ' ') + S + "\n";
@@ -238,6 +252,7 @@ std::string Generator::run() {
         toString(Int128(Opts.Seed)) + " */\n#include <stdio.h>\n\n";
 
   for (unsigned I = 0; I < Opts.NumGlobals; ++I) {
+    size_t ChunkBegin = Out.size();
     bool IsArr = R.chance(30);
     Var V;
     V.Name = fmt("g{0}", I);
@@ -251,18 +266,27 @@ std::string Generator::run() {
       Out += fmt("unsigned int {0} = {1}u;\n", V.Name, R.below(1000));
     }
     Globals.push_back(std::move(V));
+    markChunk(SourceChunk::Kind::Global, ChunkBegin);
   }
   Out += "\n";
 
   for (unsigned I = 0; I < Opts.NumFunctions; ++I) {
+    size_t ChunkBegin = Out.size();
     function(I);
     Functions.push_back(fmt("fn{0}", I));
+    markChunk(SourceChunk::Kind::Function, ChunkBegin);
   }
 
   Out += "int main(void) {\n";
   Locals.clear();
-  auto [Decls, Body] = genBody(Opts.Size, Opts.MaxDepth);
-  Out += Decls + Body;
+  std::vector<std::pair<size_t, size_t>> StmtSpans;
+  auto [Decls, Body] = genBody(Opts.Size, Opts.MaxDepth, &StmtSpans);
+  Out += Decls;
+  size_t BodyBase = Out.size();
+  Out += Body;
+  for (const auto &[B, E] : StmtSpans)
+    Chunks.push_back(
+        SourceChunk{SourceChunk::Kind::Statement, BodyBase + B, BodyBase + E});
 
   // Checksum of all globals (the Csmith convention).
   Out += "  unsigned int crc = 0u;\n";
@@ -283,4 +307,13 @@ std::string Generator::run() {
 std::string cerb::csmith::generateProgram(const GenOptions &Opts) {
   Generator G(Opts);
   return G.run();
+}
+
+GeneratedProgram
+cerb::csmith::generateProgramWithChunks(const GenOptions &Opts) {
+  Generator G(Opts);
+  GeneratedProgram P;
+  P.Source = G.run();
+  P.Chunks = G.takeChunks();
+  return P;
 }

@@ -20,6 +20,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 namespace cerb::csmith {
 
@@ -33,8 +34,36 @@ struct GenOptions {
   unsigned MaxDepth = 3;
 };
 
+/// One structurally removable byte span of a generated program: splicing
+/// the span out always leaves balanced braces and a compilable *shape*
+/// (removals may still break compilation by orphaning a use of a deleted
+/// declaration — the reducer's oracle predicate filters those candidates).
+struct SourceChunk {
+  enum class Kind {
+    Global,    ///< one global variable definition line
+    Function,  ///< one whole helper-function definition
+    Statement, ///< one top-level statement (possibly a block) in main
+  };
+  Kind ChunkKind = Kind::Statement;
+  size_t Begin = 0; ///< byte offset of the span start
+  size_t End = 0;   ///< one past the span end
+};
+
+/// A generated program together with its reducible structure. The chunk
+/// list is ascending and non-overlapping; the non-chunk remainder (header,
+/// main's skeleton, the checksum epilogue) is never removed by reduction.
+struct GeneratedProgram {
+  std::string Source;
+  std::vector<SourceChunk> Chunks;
+};
+
 /// Generates one deterministic, UB-free C program.
 std::string generateProgram(const GenOptions &Opts);
+
+/// Like generateProgram (byte-identical Source for the same options), also
+/// reporting the structure-aware chunk boundaries the ddmin reducer
+/// operates on.
+GeneratedProgram generateProgramWithChunks(const GenOptions &Opts);
 
 } // namespace cerb::csmith
 

@@ -1,0 +1,129 @@
+//===-- fuzz/Campaign.h - Differential fuzzing campaigns --------*- C++ -*-===//
+///
+/// \file
+/// The §6 validation experiment as a first-class, parallel, resumable
+/// subsystem: a campaign fans a seed range of generated programs across
+/// the shared cerb::ThreadPool, runs each through the csmith differential
+/// harness under a chosen set of memory policies, ddmin-reduces every
+/// divergence (Mismatch / OursFail) to a 1-minimal reproducer, and triages
+/// the results into buckets keyed by the stable diffSignature
+/// (status | first-divergent-stage | UB kind | normalized-detail hash).
+///
+/// Determinism contract (mirrors oracle::Report): the default JSON report
+/// ("cerb-fuzz-report/1", IncludeTimings=false) is byte-identical for any
+/// worker count — per-seed work is independent, results merge by seed
+/// index, reduction is capped by a deterministic test budget, and buckets
+/// sort by key with the smallest seed as representative. Wall-clock and
+/// resume attribution live behind IncludeTimings.
+///
+/// Resume: loadCampaignEntries() reads a previous report's entries; seeds
+/// whose every requested policy already has an entry are not re-run, so a
+/// long campaign survives interruption (and a finished one extends
+/// incrementally to a larger seed range).
+///
+//===----------------------------------------------------------------------===//
+#ifndef CERB_FUZZ_CAMPAIGN_H
+#define CERB_FUZZ_CAMPAIGN_H
+
+#include "csmith/Differential.h"
+#include "fuzz/Reducer.h"
+
+#include <string>
+#include <vector>
+
+namespace cerb::fuzz {
+
+struct CampaignOptions {
+  uint64_t FirstSeed = 1;
+  uint64_t LastSeed = 100; ///< inclusive
+  /// Generator shape; Seed is overridden per program.
+  csmith::GenOptions Gen;
+  /// Policies each program is validated under (empty = {defacto}).
+  std::vector<mem::MemoryPolicy> Policies;
+  unsigned Jobs = 0; ///< campaign worker threads (0 = hardware concurrency)
+  uint64_t StepBudget = 20'000'000;
+  /// Per-differential-run wall-clock deadline (csmith::DiffOptions
+  /// ::DeadlineMs): a pathological program times out instead of stalling a
+  /// campaign worker. 0 = none.
+  uint64_t TestDeadlineMs = 10'000;
+  bool Reduce = true; ///< ddmin-reduce every Mismatch / OursFail
+  ReduceOptions Reduction;
+  /// When set, each bucket's minimized reproducer is persisted here as a
+  /// standalone .c file (created if missing).
+  std::string CorpusDir;
+};
+
+/// One (seed, policy) differential result.
+struct CampaignEntry {
+  uint64_t Seed = 0;
+  std::string Policy;
+  csmith::DiffStatus Status = csmith::DiffStatus::OracleFail;
+  std::string Signature; ///< csmith::diffSignature of the original result
+  std::string Detail;
+  size_t SourceBytes = 0;
+  size_t ReducedBytes = 0;  ///< 0 when the entry was not reduced
+  uint64_t ReduceTests = 0; ///< oracle predicate evaluations spent reducing
+  bool OneMinimal = false;
+  std::string Reduced; ///< minimized reproducer source (when reduced)
+  bool Resumed = false; ///< taken from a previous report, not re-run
+};
+
+/// A triage bucket: all reduced divergences sharing one signature.
+struct Bucket {
+  std::string Key; ///< the shared diffSignature
+  std::string Status, Stage, UB; ///< Key split into its named parts
+  std::vector<uint64_t> Seeds;   ///< ascending, deduplicated
+  uint64_t RepresentativeSeed = 0; ///< smallest seed in the bucket
+  std::string RepresentativePolicy;
+  size_t OriginalBytes = 0; ///< representative's generated size
+  size_t ReducedBytes = 0;  ///< representative's minimized size
+  std::string Reproducer;   ///< representative's minimized source
+  std::string CorpusFile;   ///< file name under CorpusDir (when persisted)
+};
+
+struct CampaignStats {
+  uint64_t Total = 0; ///< (seed, policy) pairs — the §6 table denominator
+  uint64_t Agree = 0;
+  uint64_t Mismatch = 0;
+  uint64_t Timeout = 0;
+  uint64_t Fail = 0;
+  uint64_t OracleUnavailable = 0;
+  uint64_t Reduced = 0;      ///< entries that went through the reducer
+  uint64_t ReduceTests = 0;  ///< total oracle evaluations spent reducing
+  uint64_t ResumedEntries = 0; ///< timings-gated in the report
+  double WallMs = 0;           ///< timings-gated
+};
+
+struct CampaignResult {
+  std::vector<CampaignEntry> Entries; ///< seed-major, policy order within
+  std::vector<Bucket> Buckets;        ///< sorted by Key
+  CampaignStats Stats;
+};
+
+/// Runs a campaign. \p Previous (optional) supplies entries from an
+/// earlier report: a seed with an entry for every requested policy is
+/// adopted instead of re-run.
+CampaignResult runCampaign(const CampaignOptions &Opts,
+                           const std::vector<CampaignEntry> *Previous =
+                               nullptr);
+
+struct CampaignReportOptions {
+  /// Wall-clock throughput and resume attribution; off by default so the
+  /// report is byte-identical across --jobs and across resumed/fresh runs.
+  bool IncludeTimings = false;
+};
+
+/// Serializes the campaign as JSON (schema "cerb-fuzz-report/1").
+std::string toJson(const CampaignResult &R, const CampaignOptions &Opts,
+                   const CampaignReportOptions &RO = CampaignReportOptions());
+
+/// Parses the entries of a previous "cerb-fuzz-report/1" document (the
+/// --resume input). Returns false with \p Err filled on a malformed
+/// document; unknown fields are ignored.
+bool loadCampaignEntries(const std::string &JsonText,
+                         std::vector<CampaignEntry> &Out,
+                         std::string *Err = nullptr);
+
+} // namespace cerb::fuzz
+
+#endif // CERB_FUZZ_CAMPAIGN_H

@@ -1,0 +1,309 @@
+//===-- fuzz/Reducer.cpp --------------------------------------------------===//
+
+#include "fuzz/Reducer.h"
+
+#include <algorithm>
+#include <chrono>
+#include <unordered_map>
+
+using namespace cerb;
+using namespace cerb::fuzz;
+using csmith::SourceChunk;
+
+//===----------------------------------------------------------------------===//
+// Structural chunking of arbitrary C-like text
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Net brace depth change of \p Line, ignoring string/char literals and
+/// comments well enough for the code this repository generates and tests.
+int braceDelta(std::string_view Line) {
+  int D = 0;
+  bool InStr = false, InChar = false;
+  for (size_t I = 0; I < Line.size(); ++I) {
+    char C = Line[I];
+    if (InStr) {
+      if (C == '\\')
+        ++I;
+      else if (C == '"')
+        InStr = false;
+      continue;
+    }
+    if (InChar) {
+      if (C == '\\')
+        ++I;
+      else if (C == '\'')
+        InChar = false;
+      continue;
+    }
+    if (C == '"')
+      InStr = true;
+    else if (C == '\'')
+      InChar = true;
+    else if (C == '/' && I + 1 < Line.size() && Line[I + 1] == '/')
+      break;
+    else if (C == '{')
+      ++D;
+    else if (C == '}')
+      --D;
+  }
+  return D;
+}
+
+bool isBlankOrComment(std::string_view Line) {
+  size_t I = Line.find_first_not_of(" \t");
+  if (I == std::string_view::npos)
+    return true;
+  return Line.substr(I, 2) == "/*" || Line.substr(I, 2) == "//" ||
+         Line[I] == '*';
+}
+
+struct Line {
+  size_t Begin, End; ///< byte span including the trailing newline
+  std::string_view Text;
+};
+
+std::vector<Line> splitLines(const std::string &S) {
+  std::vector<Line> Ls;
+  size_t Pos = 0;
+  while (Pos < S.size()) {
+    size_t NL = S.find('\n', Pos);
+    size_t End = NL == std::string::npos ? S.size() : NL + 1;
+    Ls.push_back({Pos, End, std::string_view(S).substr(Pos, End - Pos)});
+    Pos = End;
+  }
+  return Ls;
+}
+
+} // namespace
+
+std::vector<SourceChunk> cerb::fuzz::chunkSource(const std::string &Source) {
+  std::vector<SourceChunk> Chunks;
+  std::vector<Line> Lines = splitLines(Source);
+  int Depth = 0;
+  size_t I = 0;
+  while (I < Lines.size()) {
+    const Line &L = Lines[I];
+    std::string_view Text = L.Text;
+    size_t NonWs = Text.find_first_not_of(" \t");
+    bool Blank = isBlankOrComment(Text) || NonWs == std::string_view::npos ||
+                 Text[NonWs] == '#';
+    int Delta = Blank ? 0 : braceDelta(Text);
+
+    if (Depth != 0 || Blank) {
+      Depth += Delta;
+      ++I;
+      continue;
+    }
+
+    if (Delta > 0) {
+      // A top-level block: find its closing line.
+      size_t J = I;
+      int D = 0;
+      do {
+        D += isBlankOrComment(Lines[J].Text) ? 0 : braceDelta(Lines[J].Text);
+        ++J;
+      } while (J < Lines.size() && D > 0);
+      // [I, J) is the block (inclusive of the closing-brace line).
+      bool IsMain = Text.find("main(") != std::string_view::npos ||
+                    Text.find("main (") != std::string_view::npos;
+      if (!IsMain) {
+        size_t End = J < Lines.size() ? Lines[J - 1].End : Source.size();
+        // Swallow a following blank separator line, like the generator's
+        // function chunks do.
+        if (J < Lines.size() && Lines[J].Text == "\n")
+          End = Lines[J].End, ++J;
+        Chunks.push_back(
+            SourceChunk{SourceChunk::Kind::Function, L.Begin, End});
+      } else {
+        // Chunk main's interior: depth-1 statement groups between the
+        // opening line and the closing-brace line.
+        size_t K = I + 1;
+        while (K + 1 < J) {
+          if (isBlankOrComment(Lines[K].Text)) {
+            ++K;
+            continue;
+          }
+          size_t StmtBegin = K;
+          int SD = braceDelta(Lines[K].Text);
+          ++K;
+          while (K + 1 < J && SD > 0) {
+            SD += isBlankOrComment(Lines[K].Text) ? 0
+                                                  : braceDelta(Lines[K].Text);
+            ++K;
+          }
+          Chunks.push_back(SourceChunk{SourceChunk::Kind::Statement,
+                                       Lines[StmtBegin].Begin,
+                                       Lines[K - 1].End});
+        }
+      }
+      I = J;
+      continue;
+    }
+
+    // A top-level non-block line: a declaration/definition statement.
+    if (Text.find(';') != std::string_view::npos)
+      Chunks.push_back(SourceChunk{SourceChunk::Kind::Global, L.Begin, L.End});
+    Depth += Delta;
+    ++I;
+  }
+  return Chunks;
+}
+
+//===----------------------------------------------------------------------===//
+// ddmin
+//===----------------------------------------------------------------------===//
+
+std::string
+cerb::fuzz::spliceChunks(const std::string &Source,
+                         const std::vector<SourceChunk> &Chunks,
+                         const std::vector<size_t> &Keep) {
+  std::vector<bool> Kept(Chunks.size(), false);
+  for (size_t K : Keep)
+    Kept[K] = true;
+  std::string Out;
+  Out.reserve(Source.size());
+  size_t Pos = 0;
+  for (size_t C = 0; C < Chunks.size(); ++C) {
+    // Chunks are ascending and disjoint: copy the gap, then the chunk iff
+    // kept.
+    Out.append(Source, Pos, Chunks[C].Begin - Pos);
+    if (Kept[C])
+      Out.append(Source, Chunks[C].Begin, Chunks[C].End - Chunks[C].Begin);
+    Pos = Chunks[C].End;
+  }
+  Out.append(Source, Pos, Source.size() - Pos);
+  return Out;
+}
+
+namespace {
+
+class DdMin {
+public:
+  DdMin(const std::string &Source, const std::vector<SourceChunk> &Chunks,
+        const std::function<bool(const std::string &)> &StillFails,
+        const ReduceOptions &Opts)
+      : Source(Source), Chunks(Chunks), StillFails(StillFails), Opts(Opts) {
+    if (Opts.DeadlineMs)
+      Deadline = std::chrono::steady_clock::now() +
+                 std::chrono::milliseconds(Opts.DeadlineMs);
+  }
+
+  ReduceResult run() {
+    ReduceResult R;
+    R.OriginalBytes = Source.size();
+
+    std::vector<size_t> Live(Chunks.size());
+    for (size_t I = 0; I < Live.size(); ++I)
+      Live[I] = I;
+
+    // The caller asserts the full source fails; verify cheaply so that a
+    // broken predicate cannot make us "minimize" a passing input.
+    if (!test(Live)) {
+      R.Reduced = Source;
+      R.ReducedBytes = Source.size();
+      R.ChunksKept = Chunks.size();
+      finish(R);
+      return R;
+    }
+
+    size_t N = 2;
+    while (Live.size() >= 2 && !stop()) {
+      bool Reduced = false;
+      size_t GroupSize = (Live.size() + N - 1) / N;
+      for (size_t G = 0; G * GroupSize < Live.size() && !stop(); ++G) {
+        // Candidate = Live minus the G-th group (test the complement).
+        std::vector<size_t> Candidate;
+        Candidate.reserve(Live.size());
+        size_t Lo = G * GroupSize;
+        size_t Hi = std::min(Live.size(), Lo + GroupSize);
+        for (size_t I = 0; I < Live.size(); ++I)
+          if (I < Lo || I >= Hi)
+            Candidate.push_back(Live[I]);
+        if (Candidate.empty())
+          continue;
+        if (test(Candidate)) {
+          Live = std::move(Candidate);
+          N = std::max<size_t>(N - 1, 2);
+          Reduced = true;
+          break;
+        }
+      }
+      if (!Reduced) {
+        if (N >= Live.size())
+          break; // every single-chunk removal passes: 1-minimal
+        N = std::min(Live.size(), N * 2);
+      }
+    }
+
+    // The loop never tests the empty configuration (groups are proper
+    // subsets); with one chunk left the skeleton alone may still fail, so
+    // test that final removal explicitly.
+    if (Live.size() == 1 && !stop() && test({}))
+      Live.clear();
+
+    R.Reduced = spliceChunks(Source, Chunks, Live);
+    R.ReducedBytes = R.Reduced.size();
+    R.ChunksKept = Live.size();
+    finish(R);
+    // 1-minimality holds when the loop ran to convergence (the final sweep
+    // at N == |Live| found no removable chunk) rather than tripping a
+    // budget, and trivially for 0/1 remaining chunks.
+    R.OneMinimal = !R.BudgetHit && !R.DeadlineHit;
+    return R;
+  }
+
+private:
+  const std::string &Source;
+  const std::vector<SourceChunk> &Chunks;
+  const std::function<bool(const std::string &)> &StillFails;
+  const ReduceOptions &Opts;
+  std::chrono::steady_clock::time_point Deadline{};
+  uint64_t Tests = 0;
+  bool HitDeadline = false;
+  /// Memo of predicate results keyed by candidate text: ddmin revisits
+  /// configurations, and differential predicates are expensive (a host
+  /// compiler run each).
+  std::unordered_map<std::string, bool> Memo;
+
+  bool stop() {
+    if (Tests >= Opts.MaxTests)
+      return true;
+    if (Deadline != std::chrono::steady_clock::time_point{} &&
+        std::chrono::steady_clock::now() >= Deadline) {
+      HitDeadline = true;
+      return true;
+    }
+    return false;
+  }
+
+  bool test(const std::vector<size_t> &Keep) {
+    std::string Candidate = spliceChunks(Source, Chunks, Keep);
+    auto It = Memo.find(Candidate);
+    if (It != Memo.end())
+      return It->second;
+    if (stop())
+      return false; // over budget: treat as "does not fail", keep current
+    ++Tests;
+    bool Fails = StillFails(Candidate);
+    Memo.emplace(std::move(Candidate), Fails);
+    return Fails;
+  }
+
+  void finish(ReduceResult &R) {
+    R.TestsRun = Tests;
+    R.DeadlineHit = HitDeadline;
+    R.BudgetHit = !HitDeadline && Tests >= Opts.MaxTests;
+  }
+};
+
+} // namespace
+
+ReduceResult
+cerb::fuzz::reduce(const std::string &Source,
+                   const std::vector<SourceChunk> &Chunks,
+                   const std::function<bool(const std::string &)> &StillFails,
+                   const ReduceOptions &Opts) {
+  return DdMin(Source, Chunks, StillFails, Opts).run();
+}

@@ -1,0 +1,79 @@
+//===-- fuzz/Reducer.h - Delta-debugging test-case reduction ----*- C++ -*-===//
+///
+/// \file
+/// ddmin (Zeller & Hildebrandt's delta debugging) over structural source
+/// chunks: given a program that makes some oracle predicate fail (a
+/// differential mismatch, a spurious UB report, ...), find a 1-minimal
+/// sub-program — one from which no single remaining chunk can be removed
+/// without the failure disappearing.
+///
+/// Chunks are byte spans that can be spliced out while keeping braces
+/// balanced: the csmith generator reports its own exact structure
+/// (csmith::GeneratedProgram), and chunkSource() recovers an equivalent
+/// segmentation from arbitrary C-like text (for `cerb reduce` on files).
+/// Candidates that break compilation simply fail the predicate and are
+/// never returned.
+///
+/// Determinism: with a pure predicate the reduction is a deterministic
+/// function of (source, chunks, MaxTests) — the campaign relies on this
+/// for byte-identical reports across worker counts. The wall-clock
+/// deadline is an opt-in backstop; when it fires the best candidate seen
+/// so far (which always satisfies the predicate) is returned.
+///
+//===----------------------------------------------------------------------===//
+#ifndef CERB_FUZZ_REDUCER_H
+#define CERB_FUZZ_REDUCER_H
+
+#include "csmith/Generator.h"
+
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace cerb::fuzz {
+
+struct ReduceOptions {
+  /// Predicate-evaluation budget. Deterministic (unlike a deadline), so it
+  /// is the default cap; exhausting it returns the best candidate found.
+  uint64_t MaxTests = 256;
+  /// Wall-clock backstop for one whole reduction; 0 = none.
+  uint64_t DeadlineMs = 0;
+};
+
+struct ReduceResult {
+  std::string Reduced;     ///< smallest variant still satisfying the predicate
+  size_t OriginalBytes = 0;
+  size_t ReducedBytes = 0;
+  uint64_t TestsRun = 0;   ///< predicate evaluations (cache misses)
+  size_t ChunksKept = 0;   ///< chunks remaining in the result
+  bool OneMinimal = false; ///< verified: removing any single chunk passes
+  bool DeadlineHit = false;
+  bool BudgetHit = false;  ///< MaxTests exhausted before convergence
+};
+
+/// Recovers a structural chunk list from C-like text: brace-aware, line
+/// based. Top-level one-line declarations become Global chunks; top-level
+/// brace blocks become Function chunks — except one whose header mentions
+/// `main(`, whose depth-1 statements (brace-balanced groups of lines)
+/// become Statement chunks instead. Preprocessor lines and comments stay
+/// un-chunked (never removed).
+std::vector<csmith::SourceChunk> chunkSource(const std::string &Source);
+
+/// Splices every chunk NOT in \p Keep (indices into \p Chunks) out of
+/// \p Source. Exposed for tests.
+std::string spliceChunks(const std::string &Source,
+                         const std::vector<csmith::SourceChunk> &Chunks,
+                         const std::vector<size_t> &Keep);
+
+/// ddmin: minimizes \p Source over \p Chunks against \p StillFails (true =
+/// "the candidate still reproduces the failure"). Precondition: the full
+/// source fails; callers should verify their predicate on it first — if it
+/// does not, the untouched source is returned with TestsRun == 1.
+ReduceResult reduce(const std::string &Source,
+                    const std::vector<csmith::SourceChunk> &Chunks,
+                    const std::function<bool(const std::string &)> &StillFails,
+                    const ReduceOptions &Opts = ReduceOptions());
+
+} // namespace cerb::fuzz
+
+#endif // CERB_FUZZ_REDUCER_H

@@ -9,9 +9,7 @@
 using namespace cerb;
 using namespace cerb::oracle;
 
-namespace {
-
-std::string jsonEscape(std::string_view S) {
+std::string cerb::oracle::jsonEscape(std::string_view S) {
   std::string Out;
   Out.reserve(S.size() + 2);
   for (char C : S) {
@@ -34,6 +32,21 @@ std::string jsonEscape(std::string_view S) {
   return Out;
 }
 
+std::string cerb::oracle::jsonMs(double V) {
+  char Buf[32];
+  std::snprintf(Buf, sizeof(Buf), "%.3f", V);
+  return Buf;
+}
+
+std::string cerb::oracle::jsonHex64(uint64_t V) {
+  char Buf[24];
+  std::snprintf(Buf, sizeof(Buf), "0x%016llx",
+                static_cast<unsigned long long>(V));
+  return Buf;
+}
+
+namespace {
+
 std::string xmlEscape(std::string_view S) {
   std::string Out;
   Out.reserve(S.size());
@@ -53,18 +66,9 @@ std::string xmlEscape(std::string_view S) {
   return Out;
 }
 
-std::string ms(double V) {
-  char Buf[32];
-  std::snprintf(Buf, sizeof(Buf), "%.3f", V);
-  return Buf;
-}
+std::string ms(double V) { return jsonMs(V); }
 
-std::string hex64(uint64_t V) {
-  char Buf[24];
-  std::snprintf(Buf, sizeof(Buf), "0x%016llx",
-                static_cast<unsigned long long>(V));
-  return Buf;
-}
+std::string hex64(uint64_t V) { return jsonHex64(V); }
 
 std::string str(uint64_t V) { return std::to_string(V); }
 

@@ -40,6 +40,17 @@ std::string toJUnitXml(const BatchResult &B,
 bool writeTextFile(const std::string &Path, const std::string &Content,
                    std::string *Err = nullptr);
 
+// Shared report plumbing: the serialization primitives the oracle report
+// uses, exported so sibling report writers (the fuzz campaign's
+// "cerb-fuzz-report/1") emit byte-compatible scalars.
+
+/// Escapes \p S for embedding in a JSON string literal.
+std::string jsonEscape(std::string_view S);
+/// Renders a millisecond duration with the report's fixed 3-digit precision.
+std::string jsonMs(double V);
+/// Renders a 64-bit value as the report's 0x%016llx hash spelling.
+std::string jsonHex64(uint64_t V);
+
 } // namespace cerb::oracle
 
 #endif // CERB_ORACLE_REPORT_H

@@ -1,0 +1,229 @@
+//===-- support/Json.cpp --------------------------------------------------===//
+
+#include "support/Json.h"
+
+#include <cctype>
+#include <cstdlib>
+
+using namespace cerb;
+using namespace cerb::json;
+
+const Value *Value::get(std::string_view Key) const {
+  if (K != Kind::Object)
+    return nullptr;
+  for (const auto &[Name, V] : Obj)
+    if (Name == Key)
+      return &V;
+  return nullptr;
+}
+
+uint64_t Value::asU64(uint64_t Default) const {
+  if (K != Kind::Number || Num < 0)
+    return Default;
+  return static_cast<uint64_t>(Num);
+}
+
+double Value::asDouble(double Default) const {
+  return K == Kind::Number ? Num : Default;
+}
+
+bool Value::asBool(bool Default) const {
+  return K == Kind::Bool ? B : Default;
+}
+
+namespace {
+
+class Parser {
+public:
+  Parser(std::string_view Text) : S(Text) {}
+
+  std::optional<Value> run(std::string *Err) {
+    std::optional<Value> V = value();
+    skipWs();
+    if (V && Pos != S.size()) {
+      fail("trailing characters after document");
+      V = std::nullopt;
+    }
+    if (!V && Err)
+      *Err = Error;
+    return V;
+  }
+
+private:
+  std::string_view S;
+  size_t Pos = 0;
+  std::string Error;
+
+  void fail(const std::string &Msg) {
+    if (Error.empty())
+      Error = "json: " + Msg + " at offset " + std::to_string(Pos);
+  }
+
+  void skipWs() {
+    while (Pos < S.size() && (S[Pos] == ' ' || S[Pos] == '\t' ||
+                              S[Pos] == '\n' || S[Pos] == '\r'))
+      ++Pos;
+  }
+
+  bool eat(char C) {
+    skipWs();
+    if (Pos < S.size() && S[Pos] == C) {
+      ++Pos;
+      return true;
+    }
+    return false;
+  }
+
+  bool literal(std::string_view Word) {
+    if (S.substr(Pos, Word.size()) == Word) {
+      Pos += Word.size();
+      return true;
+    }
+    return false;
+  }
+
+  std::optional<Value> value() {
+    skipWs();
+    if (Pos >= S.size()) {
+      fail("unexpected end of input");
+      return std::nullopt;
+    }
+    char C = S[Pos];
+    if (C == '{')
+      return object();
+    if (C == '[')
+      return array();
+    if (C == '"')
+      return string();
+    if (literal("true")) {
+      Value V;
+      V.K = Value::Kind::Bool;
+      V.B = true;
+      return V;
+    }
+    if (literal("false")) {
+      Value V;
+      V.K = Value::Kind::Bool;
+      return V;
+    }
+    if (literal("null"))
+      return Value();
+    return number();
+  }
+
+  std::optional<Value> number() {
+    size_t Start = Pos;
+    if (Pos < S.size() && (S[Pos] == '-' || S[Pos] == '+'))
+      ++Pos;
+    while (Pos < S.size() &&
+           (std::isdigit(static_cast<unsigned char>(S[Pos])) || S[Pos] == '.' ||
+            S[Pos] == 'e' || S[Pos] == 'E' || S[Pos] == '-' || S[Pos] == '+'))
+      ++Pos;
+    if (Pos == Start) {
+      fail("expected a value");
+      return std::nullopt;
+    }
+    Value V;
+    V.K = Value::Kind::Number;
+    V.Num = std::strtod(std::string(S.substr(Start, Pos - Start)).c_str(),
+                        nullptr);
+    return V;
+  }
+
+  std::optional<Value> string() {
+    ++Pos; // opening quote
+    Value V;
+    V.K = Value::Kind::String;
+    while (Pos < S.size() && S[Pos] != '"') {
+      char C = S[Pos++];
+      if (C == '\\' && Pos < S.size()) {
+        char E = S[Pos++];
+        switch (E) {
+        case 'n': V.Str += '\n'; break;
+        case 'r': V.Str += '\r'; break;
+        case 't': V.Str += '\t'; break;
+        case 'u': {
+          // Our serializers only emit \u00XX (control characters).
+          unsigned Code = 0;
+          if (Pos + 4 <= S.size()) {
+            Code = static_cast<unsigned>(
+                std::strtoul(std::string(S.substr(Pos, 4)).c_str(), nullptr,
+                             16));
+            Pos += 4;
+          }
+          V.Str += static_cast<char>(Code & 0xFF);
+          break;
+        }
+        default: V.Str += E; break; // covers \" \\ \/
+        }
+      } else {
+        V.Str += C;
+      }
+    }
+    if (Pos >= S.size()) {
+      fail("unterminated string");
+      return std::nullopt;
+    }
+    ++Pos; // closing quote
+    return V;
+  }
+
+  std::optional<Value> array() {
+    ++Pos; // '['
+    Value V;
+    V.K = Value::Kind::Array;
+    if (eat(']'))
+      return V;
+    while (true) {
+      std::optional<Value> Elem = value();
+      if (!Elem)
+        return std::nullopt;
+      V.Arr.push_back(std::move(*Elem));
+      if (eat(','))
+        continue;
+      if (eat(']'))
+        return V;
+      fail("expected ',' or ']' in array");
+      return std::nullopt;
+    }
+  }
+
+  std::optional<Value> object() {
+    ++Pos; // '{'
+    Value V;
+    V.K = Value::Kind::Object;
+    if (eat('}'))
+      return V;
+    while (true) {
+      skipWs();
+      if (Pos >= S.size() || S[Pos] != '"') {
+        fail("expected a member name");
+        return std::nullopt;
+      }
+      std::optional<Value> Name = string();
+      if (!Name)
+        return std::nullopt;
+      if (!eat(':')) {
+        fail("expected ':' after member name");
+        return std::nullopt;
+      }
+      std::optional<Value> Member = value();
+      if (!Member)
+        return std::nullopt;
+      V.Obj.emplace_back(std::move(Name->Str), std::move(*Member));
+      if (eat(','))
+        continue;
+      if (eat('}'))
+        return V;
+      fail("expected ',' or '}' in object");
+      return std::nullopt;
+    }
+  }
+};
+
+} // namespace
+
+std::optional<Value> cerb::json::parse(std::string_view Text,
+                                       std::string *Err) {
+  return Parser(Text).run(Err);
+}

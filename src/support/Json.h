@@ -1,0 +1,50 @@
+//===-- support/Json.h - Minimal JSON value parser --------------*- C++ -*-===//
+///
+/// \file
+/// A small recursive-descent JSON parser, just enough to read back the
+/// documents this repository itself writes (oracle and fuzz-campaign
+/// reports): objects, arrays, strings with the escapes our serializers
+/// emit, numbers, booleans, null. Object member order is preserved. Not a
+/// general-purpose validator — unknown escapes degrade to the raw
+/// character, and numbers are parsed with strtod.
+///
+//===----------------------------------------------------------------------===//
+#ifndef CERB_SUPPORT_JSON_H
+#define CERB_SUPPORT_JSON_H
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace cerb::json {
+
+struct Value {
+  enum class Kind { Null, Bool, Number, String, Array, Object };
+  Kind K = Kind::Null;
+  bool B = false;
+  double Num = 0;
+  std::string Str;
+  std::vector<Value> Arr;
+  std::vector<std::pair<std::string, Value>> Obj; ///< insertion order
+
+  bool isNull() const { return K == Kind::Null; }
+  /// Object member lookup; nullptr when absent or not an object.
+  const Value *get(std::string_view Key) const;
+  /// Convenience accessors (return the fallback when the kind mismatches).
+  uint64_t asU64(uint64_t Default = 0) const;
+  double asDouble(double Default = 0) const;
+  bool asBool(bool Default = false) const;
+  const std::string &asString() const { return Str; }
+};
+
+/// Parses \p Text as one JSON document; nullopt (with \p Err filled) on a
+/// syntax error or trailing garbage.
+std::optional<Value> parse(std::string_view Text, std::string *Err = nullptr);
+
+} // namespace cerb::json
+
+#endif // CERB_SUPPORT_JSON_H

@@ -1,0 +1,47 @@
+//===-- support/Subprocess.cpp --------------------------------------------===//
+
+#include "support/Subprocess.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <sys/wait.h>
+#include <unistd.h>
+
+using namespace cerb;
+
+std::optional<std::string> cerb::captureCommand(const std::string &Cmd) {
+  FILE *P = popen((Cmd + " 2>/dev/null").c_str(), "r");
+  if (!P)
+    return std::nullopt;
+  std::string Out;
+  char Buf[4096];
+  size_t N;
+  while ((N = fread(Buf, 1, sizeof Buf, P)) > 0)
+    Out.append(Buf, N);
+  int Status = pclose(P);
+  if (!WIFEXITED(Status) || WEXITSTATUS(Status) != 0)
+    return std::nullopt;
+  return Out;
+}
+
+const std::string &cerb::processScratchDir() {
+  static const std::string Dir = [] {
+    std::string D = "/tmp/cerb-scratch-" + std::to_string(getpid());
+    std::string Cmd = "mkdir -p " + D;
+    if (std::system(Cmd.c_str()) != 0)
+      return std::string("/tmp");
+    return D;
+  }();
+  return Dir;
+}
+
+unsigned cerb::nextScratchId() {
+  static std::atomic<unsigned> Counter{0};
+  return Counter.fetch_add(1, std::memory_order_relaxed);
+}
+
+void cerb::removeFiles(const std::string &A, const std::string &B) {
+  std::remove(A.c_str());
+  std::remove(B.c_str());
+}

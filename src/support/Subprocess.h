@@ -1,0 +1,35 @@
+//===-- support/Subprocess.h - Shell-out helpers ----------------*- C++ -*-===//
+///
+/// \file
+/// Small helpers for shelling out to host tools (extracted from the csmith
+/// differential harness so the fuzz campaign and any future oracle can share
+/// them). All helpers are safe to call concurrently from ThreadPool workers:
+/// the scratch-name counter is atomic and the per-process scratch directory
+/// is created exactly once.
+///
+//===----------------------------------------------------------------------===//
+#ifndef CERB_SUPPORT_SUBPROCESS_H
+#define CERB_SUPPORT_SUBPROCESS_H
+
+#include <optional>
+#include <string>
+
+namespace cerb {
+
+/// Runs a shell command (stderr discarded), capturing stdout; nullopt when
+/// the command exits nonzero or dies on a signal.
+std::optional<std::string> captureCommand(const std::string &Cmd);
+
+/// A per-process scratch directory under /tmp (created on first use; falls
+/// back to "/tmp" if creation fails).
+const std::string &processScratchDir();
+
+/// Process-wide unique id for scratch file names (atomic).
+unsigned nextScratchId();
+
+/// Removes a list of scratch files (best effort).
+void removeFiles(const std::string &A, const std::string &B);
+
+} // namespace cerb
+
+#endif // CERB_SUPPORT_SUBPROCESS_H

@@ -14,6 +14,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "defacto/Suite.h"
+#include "fuzz/Campaign.h"
 #include "oracle/Oracle.h"
 #include "oracle/Report.h"
 
@@ -36,6 +37,9 @@ int usage(const char *Prog) {
                "  run <file.c>           compile and run one C file\n"
                "  suite <dir|defacto>    run every .c file in a directory, or\n"
                "                         the built-in de facto semantic suite\n"
+               "  fuzz                   differential fuzzing campaign with\n"
+               "                         automatic reduction and triage\n"
+               "  reduce <file.c>        ddmin-minimize a divergent C file\n"
                "  export-suite <dir>     write the built-in suite as .c files\n"
                "  policies               list the memory-model policy presets\n"
                "\n"
@@ -65,7 +69,23 @@ int usage(const char *Prog) {
                "  --junit FILE           write a JUnit XML report\n"
                "  --no-timings           omit wall-clock fields from reports\n"
                "                         (byte-identical across --jobs)\n"
-               "  --quiet                only print the final summary\n",
+               "  --quiet                only print the final summary\n"
+               "\n"
+               "fuzz / reduce options:\n"
+               "  --seeds A..B|N         campaign seed range (default 1..100)\n"
+               "  --size N               generated-program size knob\n"
+               "  --no-reduce            skip ddmin reduction of divergences\n"
+               "  --reduce-tests N       reduction oracle-test budget "
+               "(default 256)\n"
+               "  --reduce-deadline-ms N wall-clock backstop per reduction\n"
+               "  --corpus DIR           persist minimized reproducers here\n"
+               "  --resume FILE          adopt finished seeds from a previous\n"
+               "                         fuzz report\n"
+               "  --timings              include wall-clock fields in the "
+               "fuzz\n"
+               "                         report (off by default: reports are\n"
+               "                         byte-identical across --jobs)\n"
+               "  -o FILE                (reduce) write the minimized program\n",
                Prog);
   return 2;
 }
@@ -81,6 +101,16 @@ struct Options {
   std::string JUnitPath;
   bool IncludeTimings = true;
   bool Quiet = false;
+
+  // fuzz / reduce
+  uint64_t FirstSeed = 1, LastSeed = 100;
+  unsigned GenSize = 12;
+  bool Reduce = true;
+  fuzz::ReduceOptions Reduction;
+  std::string CorpusDir;
+  std::string ResumePath;
+  std::string OutputPath;
+  bool FuzzTimings = false;
 };
 
 void splitCommas(const std::string &S, std::vector<std::string> &Out) {
@@ -170,6 +200,56 @@ std::optional<std::vector<std::string>> parseArgs(int Argc, char **Argv,
       if (!V)
         return std::nullopt;
       O.JUnitPath = *V;
+    } else if (A == "--seeds") {
+      auto V = Value("--seeds");
+      if (!V)
+        return std::nullopt;
+      size_t Dots = V->find("..");
+      if (Dots == std::string::npos) {
+        O.FirstSeed = 1;
+        O.LastSeed = std::strtoull(V->c_str(), nullptr, 0);
+      } else {
+        O.FirstSeed = std::strtoull(V->substr(0, Dots).c_str(), nullptr, 0);
+        O.LastSeed = std::strtoull(V->substr(Dots + 2).c_str(), nullptr, 0);
+      }
+      if (O.LastSeed < O.FirstSeed) {
+        std::fprintf(stderr, "cerb: empty seed range '%s'\n", V->c_str());
+        return std::nullopt;
+      }
+    } else if (A == "--size") {
+      auto V = Value("--size");
+      if (!V)
+        return std::nullopt;
+      O.GenSize = static_cast<unsigned>(std::strtoul(V->c_str(), nullptr, 0));
+    } else if (A == "--no-reduce") {
+      O.Reduce = false;
+    } else if (A == "--reduce-tests") {
+      auto V = Value("--reduce-tests");
+      if (!V)
+        return std::nullopt;
+      O.Reduction.MaxTests = std::strtoull(V->c_str(), nullptr, 0);
+    } else if (A == "--reduce-deadline-ms") {
+      auto V = Value("--reduce-deadline-ms");
+      if (!V)
+        return std::nullopt;
+      O.Reduction.DeadlineMs = std::strtoull(V->c_str(), nullptr, 0);
+    } else if (A == "--corpus") {
+      auto V = Value("--corpus");
+      if (!V)
+        return std::nullopt;
+      O.CorpusDir = *V;
+    } else if (A == "--resume") {
+      auto V = Value("--resume");
+      if (!V)
+        return std::nullopt;
+      O.ResumePath = *V;
+    } else if (A == "--timings") {
+      O.FuzzTimings = true;
+    } else if (A == "-o") {
+      auto V = Value("-o");
+      if (!V)
+        return std::nullopt;
+      O.OutputPath = *V;
     } else if (A == "--no-timings") {
       O.IncludeTimings = false;
     } else if (A == "--quiet") {
@@ -388,6 +468,142 @@ int cmdExportSuite(const std::string &Dir) {
   return 0;
 }
 
+/// `cerb fuzz`: the §6 differential campaign with reduction and triage.
+int cmdFuzz(const Options &O) {
+  auto Policies = resolvePolicies(O.PolicyNames, /*DefaultAll=*/false);
+  if (!Policies)
+    return 2;
+
+  fuzz::CampaignOptions C;
+  C.FirstSeed = O.FirstSeed;
+  C.LastSeed = O.LastSeed;
+  C.Gen.Size = O.GenSize;
+  C.Policies = *Policies;
+  C.Jobs = O.Jobs;
+  if (O.Budget.Limits.MaxSteps)
+    C.StepBudget = O.Budget.Limits.MaxSteps;
+  if (O.Budget.DeadlineMs)
+    C.TestDeadlineMs = O.Budget.DeadlineMs;
+  C.Reduce = O.Reduce;
+  C.Reduction = O.Reduction;
+  C.CorpusDir = O.CorpusDir;
+
+  std::vector<fuzz::CampaignEntry> Previous;
+  if (!O.ResumePath.empty()) {
+    auto Text = exec::readSourceFile(O.ResumePath);
+    if (!Text) {
+      std::fprintf(stderr, "cerb: %s\n", Text.error().str().c_str());
+      return 2;
+    }
+    std::string Err;
+    if (!fuzz::loadCampaignEntries(*Text, Previous, &Err)) {
+      std::fprintf(stderr, "cerb: --resume %s: %s\n", O.ResumePath.c_str(),
+                   Err.c_str());
+      return 2;
+    }
+  }
+
+  if (!O.Quiet)
+    std::printf("fuzzing seeds %llu..%llu under %zu policies...\n",
+                static_cast<unsigned long long>(C.FirstSeed),
+                static_cast<unsigned long long>(C.LastSeed), Policies->size());
+  fuzz::CampaignResult R =
+      fuzz::runCampaign(C, Previous.empty() ? nullptr : &Previous);
+
+  const fuzz::CampaignStats &S = R.Stats;
+  std::printf("campaign: %llu runs: %llu agree, %llu mismatch, %llu timeout, "
+              "%llu fail, %llu oracle-unavailable; %zu buckets "
+              "(%llu reduced, %llu oracle tests spent reducing)\n",
+              static_cast<unsigned long long>(S.Total),
+              static_cast<unsigned long long>(S.Agree),
+              static_cast<unsigned long long>(S.Mismatch),
+              static_cast<unsigned long long>(S.Timeout),
+              static_cast<unsigned long long>(S.Fail),
+              static_cast<unsigned long long>(S.OracleUnavailable),
+              R.Buckets.size(), static_cast<unsigned long long>(S.Reduced),
+              static_cast<unsigned long long>(S.ReduceTests));
+  if (!O.Quiet)
+    for (const fuzz::Bucket &B : R.Buckets)
+      std::printf("  bucket %s: %zu seed(s), representative seed %llu "
+                  "[%s], %zu -> %zu bytes%s%s\n",
+                  B.Key.c_str(), B.Seeds.size(),
+                  static_cast<unsigned long long>(B.RepresentativeSeed),
+                  B.RepresentativePolicy.c_str(), B.OriginalBytes,
+                  B.ReducedBytes, B.CorpusFile.empty() ? "" : " -> ",
+                  B.CorpusFile.c_str());
+
+  if (!O.ReportPath.empty()) {
+    fuzz::CampaignReportOptions RO;
+    RO.IncludeTimings = O.FuzzTimings;
+    std::string Err;
+    if (!writeTextFile(O.ReportPath, fuzz::toJson(R, C, RO), &Err)) {
+      std::fprintf(stderr, "cerb: %s\n", Err.c_str());
+      return 1;
+    }
+    if (!O.Quiet)
+      std::printf("wrote fuzz report: %s\n", O.ReportPath.c_str());
+  }
+  return 0;
+}
+
+/// `cerb reduce file.c`: ddmin-minimize a divergent program against the
+/// differential oracle, preserving its triage signature.
+int cmdReduce(const std::string &Path, const Options &O) {
+  auto Policies = resolvePolicies(O.PolicyNames, /*DefaultAll=*/false);
+  if (!Policies)
+    return 2;
+  auto Src = exec::readSourceFile(Path);
+  if (!Src) {
+    std::fprintf(stderr, "cerb: %s\n", Src.error().str().c_str());
+    return 2;
+  }
+
+  csmith::DiffOptions DO;
+  DO.Policy = Policies->front();
+  if (O.Budget.Limits.MaxSteps)
+    DO.StepBudget = O.Budget.Limits.MaxSteps;
+  DO.DeadlineMs = O.Budget.DeadlineMs ? O.Budget.DeadlineMs : 10'000;
+
+  csmith::DiffResult Original = csmith::differentialTest(*Src, DO);
+  std::string Signature = csmith::diffSignature(Original);
+  std::printf("%s: %s (signature %s)\n", Path.c_str(),
+              std::string(diffStatusName(Original.Status)).c_str(),
+              Signature.c_str());
+  if (Original.Status == csmith::DiffStatus::Agree) {
+    std::fprintf(stderr,
+                 "cerb: nothing to reduce: our result agrees with the host "
+                 "compiler under policy '%s'\n",
+                 DO.Policy.Name.c_str());
+    return 1;
+  }
+
+  auto StillFails = [&](const std::string &Candidate) {
+    return csmith::diffSignature(csmith::differentialTest(Candidate, DO)) ==
+           Signature;
+  };
+  fuzz::ReduceResult RR =
+      fuzz::reduce(*Src, fuzz::chunkSource(*Src), StillFails, O.Reduction);
+  std::printf("reduced %zu -> %zu bytes in %llu oracle tests (%zu chunks "
+              "kept%s)\n",
+              RR.OriginalBytes, RR.ReducedBytes,
+              static_cast<unsigned long long>(RR.TestsRun), RR.ChunksKept,
+              RR.OneMinimal ? ", 1-minimal"
+                            : (RR.DeadlineHit ? ", deadline hit"
+                                              : ", test budget hit"));
+
+  if (!O.OutputPath.empty()) {
+    std::string Err;
+    if (!writeTextFile(O.OutputPath, RR.Reduced, &Err)) {
+      std::fprintf(stderr, "cerb: %s\n", Err.c_str());
+      return 1;
+    }
+    std::printf("wrote %s\n", O.OutputPath.c_str());
+  } else if (!O.Quiet) {
+    std::fputs(RR.Reduced.c_str(), stdout);
+  }
+  return 0;
+}
+
 int cmdPolicies() {
   std::printf("memory-model policy presets (select with --policy/--policies):"
               "\n");
@@ -433,6 +649,20 @@ int main(int Argc, char **Argv) {
       return 2;
     }
     return cmdSuite(Positional->front(), O);
+  }
+  if (Cmd == "fuzz") {
+    if (!Positional->empty()) {
+      std::fprintf(stderr, "cerb: fuzz takes no positional arguments\n");
+      return 2;
+    }
+    return cmdFuzz(O);
+  }
+  if (Cmd == "reduce") {
+    if (Positional->size() != 1) {
+      std::fprintf(stderr, "cerb: reduce requires exactly one file\n");
+      return 2;
+    }
+    return cmdReduce(Positional->front(), O);
   }
   if (Cmd == "export-suite") {
     if (Positional->size() != 1) {

@@ -1,0 +1,6 @@
+/* CHERI-2: Materialising a pointer from a plain integer: no capability tag under CHERI; empty provenance under the de facto model. */
+
+int main(void) {
+  int *p = (int *)99999;
+  return *p;
+}

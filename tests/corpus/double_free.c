@@ -1,0 +1,8 @@
+/* Q83: free() twice (7.22.3.3). */
+
+#include <stdlib.h>
+int main(void) {
+  int *p = malloc(4);
+  free(p);
+  free(p);
+}

@@ -1,0 +1,7 @@
+/* Q84: free() of a non-heap object. */
+
+#include <stdlib.h>
+int x;
+int main(void) {
+  free(&x);
+}

@@ -1,0 +1,6 @@
+/* Q28: Dereferencing a null pointer. */
+
+int main(void) {
+  int *p = 0;
+  return *p;
+}

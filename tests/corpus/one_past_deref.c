@@ -1,0 +1,6 @@
+/* Q32: Dereferencing one-past-the-end. */
+
+int main(void) {
+  int a[2] = {1, 2};
+  return *(a + 2);
+}

@@ -1,0 +1,7 @@
+/* Q2: &x+1 == &y with adjacent allocations: ISO permits the comparison but the result may consult provenance (Q2) — modelled as a nondeterministic choice; CHERI exact-equality compares metadata and answers 0. */
+
+#include <stdio.h>
+int y = 2, x = 1;
+int main(void) {
+  printf("%d\n", &x + 1 == &y);
+}

@@ -1,0 +1,6 @@
+/* Q34: Pointer subtraction across objects (6.5.6p9; the de facto model also forbids it, Q9). */
+
+int x, y;
+int main(void) {
+  int d = (int)(&x - &y);
+}

@@ -1,0 +1,6 @@
+/* Q86: 1 << 31 at type int: 2^31 is not representable in int, so the signed left shift is UB (6.5.7p4) — under every model (it is an elaboration-level check, not a memory-model one). */
+
+int main(void) {
+  int one = 1;
+  return one << 31 ? 1 : 0;
+}

@@ -1,0 +1,7 @@
+/* Q50: A flow-control choice on an unspecified value (§3: MSan does detect this one). */
+
+int main(void) {
+  int x;
+  if (x)
+  return 0;
+}

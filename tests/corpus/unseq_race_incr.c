@@ -1,0 +1,6 @@
+/* Q54: i++ + i++ (the classic). */
+
+int main(void) {
+  int i = 0;
+  int r = i++ + i++;
+}

@@ -1,0 +1,9 @@
+/* Q43: Access through a freed malloc region. */
+
+#include <stdlib.h>
+int main(void) {
+  int *p = malloc(sizeof(int));
+  *p = 1;
+  free(p);
+  return *p;
+}

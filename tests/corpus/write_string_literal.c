@@ -1,0 +1,6 @@
+/* Q45: Modifying a string literal (6.4.5p7): UB under every model — the literal is an immutable implicitly allocated object (§5.1). */
+
+int main(void) {
+  char *s = "ro";
+  s[0] = 88;
+}

@@ -1,0 +1,497 @@
+//===-- tests/test_fuzz.cpp - fuzz campaign, ddmin reducer, chunking ------===//
+//
+// The fuzz subsystem's contracts: the generator is deterministic and its
+// chunk list describes exactly the removable structure; ddmin returns a
+// 1-minimal result and never a candidate that does not reproduce the
+// failure; the campaign report is byte-identical across worker counts and
+// across resume; differentialTest honors a wall-clock deadline so one
+// pathological program cannot stall a campaign worker.
+//
+//===----------------------------------------------------------------------===//
+
+#include "csmith/Differential.h"
+#include "exec/Pipeline.h"
+#include "fuzz/Campaign.h"
+#include "fuzz/Reducer.h"
+#include "support/Json.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <filesystem>
+#include <set>
+#include <thread>
+
+using namespace cerb;
+using csmith::SourceChunk;
+
+//===----------------------------------------------------------------------===//
+// Generator chunk structure
+//===----------------------------------------------------------------------===//
+
+TEST(GeneratorChunks, SameSeedIsByteIdentical) {
+  csmith::GenOptions G;
+  for (uint64_t Seed : {1u, 7u, 42u}) {
+    G.Seed = Seed;
+    csmith::GeneratedProgram A = csmith::generateProgramWithChunks(G);
+    csmith::GeneratedProgram B = csmith::generateProgramWithChunks(G);
+    EXPECT_EQ(A.Source, B.Source) << "seed " << Seed;
+    EXPECT_EQ(A.Chunks.size(), B.Chunks.size()) << "seed " << Seed;
+    // The chunk-reporting path must not perturb the program itself.
+    EXPECT_EQ(A.Source, csmith::generateProgram(G)) << "seed " << Seed;
+  }
+}
+
+TEST(GeneratorChunks, ChunksAreAscendingDisjointAndInBounds) {
+  csmith::GenOptions G;
+  G.Seed = 3;
+  csmith::GeneratedProgram P = csmith::generateProgramWithChunks(G);
+  ASSERT_FALSE(P.Chunks.empty());
+  size_t Prev = 0;
+  for (const SourceChunk &C : P.Chunks) {
+    EXPECT_LE(Prev, C.Begin);
+    EXPECT_LT(C.Begin, C.End);
+    EXPECT_LE(C.End, P.Source.size());
+    Prev = C.End;
+  }
+}
+
+TEST(GeneratorChunks, SpliceKeepAllIsIdentity) {
+  csmith::GenOptions G;
+  G.Seed = 11;
+  csmith::GeneratedProgram P = csmith::generateProgramWithChunks(G);
+  std::vector<size_t> All(P.Chunks.size());
+  for (size_t I = 0; I < All.size(); ++I)
+    All[I] = I;
+  EXPECT_EQ(fuzz::spliceChunks(P.Source, P.Chunks, All), P.Source);
+}
+
+TEST(GeneratorChunks, SingleChunkRemovalsKeepBracesBalanced) {
+  csmith::GenOptions G;
+  G.Seed = 5;
+  csmith::GeneratedProgram P = csmith::generateProgramWithChunks(G);
+  auto BraceBalance = [](const std::string &S) {
+    long B = 0;
+    for (char C : S)
+      B += C == '{' ? 1 : C == '}' ? -1 : 0;
+    return B;
+  };
+  ASSERT_EQ(BraceBalance(P.Source), 0);
+  for (size_t Drop = 0; Drop < P.Chunks.size(); ++Drop) {
+    std::vector<size_t> Keep;
+    for (size_t I = 0; I < P.Chunks.size(); ++I)
+      if (I != Drop)
+        Keep.push_back(I);
+    EXPECT_EQ(BraceBalance(fuzz::spliceChunks(P.Source, P.Chunks, Keep)), 0)
+        << "dropping chunk " << Drop;
+  }
+}
+
+TEST(GeneratorUBFree, DefactoAndStrictIso) {
+  // The §6 premise: generated programs are UB-free, so any non-Exit
+  // outcome is a generator or semantics bug.
+  csmith::GenOptions G;
+  for (uint64_t Seed : {1u, 2u, 3u, 4u, 5u}) {
+    G.Seed = Seed;
+    std::string Src = csmith::generateProgram(G);
+    for (const mem::MemoryPolicy &P :
+         {mem::MemoryPolicy::defacto(), mem::MemoryPolicy::strictIso()}) {
+      exec::RunOptions Opts;
+      Opts.Policy = P;
+      auto R = exec::evaluateOnce(Src, Opts);
+      ASSERT_TRUE(static_cast<bool>(R))
+          << "seed " << Seed << " under " << P.Name << ": "
+          << R.error().str();
+      EXPECT_EQ(R->Kind, exec::OutcomeKind::Exit)
+          << "seed " << Seed << " under " << P.Name << ": " << R->str();
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// chunkSource: structure recovery from arbitrary C-like text
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+const char *HandwrittenSource = "#include <stdio.h>\n"
+                                "int a = 1;\n"
+                                "int b = 2;\n"
+                                "int f(void) {\n"
+                                "  return a;\n"
+                                "}\n"
+                                "int main(void) {\n"
+                                "  int x = f();\n"
+                                "  if (x) {\n"
+                                "    x = x + b;\n"
+                                "  }\n"
+                                "  printf(\"%d\\n\", x);\n"
+                                "  return 0;\n"
+                                "}\n";
+
+size_t countKind(const std::vector<SourceChunk> &Cs, SourceChunk::Kind K) {
+  size_t N = 0;
+  for (const SourceChunk &C : Cs)
+    N += C.ChunkKind == K;
+  return N;
+}
+
+} // namespace
+
+TEST(ChunkSource, RecoversGlobalsFunctionsAndMainStatements) {
+  std::vector<SourceChunk> Cs = fuzz::chunkSource(HandwrittenSource);
+  EXPECT_EQ(countKind(Cs, SourceChunk::Kind::Global), 2u);
+  EXPECT_EQ(countKind(Cs, SourceChunk::Kind::Function), 1u);
+  EXPECT_EQ(countKind(Cs, SourceChunk::Kind::Statement), 4u);
+  // The preprocessor line and main's skeleton are never chunked.
+  std::vector<size_t> None;
+  std::string Skeleton =
+      fuzz::spliceChunks(HandwrittenSource, Cs, None);
+  EXPECT_NE(Skeleton.find("#include"), std::string::npos);
+  EXPECT_NE(Skeleton.find("int main(void)"), std::string::npos);
+}
+
+TEST(ChunkSource, MatchesGeneratorOwnStructure) {
+  // The recovered segmentation of a generated program must be splice-safe
+  // (identity on keep-all), like the generator-reported one.
+  csmith::GenOptions G;
+  G.Seed = 9;
+  std::string Src = csmith::generateProgram(G);
+  std::vector<SourceChunk> Cs = fuzz::chunkSource(Src);
+  ASSERT_FALSE(Cs.empty());
+  std::vector<size_t> All(Cs.size());
+  for (size_t I = 0; I < All.size(); ++I)
+    All[I] = I;
+  EXPECT_EQ(fuzz::spliceChunks(Src, Cs, All), Src);
+}
+
+//===----------------------------------------------------------------------===//
+// ddmin
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// A synthetic reduction universe: source "0123...", one chunk per byte.
+struct CharUniverse {
+  std::string Source;
+  std::vector<SourceChunk> Chunks;
+  explicit CharUniverse(unsigned N) {
+    for (unsigned I = 0; I < N; ++I) {
+      Source += static_cast<char>('a' + (I % 26));
+      Chunks.push_back(SourceChunk{SourceChunk::Kind::Statement, I, I + 1});
+    }
+  }
+};
+
+} // namespace
+
+TEST(Ddmin, FindsOneMinimalSubset) {
+  CharUniverse U(16);
+  // Fails iff both 'd' (index 3) and 'h' (index 7) survive.
+  auto StillFails = [](const std::string &S) {
+    return S.find('d') != std::string::npos &&
+           S.find('h') != std::string::npos;
+  };
+  fuzz::ReduceResult R = fuzz::reduce(U.Source, U.Chunks, StillFails);
+  EXPECT_EQ(R.Reduced, "dh");
+  EXPECT_EQ(R.ChunksKept, 2u);
+  EXPECT_TRUE(R.OneMinimal);
+  EXPECT_FALSE(R.BudgetHit);
+  EXPECT_FALSE(R.DeadlineHit);
+  EXPECT_TRUE(StillFails(R.Reduced));
+}
+
+TEST(Ddmin, NeverReturnsNonFailingCandidate) {
+  // Whatever the budget, the result must satisfy the predicate: an
+  // over-budget reduction keeps the last known-failing configuration.
+  CharUniverse U(24);
+  auto StillFails = [](const std::string &S) {
+    return S.find('d') != std::string::npos &&
+           S.find('h') != std::string::npos &&
+           S.find('p') != std::string::npos;
+  };
+  for (uint64_t Budget : {1u, 2u, 3u, 5u, 8u, 1000u}) {
+    fuzz::ReduceOptions Opts;
+    Opts.MaxTests = Budget;
+    fuzz::ReduceResult R = fuzz::reduce(U.Source, U.Chunks, StillFails, Opts);
+    EXPECT_TRUE(StillFails(R.Reduced)) << "budget " << Budget;
+    EXPECT_LE(R.TestsRun, Budget) << "budget " << Budget;
+  }
+}
+
+TEST(Ddmin, PassingInputIsReturnedUntouched) {
+  CharUniverse U(8);
+  uint64_t Calls = 0;
+  auto StillFails = [&](const std::string &) {
+    ++Calls;
+    return false;
+  };
+  fuzz::ReduceResult R = fuzz::reduce(U.Source, U.Chunks, StillFails);
+  EXPECT_EQ(R.Reduced, U.Source);
+  EXPECT_EQ(R.TestsRun, 1u);
+  EXPECT_EQ(Calls, 1u);
+  EXPECT_FALSE(R.OneMinimal);
+}
+
+TEST(Ddmin, SingleNeededChunkReachesSizeOne) {
+  CharUniverse U(13);
+  auto StillFails = [](const std::string &S) {
+    return S.find('g') != std::string::npos;
+  };
+  fuzz::ReduceResult R = fuzz::reduce(U.Source, U.Chunks, StillFails);
+  EXPECT_EQ(R.Reduced, "g");
+  EXPECT_TRUE(R.OneMinimal);
+}
+
+TEST(Ddmin, EmptyConfigurationIsReachable) {
+  // When the skeleton alone still fails, everything is removable.
+  CharUniverse U(6);
+  auto StillFails = [](const std::string &) { return true; };
+  fuzz::ReduceResult R = fuzz::reduce(U.Source, U.Chunks, StillFails);
+  EXPECT_EQ(R.Reduced, "");
+  EXPECT_EQ(R.ChunksKept, 0u);
+  EXPECT_TRUE(R.OneMinimal);
+}
+
+TEST(Ddmin, DeadlineBackstopReturnsBestSoFar) {
+  CharUniverse U(20);
+  auto StillFails = [](const std::string &S) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    return S.find('d') != std::string::npos;
+  };
+  fuzz::ReduceOptions Opts;
+  Opts.DeadlineMs = 1;
+  fuzz::ReduceResult R = fuzz::reduce(U.Source, U.Chunks, StillFails, Opts);
+  EXPECT_TRUE(R.DeadlineHit);
+  EXPECT_FALSE(R.OneMinimal);
+  EXPECT_TRUE(StillFails(R.Reduced));
+}
+
+TEST(Ddmin, MemoizesRepeatedCandidates) {
+  CharUniverse U(12);
+  std::set<std::string> Seen;
+  uint64_t Calls = 0;
+  auto StillFails = [&](const std::string &S) {
+    ++Calls;
+    EXPECT_TRUE(Seen.insert(S).second)
+        << "predicate re-evaluated on an already-tested candidate";
+    return S.find('c') != std::string::npos &&
+           S.find('j') != std::string::npos;
+  };
+  fuzz::ReduceResult R = fuzz::reduce(U.Source, U.Chunks, StillFails);
+  EXPECT_EQ(R.TestsRun, Calls);
+  EXPECT_EQ(R.Reduced, "cj");
+}
+
+//===----------------------------------------------------------------------===//
+// Triage signatures
+//===----------------------------------------------------------------------===//
+
+TEST(DiffSignature, NormalizesLineNumbersAndValues) {
+  csmith::DiffResult A, B;
+  A.Status = B.Status = csmith::DiffStatus::OursFail;
+  A.Stage = B.Stage = csmith::DiffStage::Dynamic;
+  A.UB = B.UB = mem::UBKind::AccessOutOfBounds;
+  A.Detail = "ub at line 12, offset 345: out of bounds";
+  B.Detail = "ub at line 7, offset 6: out of bounds";
+  EXPECT_EQ(csmith::diffSignature(A), csmith::diffSignature(B));
+
+  // ...but a different divergence shape is a different bucket.
+  csmith::DiffResult C = A;
+  C.Detail = "ub at line 12, offset 345: null pointer";
+  EXPECT_NE(csmith::diffSignature(A), csmith::diffSignature(C));
+  csmith::DiffResult D = A;
+  D.Status = csmith::DiffStatus::Mismatch;
+  EXPECT_NE(csmith::diffSignature(A), csmith::diffSignature(D));
+}
+
+TEST(DiffSignature, StatusNamesRoundTrip) {
+  for (csmith::DiffStatus S :
+       {csmith::DiffStatus::Agree, csmith::DiffStatus::Mismatch,
+        csmith::DiffStatus::OursTimeout, csmith::DiffStatus::OursFail,
+        csmith::DiffStatus::OracleFail}) {
+    auto Back = csmith::diffStatusByName(csmith::diffStatusName(S));
+    ASSERT_TRUE(Back.has_value());
+    EXPECT_EQ(*Back, S);
+  }
+  EXPECT_FALSE(csmith::diffStatusByName("nonsense").has_value());
+}
+
+//===----------------------------------------------------------------------===//
+// Wall-clock deadline (the campaign-worker stall guard)
+//===----------------------------------------------------------------------===//
+
+TEST(DiffDeadline, PathologicalProgramTimesOutInsteadOfStalling) {
+  // An unbounded loop with an astronomically large step budget: only the
+  // ExecLimits::Deadline plumbing can stop it promptly. Our side fails
+  // first, so no host compiler is needed.
+  const char *Spin = "int main(void) {\n"
+                     "  unsigned x = 0u;\n"
+                     "  while (1u) { x = x + 1u; }\n"
+                     "  return 0;\n"
+                     "}\n";
+  csmith::DiffOptions O;
+  O.StepBudget = ~0ull;
+  O.DeadlineMs = 100;
+  auto T0 = std::chrono::steady_clock::now();
+  csmith::DiffResult R = csmith::differentialTest(Spin, O);
+  double Ms = std::chrono::duration<double, std::milli>(
+                  std::chrono::steady_clock::now() - T0)
+                  .count();
+  EXPECT_EQ(R.Status, csmith::DiffStatus::OursTimeout);
+  EXPECT_LT(Ms, 5000.0) << "deadline did not bound the run";
+}
+
+//===----------------------------------------------------------------------===//
+// JSON parser (the --resume reader)
+//===----------------------------------------------------------------------===//
+
+TEST(Json, ParsesScalarsArraysAndObjects) {
+  auto V = json::parse(
+      R"({"a": 1, "b": [true, null, "x\ny"], "c": {"d": -2.5}})");
+  ASSERT_TRUE(V.has_value());
+  EXPECT_EQ(V->get("a")->asU64(), 1u);
+  ASSERT_EQ(V->get("b")->Arr.size(), 3u);
+  EXPECT_TRUE(V->get("b")->Arr[0].asBool());
+  EXPECT_TRUE(V->get("b")->Arr[1].isNull());
+  EXPECT_EQ(V->get("b")->Arr[2].asString(), "x\ny");
+  EXPECT_EQ(V->get("c")->get("d")->asDouble(), -2.5);
+  EXPECT_EQ(V->get("missing"), nullptr);
+}
+
+TEST(Json, RejectsMalformedDocuments) {
+  std::string Err;
+  EXPECT_FALSE(json::parse("{", &Err).has_value());
+  EXPECT_FALSE(json::parse("[1,]", &Err).has_value());
+  EXPECT_FALSE(json::parse("{} trailing", &Err).has_value());
+  EXPECT_FALSE(json::parse("", &Err).has_value());
+}
+
+TEST(Json, RoundTripsReportEscapes) {
+  // The escapes our serializers emit must read back verbatim.
+  auto V = json::parse(R"({"s": "a\"b\\c\nd\te"})");
+  ASSERT_TRUE(V.has_value());
+  EXPECT_EQ(V->get("s")->asString(), "a\"b\\c\nd\te");
+}
+
+//===----------------------------------------------------------------------===//
+// Campaign determinism, resume, report round-trip
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+fuzz::CampaignOptions smallCampaign(uint64_t First, uint64_t Last) {
+  fuzz::CampaignOptions C;
+  C.FirstSeed = First;
+  C.LastSeed = Last;
+  C.Gen.Size = 6; // small programs keep the host-compiler runs cheap
+  C.TestDeadlineMs = 10'000;
+  return C;
+}
+
+} // namespace
+
+TEST(Campaign, ReportIsByteIdenticalAcrossJobs) {
+  if (!csmith::oracleAvailable())
+    GTEST_SKIP() << "no host C compiler";
+  fuzz::CampaignOptions C = smallCampaign(1, 8);
+  C.Jobs = 1;
+  fuzz::CampaignResult Serial = fuzz::runCampaign(C);
+  C.Jobs = 4;
+  fuzz::CampaignResult Parallel = fuzz::runCampaign(C);
+  EXPECT_EQ(fuzz::toJson(Serial, C), fuzz::toJson(Parallel, C));
+  EXPECT_EQ(Serial.Stats.Total, 8u);
+}
+
+TEST(Campaign, ResumeAdoptsFinishedSeedsAndExtends) {
+  if (!csmith::oracleAvailable())
+    GTEST_SKIP() << "no host C compiler";
+  fuzz::CampaignOptions C4 = smallCampaign(1, 4);
+  fuzz::CampaignResult First = fuzz::runCampaign(C4);
+  std::string Report = fuzz::toJson(First, C4);
+
+  std::vector<fuzz::CampaignEntry> Previous;
+  std::string Err;
+  ASSERT_TRUE(fuzz::loadCampaignEntries(Report, Previous, &Err)) << Err;
+  ASSERT_EQ(Previous.size(), 4u);
+
+  fuzz::CampaignOptions C6 = smallCampaign(1, 6);
+  fuzz::CampaignResult Resumed = fuzz::runCampaign(C6, &Previous);
+  EXPECT_EQ(Resumed.Stats.Total, 6u);
+  EXPECT_EQ(Resumed.Stats.ResumedEntries, 4u);
+  for (size_t I = 0; I < 4; ++I)
+    EXPECT_TRUE(Resumed.Entries[I].Resumed) << "seed " << I + 1;
+
+  // The default (no-timings) report hides resume attribution, so a
+  // resumed campaign and a fresh one serialize identically.
+  fuzz::CampaignResult Fresh = fuzz::runCampaign(C6);
+  EXPECT_EQ(fuzz::toJson(Resumed, C6), fuzz::toJson(Fresh, C6));
+}
+
+TEST(Campaign, TriageBucketsAndCorpusFromAdoptedEntries) {
+  // Entirely oracle-free: every seed is adopted from a previous report,
+  // so this exercises triage (dedup by signature, smallest seed as
+  // representative) and corpus persistence in isolation.
+  auto MakeEntry = [](uint64_t Seed, const std::string &Sig,
+                      const std::string &Reduced) {
+    fuzz::CampaignEntry E;
+    E.Seed = Seed;
+    E.Policy = "defacto";
+    E.Status = csmith::DiffStatus::OursFail;
+    E.Signature = Sig;
+    E.SourceBytes = 100;
+    E.ReducedBytes = Reduced.size();
+    E.Reduced = Reduced;
+    E.OneMinimal = true;
+    return E;
+  };
+  const std::string SigA = "fail|dynamic|Access_null_pointer|00000000000000aa";
+  const std::string SigB = "fail|frontend|-|00000000000000bb";
+  std::vector<fuzz::CampaignEntry> Previous = {
+      MakeEntry(3, SigA, "int main(void) { return *(int *)0; }\n"),
+      MakeEntry(1, SigB, "int main(void) { return x; }\n"),
+      MakeEntry(2, SigA, "int main(void) { return *(int *)0; }\n"),
+  };
+
+  fuzz::CampaignOptions C;
+  C.FirstSeed = 1;
+  C.LastSeed = 3;
+  C.CorpusDir =
+      (std::filesystem::temp_directory_path() / "cerb_fuzz_corpus_test")
+          .string();
+  std::filesystem::remove_all(C.CorpusDir);
+  fuzz::CampaignResult R = fuzz::runCampaign(C, &Previous);
+
+  ASSERT_EQ(R.Buckets.size(), 2u);
+  // Buckets sort by key: "fail|dynamic|..." < "fail|frontend|...".
+  EXPECT_EQ(R.Buckets[0].Key, SigA);
+  EXPECT_EQ(R.Buckets[0].Status, "fail");
+  EXPECT_EQ(R.Buckets[0].Stage, "dynamic");
+  EXPECT_EQ(R.Buckets[0].UB, "Access_null_pointer");
+  EXPECT_EQ(R.Buckets[0].Seeds, (std::vector<uint64_t>{2, 3}));
+  EXPECT_EQ(R.Buckets[0].RepresentativeSeed, 2u);
+  EXPECT_EQ(R.Buckets[1].Key, SigB);
+  EXPECT_EQ(R.Buckets[1].Seeds, (std::vector<uint64_t>{1}));
+  EXPECT_EQ(R.Stats.ResumedEntries, 3u);
+
+  for (const fuzz::Bucket &B : R.Buckets) {
+    ASSERT_FALSE(B.CorpusFile.empty());
+    auto Persisted = exec::readSourceFile(C.CorpusDir + "/" + B.CorpusFile);
+    ASSERT_TRUE(static_cast<bool>(Persisted)) << B.CorpusFile;
+    EXPECT_NE(Persisted->find(B.Reproducer), std::string::npos)
+        << B.CorpusFile << " does not embed the reproducer";
+    EXPECT_NE(Persisted->find(B.Key), std::string::npos)
+        << B.CorpusFile << " header does not name its bucket";
+  }
+  std::filesystem::remove_all(C.CorpusDir);
+}
+
+TEST(Campaign, LoadRejectsForeignDocuments) {
+  std::vector<fuzz::CampaignEntry> Out;
+  std::string Err;
+  EXPECT_FALSE(fuzz::loadCampaignEntries("not json", Out, &Err));
+  EXPECT_FALSE(
+      fuzz::loadCampaignEntries(R"({"schema": "other/1", "entries": []})",
+                                Out, &Err));
+  EXPECT_TRUE(Out.empty());
+}
