@@ -1,0 +1,73 @@
+//===-- bench/bench_json.h - Machine-readable bench results -----*- C++ -*-===//
+///
+/// \file
+/// Shared helper for the perf_* binaries: accumulates named metrics and
+/// writes them as a small JSON document ("cerb-bench/1") so CI can upload
+/// benchmark trajectories as artifacts (BENCH_oracle.json, BENCH_trace.json)
+/// without parsing human-oriented stdout. Metrics keep insertion order.
+///
+//===----------------------------------------------------------------------===//
+#ifndef CERB_BENCH_BENCH_JSON_H
+#define CERB_BENCH_BENCH_JSON_H
+
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace cerb::benchjson {
+
+class Emitter {
+public:
+  explicit Emitter(std::string Benchmark) : Benchmark(std::move(Benchmark)) {}
+
+  void metric(const std::string &Name, double V) {
+    char Buf[64];
+    std::snprintf(Buf, sizeof Buf, "%.4f", V);
+    Metrics.emplace_back(Name, Buf);
+  }
+  void metric(const std::string &Name, uint64_t V) {
+    Metrics.emplace_back(Name, std::to_string(V));
+  }
+  void metric(const std::string &Name, bool V) {
+    Metrics.emplace_back(Name, V ? "true" : "false");
+  }
+
+  std::string json() const {
+    std::string J;
+    J += "{\n";
+    J += "  \"schema\": \"cerb-bench/1\",\n";
+    J += "  \"benchmark\": \"" + Benchmark + "\",\n";
+    J += "  \"metrics\": {\n";
+    for (size_t I = 0; I < Metrics.size(); ++I) {
+      J += "    \"" + Metrics[I].first + "\": " + Metrics[I].second;
+      J += I + 1 < Metrics.size() ? ",\n" : "\n";
+    }
+    J += "  }\n";
+    J += "}\n";
+    return J;
+  }
+
+  /// Writes the document; prints a diagnostic and returns false on failure.
+  bool write(const std::string &Path) const {
+    std::ofstream Out(Path, std::ios::binary | std::ios::trunc);
+    Out << json();
+    Out.flush();
+    if (!Out) {
+      std::fprintf(stderr, "bench: cannot write %s\n", Path.c_str());
+      return false;
+    }
+    std::printf("wrote %s\n", Path.c_str());
+    return true;
+  }
+
+private:
+  std::string Benchmark;
+  std::vector<std::pair<std::string, std::string>> Metrics;
+};
+
+} // namespace cerb::benchjson
+
+#endif // CERB_BENCH_BENCH_JSON_H

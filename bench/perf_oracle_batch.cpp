@@ -23,6 +23,7 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "bench_json.h"
 #include "exec/Pipeline.h"
 #include "fuzz/Campaign.h"
 #include "oracle/Oracle.h"
@@ -181,7 +182,7 @@ double measureExploreOnce(unsigned Threads, std::string *ReportOut) {
   return Ms;
 }
 
-void exhaustiveScalingSummary() {
+void exhaustiveScalingSummary(benchjson::Emitter &E) {
   std::printf("\nP4b summary: parallel exhaustive exploration "
               "(subtree work-sharing, 128-path concurrency program)\n");
   std::string Baseline;
@@ -206,9 +207,12 @@ void exhaustiveScalingSummary() {
   std::printf("  speedup at 8 workers: %.2fx (target >= 2.5x on >= 8 "
               "hardware threads; %u available here)\n",
               SpeedupAt8, std::thread::hardware_concurrency());
+  E.metric("explore_base_ms", Base);
+  E.metric("explore_speedup_at_8", SpeedupAt8);
+  E.metric("explore_reports_identical", AllIdentical);
 }
 
-void speedupSummary() {
+void speedupSummary(benchjson::Emitter &E) {
   std::printf("\nP4 summary: oracle batch over the de facto suite "
               "(%zu jobs)\n",
               suiteBatch().size());
@@ -216,11 +220,14 @@ void speedupSummary() {
   double Base = measureOnce(1, &Baseline);
   std::printf("  threads=1: %8.1f ms  (baseline)\n", Base);
   bool AllIdentical = true;
+  double SpeedupAt8 = 1.0;
   for (unsigned T : {2u, 4u, 8u}) {
     std::string Rep;
     double Ms = measureOnce(T, &Rep);
     bool Same = Rep == Baseline;
     AllIdentical = AllIdentical && Same;
+    if (T == 8)
+      SpeedupAt8 = Base / Ms;
     std::printf("  threads=%u: %8.1f ms  speedup %.2fx  report-identical: "
                 "%s\n",
                 T, Ms, Base / Ms, Same ? "yes" : "NO");
@@ -228,6 +235,10 @@ void speedupSummary() {
   std::printf("  determinism: no-timings JSON byte-identical across thread "
               "counts: %s\n",
               AllIdentical ? "yes" : "NO");
+  E.metric("suite_jobs", static_cast<uint64_t>(suiteBatch().size()));
+  E.metric("suite_base_ms", Base);
+  E.metric("suite_speedup_at_8", SpeedupAt8);
+  E.metric("suite_reports_identical", AllIdentical);
 }
 
 //===----------------------------------------------------------------------===//
@@ -256,11 +267,12 @@ double measureCampaignOnce(unsigned Jobs, std::string *ReportOut,
   return Ms;
 }
 
-void campaignThroughputSummary() {
+void campaignThroughputSummary(benchjson::Emitter &E) {
   std::printf("\nP4c summary: differential fuzzing campaign throughput "
               "(seeds 1..32, reduction on)\n");
   if (!csmith::oracleAvailable()) {
     std::printf("  skipped: no host C compiler available\n");
+    E.metric("campaign_skipped", true);
     return;
   }
   std::string Baseline;
@@ -269,11 +281,14 @@ void campaignThroughputSummary() {
   std::printf("  jobs=1: %8.1f ms  %6.1f programs/sec  (baseline)\n", Base,
               Programs / (Base / 1000.0));
   bool AllIdentical = true;
+  double SpeedupAt8 = 1.0;
   for (unsigned J : {2u, 4u, 8u}) {
     std::string Rep;
     double Ms = measureCampaignOnce(J, &Rep, nullptr);
     bool Same = Rep == Baseline;
     AllIdentical = AllIdentical && Same;
+    if (J == 8)
+      SpeedupAt8 = Base / Ms;
     std::printf("  jobs=%u: %8.1f ms  %6.1f programs/sec  speedup %.2fx  "
                 "report-identical: %s\n",
                 J, Ms, Programs / (Ms / 1000.0), Base / Ms,
@@ -282,6 +297,10 @@ void campaignThroughputSummary() {
   std::printf("  determinism: default fuzz report byte-identical across "
               "--jobs: %s\n",
               AllIdentical ? "yes" : "NO");
+  E.metric("campaign_base_ms", Base);
+  E.metric("campaign_programs_per_sec", Programs / (Base / 1000.0));
+  E.metric("campaign_speedup_at_8", SpeedupAt8);
+  E.metric("campaign_reports_identical", AllIdentical);
 }
 
 } // namespace
@@ -292,8 +311,10 @@ int main(int argc, char **argv) {
     return 1;
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
-  speedupSummary();
-  exhaustiveScalingSummary();
-  campaignThroughputSummary();
+  benchjson::Emitter E("oracle_batch");
+  speedupSummary(E);
+  exhaustiveScalingSummary(E);
+  campaignThroughputSummary(E);
+  E.write("BENCH_oracle.json");
   return 0;
 }

@@ -1,0 +1,227 @@
+//===-- bench/perf_trace_overhead.cpp - tracing overhead bound (P5) -------===//
+///
+/// \file
+/// Proves the src/trace disabled-path overhead bound: with no --trace flag,
+/// the instrumentation threaded through the pipeline, evaluator, explorer,
+/// and memory model must cost < 2% of exhaustive-exploration wall clock.
+///
+/// One binary cannot compare against an uninstrumented build of itself, so
+/// the bound is established from first principles:
+///
+///   1. microbench the two disabled-path primitives — a Span construct/
+///      destruct (one relaxed atomic load and a branch) and a striped
+///      Counter::add (one relaxed fetch_add) — to get cost per crossing;
+///   2. run the 128-path exhaustive-exploration workload with tracing
+///      disabled and count how many instrumentation sites one run actually
+///      crosses (counter adds from the Registry delta; event sites from an
+///      enabled run's trace document);
+///   3. estimated overhead = crossings x primitive cost / disabled wall.
+///
+/// The summary also reports the *enabled* overhead (tracing on vs off) for
+/// context — that path buffers real events and is allowed to cost more.
+/// Emits BENCH_trace.json (bench_json.h) for the CI bench trajectory.
+///
+//===----------------------------------------------------------------------===//
+
+#include "bench_json.h"
+#include "exec/Driver.h"
+#include "exec/Pipeline.h"
+#include "trace/Trace.h"
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+
+using namespace cerb;
+
+namespace {
+
+/// Seven indeterminately sequenced call pairs -> 2^7 = 128 allowed
+/// executions of real interpreted work (same shape as perf_oracle_batch's
+/// P4b workload).
+const char *multiPathSource() {
+  return R"(
+#include <stdio.h>
+unsigned g;
+int work(int v) {
+  unsigned i, s = 0;
+  for (i = 0; i < 30u; i++)
+    s += (i ^ (unsigned)v) + (s >> 3);
+  g = g * 10u + (unsigned)v + (s & 0u);
+  return 0;
+}
+int main(void) {
+  work(1) + work(2);
+  work(3) + work(4);
+  work(5) + work(6);
+  work(7) + work(8);
+  work(1) + work(3);
+  work(2) + work(5);
+  work(4) + work(7);
+  printf("%u\n", g);
+  return 0;
+}
+)";
+}
+
+void BM_SpanDisabled(benchmark::State &State) {
+  for (auto _ : State) {
+    trace::Span S("bench.span", "bench");
+    benchmark::DoNotOptimize(S.active());
+  }
+}
+BENCHMARK(BM_SpanDisabled);
+
+void BM_CounterAdd(benchmark::State &State) {
+  static trace::Counter C("bench.counter");
+  for (auto _ : State)
+    C.add();
+  benchmark::DoNotOptimize(C.value());
+}
+BENCHMARK(BM_CounterAdd);
+
+void BM_InstantDisabled(benchmark::State &State) {
+  for (auto _ : State)
+    trace::instant("bench.instant", "bench");
+}
+BENCHMARK(BM_InstantDisabled);
+
+double msSince(std::chrono::steady_clock::time_point T0) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - T0)
+      .count();
+}
+
+/// Nanoseconds per call of \p F, measured over enough iterations to swamp
+/// the clock reads.
+template <typename Fn> double nsPerCall(Fn &&F) {
+  // Warm up (first stripe assignment, cache fills).
+  for (int I = 0; I < 1000; ++I)
+    F();
+  constexpr uint64_t N = 4'000'000;
+  auto T0 = std::chrono::steady_clock::now();
+  for (uint64_t I = 0; I < N; ++I)
+    F();
+  return msSince(T0) * 1e6 / static_cast<double>(N);
+}
+
+uint64_t sumDelta(const trace::Registry::Snapshot &Before,
+                  const trace::Registry::Snapshot &After) {
+  uint64_t Sum = 0;
+  for (const auto &[Name, N] : trace::Registry::delta(Before, After))
+    Sum += N;
+  return Sum;
+}
+
+/// Events one traced run records: count "ph" occurrences in the trace
+/// document, minus per-thread metadata records.
+uint64_t countEvents(const std::string &TraceJson) {
+  uint64_t Events = 0, Meta = 0;
+  for (size_t Pos = 0;
+       (Pos = TraceJson.find("\"ph\": \"", Pos)) != std::string::npos;
+       Pos += 7) {
+    if (TraceJson.compare(Pos + 7, 1, "M") == 0)
+      ++Meta;
+    ++Events;
+  }
+  return Events - Meta;
+}
+
+int overheadSummary() {
+  std::printf("\nP5 summary: tracing overhead on the 128-path exhaustive "
+              "exploration\n");
+
+  auto ProgOr = exec::compile(multiPathSource());
+  if (!ProgOr) {
+    std::fprintf(stderr, "multi-path program failed to compile\n");
+    return 1;
+  }
+  exec::RunOptions Opts;
+  Opts.MaxPaths = 4096;
+  Opts.ExploreJobs = 1; // serial: the per-site cost is not hidden by idle cores
+
+  // 1. Disabled-path primitive costs.
+  double SpanNs = nsPerCall([] {
+    trace::Span S("bench.span", "bench");
+    benchmark::DoNotOptimize(S.active());
+  });
+  static trace::Counter BenchCnt("bench.summary_counter");
+  double CounterNs = nsPerCall([] { BenchCnt.add(); });
+  std::printf("  disabled Span:  %6.2f ns/crossing\n", SpanNs);
+  std::printf("  Counter::add:   %6.2f ns/crossing\n", CounterNs);
+
+  // 2. Site crossings per exploration.
+  trace::Registry::Snapshot Before = trace::Registry::instance().snapshot();
+  exec::ExhaustiveResult Probe = exec::runExhaustive(*ProgOr, Opts);
+  uint64_t CounterAdds =
+      sumDelta(Before, trace::Registry::instance().snapshot());
+
+  trace::start();
+  exec::ExhaustiveResult Traced = exec::runExhaustive(*ProgOr, Opts);
+  trace::stop();
+  uint64_t EventSites = countEvents(trace::chromeTraceJson());
+  benchmark::DoNotOptimize(Traced);
+  std::printf("  per exploration (%llu paths): %llu counter adds, "
+              "%llu event sites\n",
+              static_cast<unsigned long long>(Probe.PathsExplored),
+              static_cast<unsigned long long>(CounterAdds),
+              static_cast<unsigned long long>(EventSites));
+
+  // 3. Wall clock, tracing disabled (median-ish: best of 3 to damp noise)
+  //    and enabled.
+  double DisabledMs = 1e100;
+  for (int I = 0; I < 3; ++I) {
+    auto T0 = std::chrono::steady_clock::now();
+    exec::ExhaustiveResult R = exec::runExhaustive(*ProgOr, Opts);
+    benchmark::DoNotOptimize(R);
+    DisabledMs = std::min(DisabledMs, msSince(T0));
+  }
+  double EnabledMs = 1e100;
+  for (int I = 0; I < 3; ++I) {
+    trace::start();
+    auto T0 = std::chrono::steady_clock::now();
+    exec::ExhaustiveResult R = exec::runExhaustive(*ProgOr, Opts);
+    double Ms = msSince(T0);
+    trace::stop();
+    benchmark::DoNotOptimize(R);
+    EnabledMs = std::min(EnabledMs, Ms);
+  }
+
+  double InstrumentedNs = static_cast<double>(CounterAdds) * CounterNs +
+                          static_cast<double>(EventSites) * SpanNs;
+  double DisabledPct = InstrumentedNs / (DisabledMs * 1e6) * 100.0;
+  double EnabledPct = (EnabledMs - DisabledMs) / DisabledMs * 100.0;
+  std::printf("  exploration wall: %.1f ms disabled, %.1f ms enabled "
+              "(+%.1f%%)\n",
+              DisabledMs, EnabledMs, EnabledPct);
+  std::printf("  estimated disabled-path overhead: %.4f%% of wall "
+              "(bound: < 2%%)  %s\n",
+              DisabledPct, DisabledPct < 2.0 ? "PASS" : "FAIL");
+
+  benchjson::Emitter E("trace_overhead");
+  E.metric("span_disabled_ns", SpanNs);
+  E.metric("counter_add_ns", CounterNs);
+  E.metric("paths", Probe.PathsExplored);
+  E.metric("counter_adds_per_run", CounterAdds);
+  E.metric("event_sites_per_run", EventSites);
+  E.metric("explore_disabled_ms", DisabledMs);
+  E.metric("explore_enabled_ms", EnabledMs);
+  E.metric("disabled_overhead_pct", DisabledPct);
+  E.metric("enabled_overhead_pct", EnabledPct);
+  E.metric("pass", DisabledPct < 2.0);
+  E.write("BENCH_trace.json");
+
+  return DisabledPct < 2.0 ? 0 : 1;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv))
+    return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return overheadSummary();
+}

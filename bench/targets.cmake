@@ -26,3 +26,4 @@ cerb_bench(perf_pipeline cerb_csmith benchmark::benchmark)
 cerb_bench(perf_exhaustive cerb_exec benchmark::benchmark)
 cerb_bench(perf_memory_models cerb_exec benchmark::benchmark)
 cerb_bench(perf_oracle_batch cerb_oracle cerb_fuzz benchmark::benchmark)
+cerb_bench(perf_trace_overhead cerb_exec benchmark::benchmark)

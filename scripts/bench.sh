@@ -1,0 +1,26 @@
+#!/bin/sh
+# Benchmark trajectory: builds Release and runs the perf series that emit
+# machine-readable results (bench/bench_json.h), leaving BENCH_oracle.json
+# and BENCH_trace.json in $BENCH_OUT for CI to upload as artifacts. The
+# perf_trace_overhead binary also enforces the <2% disabled-path tracing
+# overhead bound (non-zero exit on violation).
+#
+# Environment:
+#   BUILD_DIR   build tree (default: <repo>/build-bench, Release)
+#   JOBS        compile parallelism (default: nproc)
+#   BENCH_OUT   where the BENCH_*.json land (default: current directory)
+set -eu
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD="${BUILD_DIR:-$ROOT/build-bench}"
+JOBS="${JOBS:-$(nproc 2>/dev/null || echo 2)}"
+OUT="${BENCH_OUT:-$(pwd)}"
+
+cmake -B "$BUILD" -S "$ROOT" -DCMAKE_BUILD_TYPE=Release
+cmake --build "$BUILD" -j "$JOBS" --target perf_oracle_batch perf_trace_overhead
+
+mkdir -p "$OUT"
+cd "$OUT"
+"$BUILD/bench/perf_oracle_batch" --benchmark_min_time=0.1
+"$BUILD/bench/perf_trace_overhead" --benchmark_min_time=0.1
+echo "bench.sh: results in $OUT/BENCH_oracle.json and $OUT/BENCH_trace.json"

@@ -4,15 +4,36 @@
 # campaign smoke stage (label `fuzz`, excluded from tier-1). Use
 # scripts/tier1.sh alone for the fast inner loop; this script is what a
 # merge gate should run.
-set -e
+#
+# Environment:
+#   BUILD_DIR             build tree (default: <repo>/build)
+#   JOBS                  compile parallelism (default: nproc)
+#   CTEST_PARALLEL_LEVEL  test parallelism (default: $JOBS)
+#   CMAKE_ARGS            extra cmake configure arguments
+set -eu
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 BUILD="${BUILD_DIR:-$ROOT/build}"
 JOBS="${JOBS:-$(nproc 2>/dev/null || echo 2)}"
+TEST_JOBS="${CTEST_PARALLEL_LEVEL:-$JOBS}"
 
-cmake -B "$BUILD" -S "$ROOT"
+# shellcheck disable=SC2086  # CMAKE_ARGS is intentionally word-split
+cmake -B "$BUILD" -S "$ROOT" ${CMAKE_ARGS:-}
 cmake --build "$BUILD" -j "$JOBS"
 cd "$BUILD"
-ctest --output-on-failure -L tier1 -j "$JOBS"
-ctest --output-on-failure -L slow -j "$JOBS"
-ctest --output-on-failure -L fuzz -j "$JOBS"
+
+# Runs every test carrying one ctest label. A label matching zero tests
+# (renamed label, broken test registration) must fail the gate, not
+# silently pass it: `ctest -L nosuch` exits 0 with "No tests were found".
+run_label() {
+    label="$1"
+    if ctest -N -L "$label" | grep -q "Total Tests: 0"; then
+        echo "ci.sh: label '$label' matches no tests" >&2
+        exit 1
+    fi
+    ctest --output-on-failure -L "$label" -j "$TEST_JOBS"
+}
+
+run_label tier1
+run_label slow
+run_label fuzz

@@ -3,6 +3,7 @@
 #include "exec/Driver.h"
 
 #include "support/StripedHashSet.h"
+#include "trace/Trace.h"
 
 #include <algorithm>
 #include <atomic>
@@ -80,6 +81,7 @@ public:
 
 private:
   void spawn(std::vector<unsigned> Prefix) {
+    trace::instant("explore.spawn", "explore");
     uint64_t Size =
         FrontierSize.fetch_add(1, std::memory_order_relaxed) + 1;
     uint64_t HWM = FrontierHighWater.load(std::memory_order_relaxed);
@@ -111,6 +113,14 @@ private:
       Stopped.store(true);
       return;
     }
+
+    // explore.paths counts acquired slots, so for a complete exploration it
+    // equals the leaf count for any thread count (the determinism contract
+    // above); truncated/deadline runs are outside that contract anyway.
+    static trace::Counter CntPaths("explore.paths");
+    CntPaths.add();
+    trace::Span PathSpan("explore.path", "explore");
+    PathSpan.arg("depth", Prefix.size());
 
     TraceScheduler Sched(std::move(Prefix));
     Evaluator Eval(Prog, Sched, Opts.Policy, Opts.Limits);
@@ -184,18 +194,26 @@ private:
 
 ExhaustiveResult cerb::exec::runExhaustive(const core::CoreProgram &Prog,
                                            const RunOptions &Opts) {
+  trace::Span S("explore.exhaustive", "explore");
   Explorer E(Prog, Opts);
-  if (Opts.ExploreJobs <= 1)
-    return E.runSerial();
-  ThreadPool Pool(Opts.ExploreJobs);
-  ExhaustiveResult R = E.runPooled(Pool);
-  R.Stats.Steals = Pool.stealCount();
+  ExhaustiveResult R;
+  if (Opts.ExploreJobs <= 1) {
+    R = E.runSerial();
+  } else {
+    ThreadPool Pool(Opts.ExploreJobs);
+    R = E.runPooled(Pool);
+    R.Stats.Steals = Pool.stealCount();
+  }
+  S.arg("paths", R.PathsExplored);
   return R;
 }
 
 ExhaustiveResult cerb::exec::runExhaustiveOn(const core::CoreProgram &Prog,
                                              const RunOptions &Opts,
                                              ThreadPool &Pool) {
+  trace::Span S("explore.exhaustive", "explore");
   Explorer E(Prog, Opts);
-  return E.runPooled(Pool);
+  ExhaustiveResult R = E.runPooled(Pool);
+  S.arg("paths", R.PathsExplored);
+  return R;
 }

@@ -3,6 +3,7 @@
 #include "exec/Evaluator.h"
 
 #include "support/Format.h"
+#include "trace/Trace.h"
 
 #include <algorithm>
 #include <cassert>
@@ -56,6 +57,18 @@ Evaluator::Evaluator(const CoreProgram &Prog, Scheduler &Sched,
       Mem(Env, Sched, std::move(Policy)), Limits(Limits) {}
 
 Outcome Evaluator::run() {
+  static trace::Counter CntRuns("exec.eval_runs");
+  CntRuns.add();
+  trace::Span S("eval.run", "exec");
+  Outcome O = runImpl();
+  if (S.active()) {
+    S.arg("steps", Steps);
+    S.detail(std::string(outcomeKindName(O.Kind)));
+  }
+  return O;
+}
+
+Outcome Evaluator::runImpl() {
   Outcome O;
 
   // Static storage: plan the layout, create every object, bind its symbol.

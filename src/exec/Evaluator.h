@@ -75,6 +75,8 @@ public:
   uint64_t steps() const { return Steps; }
 
 private:
+  Outcome runImpl();
+
   const core::CoreProgram &Prog;
   ail::ImplEnv Env;
   Scheduler &Sched;

@@ -5,6 +5,7 @@
 #include "ail/Desugar.h"
 #include "cabs/Parser.h"
 #include "elab/Elaborate.h"
+#include "trace/Trace.h"
 #include "typing/TypeCheck.h"
 
 #include <chrono>
@@ -15,8 +16,10 @@ using namespace cerb;
 using namespace cerb::exec;
 
 namespace {
-/// Runs \p F, adding its wall-clock cost to \p Ms.
-template <typename Fn> auto timed(double &Ms, Fn &&F) {
+/// Runs \p F under a named trace span, adding its wall-clock cost to \p Ms.
+template <typename Fn>
+auto timed(double &Ms, const char *SpanName, Fn &&F) {
+  trace::Span S(SpanName, "pipeline");
   auto T0 = std::chrono::steady_clock::now();
   auto R = F();
   Ms += std::chrono::duration<double, std::milli>(
@@ -27,16 +30,22 @@ template <typename Fn> auto timed(double &Ms, Fn &&F) {
 } // namespace
 
 Expected<CompileResult> cerb::exec::compileWithStats(std::string_view Src) {
+  static trace::Counter CntCompiles("pipeline.compiles");
+  CntCompiles.add();
+  trace::Span Whole("pipeline.compile", "pipeline");
   StageTimings T;
-  CERB_TRY(Unit, timed(T.ParseMs, [&] {
+  CERB_TRY(Unit, timed(T.ParseMs, "pipeline.parse", [&] {
     return cabs::parseTranslationUnit(Src);
   }));
-  CERB_TRY(Ail, timed(T.DesugarMs, [&] { return ail::desugar(Unit); }));
-  CERB_CHECK(timed(T.TypecheckMs, [&] { return typing::typeCheck(Ail); }));
-  CERB_TRY(Prog, timed(T.ElaborateMs, [&] {
+  CERB_TRY(Ail, timed(T.DesugarMs, "pipeline.desugar",
+                      [&] { return ail::desugar(Unit); }));
+  CERB_CHECK(timed(T.TypecheckMs, "pipeline.typecheck",
+                   [&] { return typing::typeCheck(Ail); }));
+  CERB_TRY(Prog, timed(T.ElaborateMs, "pipeline.elaborate", [&] {
     return elab::elaborate(std::move(Ail));
   }));
   CompileResult Result{std::move(Prog), {}, {}};
+  trace::Span Core("pipeline.core-prep", "pipeline");
   auto T0 = std::chrono::steady_clock::now();
   Result.Rewrites = core::rewrite(Result.Prog);
   if (auto Err = core::typeCheck(Result.Prog))

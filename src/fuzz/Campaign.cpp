@@ -6,6 +6,7 @@
 #include "support/Format.h"
 #include "support/Json.h"
 #include "support/ThreadPool.h"
+#include "trace/Trace.h"
 
 #include <algorithm>
 #include <cctype>
@@ -70,6 +71,8 @@ std::string corpusFileName(const Bucket &B) {
 void runSeed(uint64_t Seed, const CampaignOptions &Opts,
              const std::vector<mem::MemoryPolicy> &Policies,
              CampaignEntry *Slots) {
+  trace::Span SeedSpan("fuzz.seed", "fuzz");
+  SeedSpan.arg("seed", Seed);
   csmith::GenOptions G = Opts.Gen;
   G.Seed = Seed;
   csmith::GeneratedProgram P = csmith::generateProgramWithChunks(G);
@@ -112,6 +115,8 @@ void runSeed(uint64_t Seed, const CampaignOptions &Opts,
 CampaignResult
 cerb::fuzz::runCampaign(const CampaignOptions &Opts,
                         const std::vector<CampaignEntry> *Previous) {
+  trace::Span CampaignSpan("fuzz.campaign", "fuzz");
+  trace::Registry::Snapshot Before = trace::Registry::instance().snapshot();
   auto T0 = std::chrono::steady_clock::now();
   CampaignResult R;
   std::vector<mem::MemoryPolicy> Policies = resolvedPolicies(Opts);
@@ -162,23 +167,42 @@ cerb::fuzz::runCampaign(const CampaignOptions &Opts,
     Pool.wait();
   }
 
-  // Aggregate stats.
+  // Aggregate stats. The fuzz.* counters are fed from the entries here —
+  // not from the run sites — so an adopted (resumed) entry counts exactly
+  // like a fresh one and the report's counters object stays byte-identical
+  // between a resumed campaign and a fresh run of the same range.
+  static trace::Counter CntEntries("fuzz.entries");
+  static trace::Counter CntAgree("fuzz.agree");
+  static trace::Counter CntMismatch("fuzz.mismatch");
+  static trace::Counter CntTimeout("fuzz.timeout");
+  static trace::Counter CntFail("fuzz.fail");
+  static trace::Counter CntOracleFail("fuzz.oracle_unavailable");
+  static trace::Counter CntReduced("fuzz.reduced");
+  static trace::Counter CntReduceTests("fuzz.reduce_tests");
   for (const CampaignEntry &E : R.Entries) {
     ++R.Stats.Total;
+    CntEntries.add();
     switch (E.Status) {
-    case DiffStatus::Agree: ++R.Stats.Agree; break;
-    case DiffStatus::Mismatch: ++R.Stats.Mismatch; break;
-    case DiffStatus::OursTimeout: ++R.Stats.Timeout; break;
-    case DiffStatus::OursFail: ++R.Stats.Fail; break;
-    case DiffStatus::OracleFail: ++R.Stats.OracleUnavailable; break;
+    case DiffStatus::Agree: ++R.Stats.Agree; CntAgree.add(); break;
+    case DiffStatus::Mismatch: ++R.Stats.Mismatch; CntMismatch.add(); break;
+    case DiffStatus::OursTimeout: ++R.Stats.Timeout; CntTimeout.add(); break;
+    case DiffStatus::OursFail: ++R.Stats.Fail; CntFail.add(); break;
+    case DiffStatus::OracleFail:
+      ++R.Stats.OracleUnavailable;
+      CntOracleFail.add();
+      break;
     }
     if (!E.Reduced.empty()) {
       ++R.Stats.Reduced;
+      CntReduced.add();
       R.Stats.ReduceTests += E.ReduceTests;
+      CntReduceTests.add(E.ReduceTests);
     }
     if (E.Resumed)
       ++R.Stats.ResumedEntries;
   }
+  R.Stats.Counters = trace::Registry::delta(
+      Before, trace::Registry::instance().snapshot(), "fuzz.");
 
   // Triage: bucket reduced divergences by signature. Entries iterate in
   // (seed asc, policy) order, so the first hit is the smallest seed — the
@@ -276,6 +300,17 @@ std::string cerb::fuzz::toJson(const CampaignResult &R,
   J += "    \"oracle_unavailable\": " + str(S.OracleUnavailable) + ",\n";
   J += "    \"reduced\": " + str(S.Reduced) + ",\n";
   J += "    \"reduce_tests\": " + str(S.ReduceTests) + ",\n";
+  J += "    \"counters\": {";
+  {
+    bool First = true;
+    for (const auto &[Name, N] : S.Counters) {
+      if (!First)
+        J += ", ";
+      J += jquoted(Name) + ": " + str(N);
+      First = false;
+    }
+  }
+  J += "},\n";
   J += "    \"buckets\": " + str(R.Buckets.size());
   if (RO.IncludeTimings) {
     J += ",\n    \"resumed_entries\": " + str(S.ResumedEntries) + ",\n";

@@ -28,6 +28,7 @@
 #include "csmith/Differential.h"
 #include "fuzz/Reducer.h"
 
+#include <map>
 #include <string>
 #include <vector>
 
@@ -92,6 +93,11 @@ struct CampaignStats {
   uint64_t ReduceTests = 0;  ///< total oracle evaluations spent reducing
   uint64_t ResumedEntries = 0; ///< timings-gated in the report
   double WallMs = 0;           ///< timings-gated
+  /// trace::Registry delta restricted to "fuzz." counters. Those are
+  /// incremented from the aggregated entries (adopted and fresh alike), so
+  /// resumed and fresh campaigns serialize identically; unprefixed counters
+  /// (pipeline/mem/exec) reflect fresh work only and are excluded.
+  std::map<std::string, uint64_t> Counters;
 };
 
 struct CampaignResult {

@@ -2,6 +2,8 @@
 
 #include "mem/Memory.h"
 
+#include "trace/Trace.h"
+
 #include <algorithm>
 #include <cassert>
 #include <cstring>
@@ -226,6 +228,10 @@ void Memory::beginStaticLayout(
 
 PointerValue Memory::allocateObject(const CType &Ty, std::string Name,
                                     bool Static) {
+  static trace::Counter CntAllocs("mem.allocs");
+  CntAllocs.add();
+  if (trace::enabled())
+    trace::instant("mem.alloc", "mem", Name);
   uint64_t Size = Env.sizeOf(Ty);
   uint64_t Align = Env.alignOf(Ty);
   uint64_t Base;
@@ -258,6 +264,9 @@ PointerValue Memory::allocateObject(const CType &Ty, std::string Name,
 }
 
 PointerValue Memory::allocateRegion(uint64_t Size, uint64_t Align) {
+  static trace::Counter CntAllocs("mem.allocs");
+  CntAllocs.add();
+  trace::instant("mem.alloc", "mem");
   uint64_t Base = align(NextAddr, std::max<uint64_t>(Align, 1));
   NextAddr = Base + std::max<uint64_t>(Size, 1);
 
@@ -283,6 +292,9 @@ void Memory::markReadOnly(const PointerValue &P) {
 
 MemRes<Unit> Memory::killObject(const PointerValue &P) {
   assert(P.Prov.isAlloc() && "killing object without allocation provenance");
+  static trace::Counter CntFrees("mem.frees");
+  CntFrees.add();
+  trace::instant("mem.free", "mem");
   Allocation &A = Allocs[P.Prov.AllocId];
   assert(A.Alive && "double kill of an object");
   A.Alive = false;
@@ -292,6 +304,9 @@ MemRes<Unit> Memory::killObject(const PointerValue &P) {
 MemRes<Unit> Memory::freeRegion(const PointerValue &P) {
   if (P.isNull())
     return Unit{}; // free(NULL) is a no-op (7.22.3.3p2)
+  static trace::Counter CntFrees("mem.frees");
+  CntFrees.add();
+  trace::instant("mem.free", "mem");
   uint64_t Id;
   if (P.Prov.isAlloc()) {
     Id = P.Prov.AllocId;
@@ -663,6 +678,8 @@ MemValue Memory::deserialize(const CType &Ty, const MemByte *Bytes) {
 //===----------------------------------------------------------------------===//
 
 MemRes<MemValue> Memory::load(const CType &Ty, const PointerValue &P) {
+  static trace::Counter CntLoads("mem.loads");
+  CntLoads.add();
   uint64_t Size = Env.sizeOf(Ty);
   // CHERI checks fire first: the hardware faults on the tag/bounds before
   // any software-level provenance reasoning applies (§4).
@@ -685,6 +702,8 @@ MemRes<MemValue> Memory::load(const CType &Ty, const PointerValue &P) {
 
 MemRes<Unit> Memory::store(const CType &Ty, const PointerValue &P,
                            const MemValue &V) {
+  static trace::Counter CntStores("mem.stores");
+  CntStores.add();
   uint64_t Size = Env.sizeOf(Ty);
   if (!P.isNull())
     CERB_MEMCHECK(checkCheriAccess(P, Size));

@@ -12,6 +12,7 @@
 #define CERB_MEM_UB_H
 
 #include "support/SourceLoc.h"
+#include "trace/Trace.h"
 
 #include <string>
 #include <string_view>
@@ -91,6 +92,10 @@ struct Unit {};
 
 /// Builds an UndefinedBehaviour value.
 inline UndefinedBehaviour undef(UBKind K, std::string Detail = "") {
+  static trace::Counter CntUB("mem.ub");
+  CntUB.add();
+  if (trace::enabled())
+    trace::instant("mem.ub", "mem", std::string(ubName(K)));
   return UndefinedBehaviour{K, std::move(Detail), SourceLoc()};
 }
 

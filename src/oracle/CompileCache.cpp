@@ -2,6 +2,8 @@
 
 #include "oracle/CompileCache.h"
 
+#include "trace/Trace.h"
+
 using namespace cerb;
 using namespace cerb::oracle;
 
@@ -21,12 +23,17 @@ CompileCache::get(const std::string &Source, bool *OutHit) {
   // Element references survive rehashing; iterators do not.
   Slot &S = It->second;
   if (!Inserted) {
+    static trace::Counter CntHits("oracle.cache_hits");
+    CntHits.add();
+    trace::instant("oracle.cache-hit", "oracle");
     ++Hits;
     if (OutHit)
       *OutHit = true;
     CV.wait(L, [&S] { return S.Ready; });
     return S.Unit;
   }
+  static trace::Counter CntMisses("oracle.cache_misses");
+  CntMisses.add();
   ++Misses;
   if (OutHit)
     *OutHit = false;

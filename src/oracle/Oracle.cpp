@@ -5,6 +5,7 @@
 #include "exec/Driver.h"
 #include "oracle/ThreadPool.h"
 #include "support/Format.h"
+#include "trace/Trace.h"
 
 #include <algorithm>
 #include <chrono>
@@ -78,6 +79,11 @@ JobStatus statusOf(const exec::ExhaustiveResult &R, uint64_t RandomSamples) {
 
 JobResult cerb::oracle::runJob(const Job &J, CompileCache &Cache,
                                ThreadPool *Pool) {
+  static trace::Counter CntJobs("oracle.jobs");
+  CntJobs.add();
+  trace::Span JobSpan("oracle.job", "oracle");
+  if (JobSpan.active())
+    JobSpan.detail(J.Name + " [" + J.Policy.Name + "]");
   JobResult R;
   R.Name = J.Name;
   R.PolicyName = J.Policy.Name;
@@ -193,6 +199,9 @@ Oracle::Oracle(OracleConfig Cfg) : Threads(Cfg.Threads) {
 }
 
 BatchResult Oracle::run(const std::vector<Job> &Jobs) {
+  trace::Span BatchSpan("oracle.batch", "oracle");
+  BatchSpan.arg("jobs", Jobs.size());
+  trace::Registry::Snapshot Before = trace::Registry::instance().snapshot();
   BatchResult B;
   B.Results.resize(Jobs.size());
   auto Wall0 = Clock::now();
@@ -241,6 +250,8 @@ BatchResult Oracle::run(const std::vector<Job> &Jobs) {
     }
     S.RunMsTotal += R.RunMs;
   }
+  S.Counters =
+      trace::Registry::delta(Before, trace::Registry::instance().snapshot());
   S.WallMs = msSince(Wall0);
   return B;
 }

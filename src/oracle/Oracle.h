@@ -137,6 +137,10 @@ struct OracleStats {
   uint64_t ExploreFrontierHighWater = 0;
   /// UB occurrences across all jobs' distinct outcomes, keyed by ubName.
   std::map<std::string, uint64_t> UBTally;
+  /// trace::Registry delta over the batch (nonzero entries only). Counter
+  /// deltas are semantic-event counts, deterministic for any thread count
+  /// and with tracing on or off, so reports embed them unconditionally.
+  std::map<std::string, uint64_t> Counters;
   exec::StageTimings CompileTotals; ///< summed over cache *misses* only
   double RunMsTotal = 0;
   double WallMs = 0;

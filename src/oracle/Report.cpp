@@ -102,6 +102,18 @@ std::string cerb::oracle::toJson(const BatchResult &B,
     J += "\"" + jsonEscape(Name) + "\": " + str(N);
     First = false;
   }
+  J += "},\n";
+  // trace::Registry counter deltas: semantic-event counts only (no
+  // timestamps), deterministic for any --jobs and with tracing on or off,
+  // so they sit outside the IncludeTimings gate.
+  J += "    \"counters\": {";
+  First = true;
+  for (const auto &[Name, N] : S.Counters) {
+    if (!First)
+      J += ", ";
+    J += "\"" + jsonEscape(Name) + "\": " + str(N);
+    First = false;
+  }
   J += "}";
   if (Opts.IncludeTimings) {
     J += ",\n    \"steals\": " + str(S.Steals) + ",\n";

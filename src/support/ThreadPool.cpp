@@ -2,7 +2,10 @@
 
 #include "support/ThreadPool.h"
 
+#include "trace/Trace.h"
+
 #include <algorithm>
+#include <cstdio>
 
 using namespace cerb;
 
@@ -118,6 +121,9 @@ void ThreadPool::runItem(Item &I, std::unique_lock<std::mutex> &L) {
 }
 
 void ThreadPool::workerLoop(unsigned Me) {
+  char Name[16];
+  std::snprintf(Name, sizeof Name, "pool-%u", Me);
+  trace::setCurrentThreadName(Name);
   std::unique_lock<std::mutex> L(M);
   for (;;) {
     Item I;

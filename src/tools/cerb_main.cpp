@@ -17,6 +17,7 @@
 #include "fuzz/Campaign.h"
 #include "oracle/Oracle.h"
 #include "oracle/Report.h"
+#include "trace/Trace.h"
 
 #include <algorithm>
 #include <cstdio>
@@ -67,6 +68,8 @@ int usage(const char *Prog) {
                "budget trip\n"
                "  --report FILE          write a JSON report\n"
                "  --junit FILE           write a JUnit XML report\n"
+               "  --trace FILE           write a Chrome trace-event profile\n"
+               "                         (load in chrome://tracing/Perfetto)\n"
                "  --no-timings           omit wall-clock fields from reports\n"
                "                         (byte-identical across --jobs)\n"
                "  --quiet                only print the final summary\n"
@@ -99,6 +102,7 @@ struct Options {
   JobBudget Budget;
   std::string ReportPath;
   std::string JUnitPath;
+  std::string TracePath;
   bool IncludeTimings = true;
   bool Quiet = false;
 
@@ -200,6 +204,17 @@ std::optional<std::vector<std::string>> parseArgs(int Argc, char **Argv,
       if (!V)
         return std::nullopt;
       O.JUnitPath = *V;
+    } else if (A == "--trace") {
+      auto V = Value("--trace");
+      if (!V)
+        return std::nullopt;
+      O.TracePath = *V;
+    } else if (A.rfind("--trace=", 0) == 0) {
+      O.TracePath = A.substr(8);
+      if (O.TracePath.empty()) {
+        std::fprintf(stderr, "cerb: --trace requires a value\n");
+        return std::nullopt;
+      }
     } else if (A == "--seeds") {
       auto V = Value("--seeds");
       if (!V)
@@ -634,12 +649,34 @@ int main(int Argc, char **Argv) {
   if (!Positional)
     return 2;
 
+  // Arm tracing around the whole command so compile, exploration, and
+  // report emission all land on the profile. Event recording only changes
+  // the trace file: counters are always on, so reports are byte-identical
+  // with or without --trace.
+  if (!O.TracePath.empty()) {
+    trace::setCurrentThreadName("main");
+    trace::start();
+  }
+  auto Finish = [&](int RC) {
+    if (O.TracePath.empty())
+      return RC;
+    trace::stop();
+    std::string Err;
+    if (!trace::writeChromeTrace(O.TracePath, &Err)) {
+      std::fprintf(stderr, "cerb: %s\n", Err.c_str());
+      return RC ? RC : 1;
+    }
+    if (!O.Quiet)
+      std::printf("wrote trace: %s\n", O.TracePath.c_str());
+    return RC;
+  };
+
   if (Cmd == "run") {
     if (Positional->empty()) {
       std::fprintf(stderr, "cerb: run requires at least one file\n");
       return 2;
     }
-    return cmdRun(*Positional, O);
+    return Finish(cmdRun(*Positional, O));
   }
   if (Cmd == "suite") {
     if (Positional->size() != 1) {
@@ -648,21 +685,21 @@ int main(int Argc, char **Argv) {
                    "'defacto')\n");
       return 2;
     }
-    return cmdSuite(Positional->front(), O);
+    return Finish(cmdSuite(Positional->front(), O));
   }
   if (Cmd == "fuzz") {
     if (!Positional->empty()) {
       std::fprintf(stderr, "cerb: fuzz takes no positional arguments\n");
       return 2;
     }
-    return cmdFuzz(O);
+    return Finish(cmdFuzz(O));
   }
   if (Cmd == "reduce") {
     if (Positional->size() != 1) {
       std::fprintf(stderr, "cerb: reduce requires exactly one file\n");
       return 2;
     }
-    return cmdReduce(Positional->front(), O);
+    return Finish(cmdReduce(Positional->front(), O));
   }
   if (Cmd == "export-suite") {
     if (Positional->size() != 1) {
