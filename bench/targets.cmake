@@ -27,3 +27,4 @@ cerb_bench(perf_exhaustive cerb_exec benchmark::benchmark)
 cerb_bench(perf_memory_models cerb_exec benchmark::benchmark)
 cerb_bench(perf_oracle_batch cerb_oracle cerb_fuzz benchmark::benchmark)
 cerb_bench(perf_trace_overhead cerb_exec benchmark::benchmark)
+cerb_bench(perf_serve cerb_serve benchmark::benchmark)

@@ -17,10 +17,14 @@ JOBS="${JOBS:-$(nproc 2>/dev/null || echo 2)}"
 OUT="${BENCH_OUT:-$(pwd)}"
 
 cmake -B "$BUILD" -S "$ROOT" -DCMAKE_BUILD_TYPE=Release
-cmake --build "$BUILD" -j "$JOBS" --target perf_oracle_batch perf_trace_overhead
+cmake --build "$BUILD" -j "$JOBS" \
+    --target perf_oracle_batch perf_trace_overhead perf_serve
 
 mkdir -p "$OUT"
 cd "$OUT"
 "$BUILD/bench/perf_oracle_batch" --benchmark_min_time=0.1
 "$BUILD/bench/perf_trace_overhead" --benchmark_min_time=0.1
-echo "bench.sh: results in $OUT/BENCH_oracle.json and $OUT/BENCH_trace.json"
+# Daemon cold/warm latency and QPS; enforces the >=50x warm-repeat bound.
+"$BUILD/bench/perf_serve"
+echo "bench.sh: results in $OUT/BENCH_oracle.json, $OUT/BENCH_trace.json," \
+     "and $OUT/BENCH_serve.json"

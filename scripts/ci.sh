@@ -1,7 +1,9 @@
 #!/bin/sh
 # Full CI gate: tier-1 unit suite, the slow golden-outcome regression
-# sweep (tests/test_golden_defacto.cpp), and a fixed-seed-range fuzz
-# campaign smoke stage (label `fuzz`, excluded from tier-1). Use
+# sweep (tests/test_golden_defacto.cpp), a fixed-seed-range fuzz
+# campaign smoke stage (label `fuzz`, excluded from tier-1), and the
+# evaluation-daemon lifecycle smoke (label `serve_smoke`,
+# scripts/serve_smoke.sh through the real CLI). Use
 # scripts/tier1.sh alone for the fast inner loop; this script is what a
 # merge gate should run.
 #
@@ -37,3 +39,4 @@ run_label() {
 run_label tier1
 run_label slow
 run_label fuzz
+run_label serve_smoke

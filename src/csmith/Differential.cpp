@@ -97,7 +97,7 @@ cerb::csmith::runOracle(const std::string &Source) {
   }
   std::optional<std::string> Out;
   if (captureCommand("cc -O1 -o " + Base + " " + Base + ".c"))
-    Out = captureCommand("timeout 10 " + Base);
+    Out = captureCommand(Base, /*TimeoutMs=*/10'000);
   removeFiles(Base, Base + ".c");
   return Out;
 }

@@ -88,6 +88,32 @@ Expected<core::CoreProgram> cerb::exec::compileFile(const std::string &Path) {
   return std::move(R.Prog);
 }
 
+uint64_t cerb::exec::semanticsFingerprint() {
+  // Bump with any change to elaboration or dynamics that can alter an
+  // observable outcome: the new fingerprint orphans (never corrupts) every
+  // result the serve cache persisted under the old semantics.
+  static constexpr const char kSemanticsVersion[] = "cerb-semantics/1";
+  static const uint64_t FP = [] {
+    uint64_t H = 0xcbf29ce484222325ull;
+    auto Mix = [&H](uint64_t V) {
+      for (int I = 0; I < 8; ++I) {
+        H ^= (V >> (I * 8)) & 0xFF;
+        H *= 0x100000001b3ull;
+      }
+    };
+    for (const char *P = kSemanticsVersion; *P; ++P) {
+      H ^= static_cast<unsigned char>(*P);
+      H *= 0x100000001b3ull;
+    }
+    // The preset knob vectors are part of the semantics surface: adding a
+    // policy knob reshapes every model, so it must invalidate too.
+    for (const mem::MemoryPolicy &P : mem::MemoryPolicy::allPresets())
+      Mix(P.fingerprint());
+    return H;
+  }();
+  return FP;
+}
+
 Expected<Outcome> cerb::exec::evaluateOnce(std::string_view Src,
                                            const RunOptions &Opts) {
   CERB_TRY(Prog, compile(Src));

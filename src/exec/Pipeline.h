@@ -65,6 +65,14 @@ Expected<CompileResult> compileFileWithStats(const std::string &Path);
 /// Reads a whole file; shared by compileFile and the oracle's job loader.
 Expected<std::string> readSourceFile(const std::string &Path);
 
+/// Fingerprint of the *semantics* this build implements: a manually bumped
+/// version tag hashed together with the preset policy fingerprints. The
+/// serve result cache keys on it, so entries persisted by an older daemon
+/// are invalidated (never wrongly replayed) once elaboration or dynamics
+/// change observable outcomes. Bump kSemanticsVersion in Pipeline.cpp with
+/// any such change.
+uint64_t semanticsFingerprint();
+
 /// Compile + run one leftmost execution.
 Expected<Outcome> evaluateOnce(std::string_view Source,
                                const RunOptions &Opts = RunOptions());

@@ -6,6 +6,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cctype>
 #include <cstring>
 
 using namespace cerb;
@@ -177,16 +178,32 @@ MemoryPolicy MemoryPolicy::cheri() {
 }
 
 std::optional<MemoryPolicy> MemoryPolicy::byName(std::string_view Name) {
-  if (Name == "concrete")
+  // Case-insensitive: "CHERI", "DeFacto", and "strictiso" are accepted
+  // spellings of their presets (the alias list below is matched lowercase).
+  std::string Lower(Name);
+  for (char &C : Lower)
+    C = static_cast<char>(std::tolower(static_cast<unsigned char>(C)));
+  if (Lower == "concrete")
     return concrete();
-  if (Name == "defacto" || Name == "de-facto")
+  if (Lower == "defacto" || Lower == "de-facto")
     return defacto();
-  if (Name == "strict-iso" || Name == "strictIso" || Name == "strict" ||
-      Name == "iso")
+  if (Lower == "strict-iso" || Lower == "strictiso" || Lower == "strict" ||
+      Lower == "iso")
     return strictIso();
-  if (Name == "cheri")
+  if (Lower == "cheri")
     return cheri();
   return std::nullopt;
+}
+
+Expected<MemoryPolicy> MemoryPolicy::named(std::string_view Name) {
+  if (auto P = byName(Name))
+    return *P;
+  std::string Msg = "unknown memory-model policy '" + std::string(Name) +
+                    "'; valid presets (case-insensitive):";
+  for (const std::string &K : presetNames())
+    Msg += " " + K;
+  Msg += " (aliases: de-facto, strictIso, strict, iso)";
+  return err(std::move(Msg));
 }
 
 const std::vector<std::string> &MemoryPolicy::presetNames() {
@@ -200,6 +217,23 @@ std::vector<MemoryPolicy> MemoryPolicy::allPresets() {
   for (const std::string &N : presetNames())
     Out.push_back(*byName(N));
   return Out;
+}
+
+uint64_t MemoryPolicy::fingerprint() const {
+  // FNV-1a over one byte per knob, in declaration order. Appending new
+  // knobs extends the stream (changing every fingerprint), which is
+  // exactly the invalidation the serve cache wants.
+  const bool Knobs[] = {
+      TrackProvenance,    PermitOOBConstruction, RelationalAcrossObjectsUB,
+      EqMayConsultProvenance, PtrDiffAcrossObjectsUB, StrictEffectiveTypes,
+      UninitReadIsUB,     UninitByteOpsAreUB,    CheckAlignment,
+      ReverseGlobalLayout, Cheri,                CheriExactEquals};
+  uint64_t H = 0xcbf29ce484222325ull;
+  for (bool K : Knobs) {
+    H ^= K ? 1u : 0u;
+    H *= 0x100000001b3ull;
+  }
+  return H;
 }
 
 //===----------------------------------------------------------------------===//

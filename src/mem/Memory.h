@@ -28,6 +28,7 @@
 #include "ail/CType.h"
 #include "mem/UB.h"
 #include "mem/Value.h"
+#include "support/Expected.h"
 #include "support/Scheduler.h"
 
 #include <map>
@@ -84,18 +85,30 @@ struct MemoryPolicy {
   static MemoryPolicy strictIso();
   static MemoryPolicy cheri();
 
-  /// Looks a preset up by name. Accepts the canonical Name of each preset
-  /// ("concrete", "defacto", "strict-iso", "cheri") plus common aliases
-  /// ("de-facto", "strictIso", "strict", "iso"); unknown names yield
-  /// nullopt. This is the single source of policy spelling for CLIs,
-  /// benches, and tests.
+  /// Looks a preset up by name, case-insensitively. Accepts the canonical
+  /// Name of each preset ("concrete", "defacto", "strict-iso", "cheri")
+  /// plus common aliases ("de-facto", "strictIso", "strict", "iso");
+  /// unknown names yield nullopt. This is the single source of policy
+  /// spelling for CLIs, benches, and tests.
   static std::optional<MemoryPolicy> byName(std::string_view Name);
+
+  /// byName with a usable diagnostic: an unknown name returns an error
+  /// message that lists the valid presets, so every CLI/protocol surface
+  /// reports the same self-describing failure instead of a bare nullopt.
+  static Expected<MemoryPolicy> named(std::string_view Name);
 
   /// The canonical preset names, in the order the paper discusses them.
   static const std::vector<std::string> &presetNames();
 
   /// All four presets, in presetNames() order (for sweeps).
   static std::vector<MemoryPolicy> allPresets();
+
+  /// FNV-1a hash over every semantics-bearing knob (Name excluded: it is a
+  /// label, not semantics). Two policies with equal fingerprints answer
+  /// every memory-model question identically, so the serve result cache
+  /// keys on this — a custom policy aliasing a preset shares its entries,
+  /// and any knob change invalidates them.
+  uint64_t fingerprint() const;
 };
 
 /// One allocation (object or heap region).

@@ -1,0 +1,41 @@
+//===-- serve/Client.cpp --------------------------------------------------===//
+
+#include "serve/Client.h"
+
+using namespace cerb;
+using namespace cerb::serve;
+
+Expected<Client> Client::connect(const std::string &SocketPath, int Port) {
+  if (!SocketPath.empty()) {
+    auto S = net::connectUnix(SocketPath);
+    if (!S)
+      return S.takeError();
+    return Client(std::move(*S));
+  }
+  if (Port >= 0) {
+    auto S = net::connectTcp(static_cast<uint16_t>(Port));
+    if (!S)
+      return S.takeError();
+    return Client(std::move(*S));
+  }
+  return err("no daemon address (need a socket path or a TCP port)");
+}
+
+Expected<std::string> Client::call(std::string_view RequestFrame) {
+  if (!net::writeFrame(Sock.get(), RequestFrame))
+    return err("failed to send request frame (daemon gone?)");
+  std::string Out;
+  int R = net::readFrame(Sock.get(), Out);
+  if (R == 0)
+    return err("daemon closed the connection before responding");
+  if (R != 1)
+    return err("failed to read response frame");
+  return Out;
+}
+
+Expected<ParsedResponse> Client::callParsed(std::string_view RequestFrame) {
+  auto Raw = call(RequestFrame);
+  if (!Raw)
+    return Raw.takeError();
+  return parseResponse(*Raw);
+}

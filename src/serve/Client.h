@@ -1,0 +1,40 @@
+//===-- serve/Client.h - cerb-serve/1 client ----------------------*- C++ -*-===//
+///
+/// \file
+/// The thin client side of the daemon protocol: connect once (unix path or
+/// loopback TCP port), then call() any number of request frames. `cerb
+/// query` is a direct wrapper around this; tests use it to drive an
+/// in-process daemon over real sockets.
+///
+//===----------------------------------------------------------------------===//
+#ifndef CERB_SERVE_CLIENT_H
+#define CERB_SERVE_CLIENT_H
+
+#include "serve/Protocol.h"
+#include "support/Socket.h"
+
+#include <string>
+
+namespace cerb::serve {
+
+class Client {
+public:
+  /// Connects to a daemon: \p SocketPath when non-empty, else loopback TCP
+  /// \p Port.
+  static Expected<Client> connect(const std::string &SocketPath,
+                                  int Port = -1);
+
+  /// One round trip: writes \p RequestFrame, reads one response frame.
+  Expected<std::string> call(std::string_view RequestFrame);
+
+  /// call() + parseResponse.
+  Expected<ParsedResponse> callParsed(std::string_view RequestFrame);
+
+private:
+  explicit Client(net::Fd Sock) : Sock(std::move(Sock)) {}
+  net::Fd Sock;
+};
+
+} // namespace cerb::serve
+
+#endif // CERB_SERVE_CLIENT_H

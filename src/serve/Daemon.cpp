@@ -1,0 +1,327 @@
+//===-- serve/Daemon.cpp --------------------------------------------------===//
+
+#include "serve/Daemon.h"
+
+#include "trace/Trace.h"
+
+#include <poll.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+
+using namespace cerb;
+using namespace cerb::serve;
+
+namespace {
+
+trace::Counter &cntRequests() {
+  static trace::Counter C("serve.requests");
+  return C;
+}
+trace::Counter &cntAdmitted() {
+  static trace::Counter C("serve.admitted");
+  return C;
+}
+trace::Counter &cntOverloaded() {
+  static trace::Counter C("serve.overloaded");
+  return C;
+}
+trace::Counter &cntRejectedDraining() {
+  static trace::Counter C("serve.rejected_draining");
+  return C;
+}
+trace::Counter &cntConnections() {
+  static trace::Counter C("serve.connections");
+  return C;
+}
+
+} // namespace
+
+Daemon::Daemon(DaemonConfig Cfg) : Cfg(std::move(Cfg)), Results(this->Cfg.Cache) {}
+
+Daemon::~Daemon() {
+  if (Started && !Drained) {
+    requestDrain();
+    waitUntilDrained();
+  }
+}
+
+ExpectedVoid Daemon::start() {
+  if (Started)
+    return err("daemon already started");
+  if (Cfg.SocketPath.empty() && Cfg.TcpPort < 0)
+    return err("daemon has no listener (need a socket path or a TCP port)");
+
+  if (!Cfg.SocketPath.empty()) {
+    auto L = net::listenUnix(Cfg.SocketPath);
+    if (!L)
+      return L.takeError();
+    ListenUnix = std::move(*L);
+  }
+  if (Cfg.TcpPort >= 0) {
+    auto L = net::listenTcp(static_cast<uint16_t>(Cfg.TcpPort), &BoundTcpPort);
+    if (!L)
+      return L.takeError();
+    ListenTcp = std::move(*L);
+  }
+
+  int Pipe[2];
+  if (::pipe(Pipe) != 0)
+    return err("daemon self-pipe creation failed");
+  WakeRead = net::Fd(Pipe[0]);
+  WakeWrite = net::Fd(Pipe[1]);
+
+  unsigned Threads = Cfg.Threads ? Cfg.Threads
+                                 : std::max(1u, std::thread::hardware_concurrency());
+  Pool = std::make_unique<ThreadPool>(Threads);
+
+  Started = true;
+  Acceptor = std::thread([this] {
+    trace::setCurrentThreadName("cerbd-accept");
+    acceptLoop();
+  });
+
+  if (!Cfg.Quiet) {
+    std::string Where;
+    if (ListenUnix.valid())
+      Where += "unix:" + Cfg.SocketPath;
+    if (ListenTcp.valid()) {
+      if (!Where.empty())
+        Where += ", ";
+      Where += "tcp:127.0.0.1:" + std::to_string(BoundTcpPort);
+    }
+    std::fprintf(stderr, "cerbd: listening on %s (%u workers, queue %llu%s)\n",
+                 Where.c_str(), Threads,
+                 static_cast<unsigned long long>(Cfg.MaxQueue),
+                 Results.persistent() ? ", persistent cache" : "");
+  }
+  return ExpectedVoid();
+}
+
+void Daemon::requestDrain() {
+  if (!WakeWrite.valid())
+    return;
+  // One byte on the self-pipe; identical to what a SIGTERM handler does
+  // with drainFd(). Repeat calls are harmless (the pipe just buffers).
+  char B = 'x';
+  ssize_t R;
+  do
+    R = ::write(WakeWrite.get(), &B, 1);
+  while (R < 0 && errno == EINTR);
+}
+
+void Daemon::acceptLoop() {
+  for (;;) {
+    struct pollfd Fds[3];
+    nfds_t N = 0;
+    Fds[N++] = {WakeRead.get(), POLLIN, 0};
+    int UnixIdx = -1, TcpIdx = -1;
+    if (ListenUnix.valid()) {
+      UnixIdx = static_cast<int>(N);
+      Fds[N++] = {ListenUnix.get(), POLLIN, 0};
+    }
+    if (ListenTcp.valid()) {
+      TcpIdx = static_cast<int>(N);
+      Fds[N++] = {ListenTcp.get(), POLLIN, 0};
+    }
+    int R = ::poll(Fds, N, -1);
+    if (R < 0) {
+      if (errno == EINTR)
+        continue;
+      break; // listener invalidated under us; treat as drain
+    }
+    if (Fds[0].revents)
+      break; // drain requested
+    for (int Idx : {UnixIdx, TcpIdx}) {
+      if (Idx < 0 || !(Fds[Idx].revents & POLLIN))
+        continue;
+      net::Fd Sock = net::acceptOn(Fds[Idx].fd);
+      if (!Sock.valid())
+        continue;
+      cntConnections().add();
+      auto C = std::make_shared<Conn>();
+      C->Sock = std::move(Sock);
+      std::lock_guard<std::mutex> L(ConnMu);
+      Conns.push_back(C);
+      ConnThreads.emplace_back([this, C] {
+        trace::setCurrentThreadName("cerbd-conn");
+        connLoop(C);
+      });
+    }
+  }
+  // Entering drain: from here every new eval is rejected with "draining".
+  {
+    std::lock_guard<std::mutex> L(StateMu);
+    Draining.store(true);
+    Stats.Draining = true;
+  }
+  DrainCV.notify_all();
+}
+
+void Daemon::connLoop(std::shared_ptr<Conn> C) {
+  std::string Frame;
+  while (net::readFrame(C->Sock.get(), Frame) == 1)
+    if (!handleFrame(C, Frame))
+      break;
+  // Reader exits on peer EOF, I/O error, or drain's shutdownBoth(). The
+  // Conn object stays alive while admitted evals still hold the shared_ptr.
+}
+
+bool Daemon::handleFrame(const std::shared_ptr<Conn> &C,
+                         const std::string &Frame) {
+  cntRequests().add();
+  {
+    std::lock_guard<std::mutex> L(StateMu);
+    ++Stats.Requests;
+  }
+  auto Req = parseRequest(Frame);
+  if (!Req)
+    return send(*C, rejectResponse("", "error", Req.error().Message));
+
+  switch (Req->Kind) {
+  case Op::Ping:
+    return send(*C, okSimpleResponse(Req->Id, "pong", "true"));
+  case Op::Stats:
+    return send(*C, okSimpleResponse(Req->Id, "stats", statsJson()));
+  case Op::Shutdown: {
+    if (!Cfg.EnableShutdownOp)
+      return send(*C, rejectResponse(Req->Id, "error",
+                                     "shutdown op disabled on this daemon"));
+    bool Ok = send(*C, okSimpleResponse(Req->Id, "stopping", "true"));
+    requestDrain();
+    return Ok;
+  }
+  case Op::Eval:
+    break;
+  }
+
+  // Admission control for evals: bounded queue, explicit rejection.
+  const char *Reject = nullptr;
+  {
+    std::lock_guard<std::mutex> L(StateMu);
+    if (Draining.load()) {
+      ++Stats.RejectedDraining;
+      cntRejectedDraining().add();
+      Reject = "draining";
+    } else if (InFlight >= Cfg.MaxQueue) {
+      ++Stats.Overloaded;
+      cntOverloaded().add();
+      Reject = "overloaded";
+    } else {
+      ++InFlight;
+      ++Stats.Admitted;
+      cntAdmitted().add();
+      Stats.QueueHighWater = std::max(Stats.QueueHighWater, InFlight);
+    }
+  }
+  if (Reject)
+    return send(*C, rejectResponse(Req->Id, Reject,
+                                   std::string("queue limit ") +
+                                       std::to_string(Cfg.MaxQueue)));
+
+  Pool->submit([this, C, Q = std::move(Req->Eval)]() mutable {
+    runEval(C, std::move(Q));
+  });
+  return true;
+}
+
+void Daemon::runEval(std::shared_ptr<Conn> C, EvalRequest Q) {
+  {
+    trace::Span ReqSpan("serve.request", "serve");
+    if (ReqSpan.active())
+      ReqSpan.detail(Q.Name);
+
+    std::string Key = cacheKeyMaterial(Q);
+    std::optional<std::string> Body;
+    if (!Q.NoCache)
+      Body = Results.get(Key);
+    if (!Body) {
+      Body = evaluateToReport(Q, Compiles);
+      Results.put(Key, *Body);
+    }
+    send(*C, okEvalResponse(Q.Id, *Body));
+  }
+  {
+    std::lock_guard<std::mutex> L(StateMu);
+    --InFlight;
+  }
+  DrainCV.notify_all();
+}
+
+bool Daemon::send(Conn &C, std::string_view Payload) {
+  std::lock_guard<std::mutex> L(C.WriteMu);
+  return net::writeFrame(C.Sock.get(), Payload);
+}
+
+int Daemon::waitUntilDrained() {
+  {
+    std::unique_lock<std::mutex> L(StateMu);
+    DrainCV.wait(L, [this] { return Draining.load() && InFlight == 0; });
+  }
+  // Every admitted request has been answered (zero drops). Tear down:
+  // acceptor first (it already broke out of poll), then unblock and join
+  // the connection readers, then retire the pool and flush the cache.
+  if (Acceptor.joinable())
+    Acceptor.join();
+  {
+    std::lock_guard<std::mutex> L(ConnMu);
+    for (auto &C : Conns)
+      if (C->Sock.valid())
+        net::shutdownBoth(C->Sock.get());
+  }
+  for (auto &T : ConnThreads)
+    if (T.joinable())
+      T.join();
+  if (Pool) {
+    Pool->wait();
+    Pool.reset();
+  }
+  Results.flushIndex();
+  ListenUnix.reset();
+  ListenTcp.reset();
+  if (!Cfg.SocketPath.empty())
+    ::unlink(Cfg.SocketPath.c_str());
+  Drained = true;
+  if (!Cfg.Quiet)
+    std::fprintf(stderr, "cerbd: drained cleanly\n");
+  return 0;
+}
+
+DaemonSnapshot Daemon::snapshot() const {
+  std::lock_guard<std::mutex> L(StateMu);
+  DaemonSnapshot Out = Stats;
+  Out.InFlight = InFlight;
+  Out.Draining = Draining.load();
+  return Out;
+}
+
+std::string Daemon::statsJson() const {
+  DaemonSnapshot D = snapshot();
+  CacheStats CS = Results.stats();
+  auto N = [](uint64_t V) { return std::to_string(V); };
+  std::string J = "{";
+  J += "\"in_flight\": " + N(D.InFlight);
+  J += ", \"max_queue\": " + N(Cfg.MaxQueue);
+  J += ", \"queue_high_water\": " + N(D.QueueHighWater);
+  J += ", \"draining\": " + std::string(D.Draining ? "true" : "false");
+  J += ", \"requests\": " + N(D.Requests);
+  J += ", \"admitted\": " + N(D.Admitted);
+  J += ", \"overloaded\": " + N(D.Overloaded);
+  J += ", \"rejected_draining\": " + N(D.RejectedDraining);
+  J += ", \"threads\": " + N(threadCount());
+  J += ", \"result_cache\": {";
+  J += "\"memory_hits\": " + N(CS.MemoryHits);
+  J += ", \"disk_hits\": " + N(CS.DiskHits);
+  J += ", \"misses\": " + N(CS.Misses);
+  J += ", \"evictions\": " + N(CS.Evictions);
+  J += ", \"stores\": " + N(CS.Stores);
+  J += ", \"memory_entries\": " + N(CS.MemoryEntries);
+  J += ", \"persistent\": " + std::string(Results.persistent() ? "true" : "false");
+  J += "}, \"compile_cache\": {";
+  J += "\"hits\": " + N(Compiles.hits());
+  J += ", \"misses\": " + N(Compiles.misses());
+  J += "}}";
+  return J;
+}

@@ -1,0 +1,151 @@
+//===-- serve/Daemon.h - The persistent evaluation daemon -------*- C++ -*-===//
+///
+/// \file
+/// `cerbd`: a long-lived evaluation service over unix-domain (and
+/// optionally loopback-TCP) sockets speaking the `cerb-serve/1` protocol.
+/// Architecture:
+///
+///  - an accept thread multiplexes the listeners and a self-pipe (the
+///    drain signal) with poll();
+///  - one reader thread per connection parses frames and answers
+///    ping/stats inline; eval requests pass *admission control*: while
+///    Draining they are rejected with `draining`, and once
+///    queued-plus-running requests reach MaxQueue they are rejected with
+///    `overloaded` — bounded queue and an explicit backpressure signal
+///    instead of unbounded growth;
+///  - admitted requests run on the shared support::ThreadPool. Each task
+///    consults the two-tier cache (ResultCache over the report bytes;
+///    oracle::CompileCache underneath for elaborations), evaluates on a
+///    miss, stores, and writes the response under the connection's write
+///    mutex (concurrent requests on one connection interleave safely;
+///    responses carry ids, order is not guaranteed).
+///
+/// Graceful drain (SIGTERM via requestDrain(), or the `shutdown` op):
+/// stop accepting, reject new evals, *finish every admitted request* (zero
+/// drops), retire connection readers, flush the cache index, release the
+/// sockets. waitUntilDrained() returns only after all of that.
+///
+/// Observability: `serve.*` trace counters (requests, admissions,
+/// rejections, cache hits/misses/evictions via ResultCache) and per-request
+/// `serve.request` spans — `cerb serve --trace=FILE` profiles a whole
+/// daemon lifetime.
+///
+//===----------------------------------------------------------------------===//
+#ifndef CERB_SERVE_DAEMON_H
+#define CERB_SERVE_DAEMON_H
+
+#include "oracle/CompileCache.h"
+#include "serve/Eval.h"
+#include "serve/Protocol.h"
+#include "serve/ResultCache.h"
+#include "support/Socket.h"
+#include "support/ThreadPool.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace cerb::serve {
+
+struct DaemonConfig {
+  /// Unix-domain socket path (empty = no unix listener).
+  std::string SocketPath;
+  /// Loopback TCP port; -1 = no TCP listener, 0 = kernel-assigned (read it
+  /// back with Daemon::tcpPort()).
+  int TcpPort = -1;
+  /// Evaluation worker threads (0 = hardware concurrency).
+  unsigned Threads = 0;
+  /// Admission bound: maximum queued-plus-running eval requests. Beyond
+  /// it, requests are answered `overloaded` immediately.
+  uint64_t MaxQueue = 256;
+  CacheConfig Cache;
+  /// Honour the `shutdown` op (tests and the CLI default); a deployment
+  /// that only trusts signals can turn it off.
+  bool EnableShutdownOp = true;
+  bool Quiet = true;
+};
+
+/// Point-in-time operational numbers (the `stats` op serializes these).
+struct DaemonSnapshot {
+  uint64_t InFlight = 0;
+  uint64_t QueueHighWater = 0;
+  uint64_t Requests = 0; ///< frames parsed (all ops)
+  uint64_t Admitted = 0;
+  uint64_t Overloaded = 0;
+  uint64_t RejectedDraining = 0;
+  bool Draining = false;
+};
+
+class Daemon {
+public:
+  explicit Daemon(DaemonConfig Cfg);
+  /// Drains and stops if still running (idempotent with waitUntilDrained).
+  ~Daemon();
+
+  Daemon(const Daemon &) = delete;
+  Daemon &operator=(const Daemon &) = delete;
+
+  /// Binds the listeners and starts the accept thread + worker pool.
+  ExpectedVoid start();
+
+  /// Initiates a graceful drain. Thread-safe; also safe from a signal
+  /// handler *indirectly*: handlers should instead `write()` one byte to
+  /// drainFd() (async-signal-safe), which is exactly what this does.
+  void requestDrain();
+  /// The self-pipe write end; `write(fd, "x", 1)` from a SIGTERM handler
+  /// triggers the drain.
+  int drainFd() const { return WakeWrite.get(); }
+
+  /// Blocks until a drain completes: every admitted request answered, all
+  /// threads joined, cache index flushed, sockets released. Returns 0.
+  int waitUntilDrained();
+
+  /// Kernel-assigned port when TcpPort was 0.
+  uint16_t tcpPort() const { return BoundTcpPort; }
+
+  DaemonSnapshot snapshot() const;
+  const ResultCache &cache() const { return Results; }
+  unsigned threadCount() const { return Pool ? Pool->threadCount() : 0; }
+
+private:
+  struct Conn {
+    net::Fd Sock;
+    std::mutex WriteMu;
+  };
+
+  void acceptLoop();
+  void connLoop(std::shared_ptr<Conn> C);
+  /// Dispatches one frame; false ends the connection.
+  bool handleFrame(const std::shared_ptr<Conn> &C, const std::string &Frame);
+  void runEval(std::shared_ptr<Conn> C, EvalRequest Q);
+  bool send(Conn &C, std::string_view Payload);
+  std::string statsJson() const;
+
+  DaemonConfig Cfg;
+  ResultCache Results;
+  oracle::CompileCache Compiles; ///< daemon-lifetime elaboration sharing
+  std::unique_ptr<ThreadPool> Pool;
+
+  net::Fd ListenUnix, ListenTcp;
+  net::Fd WakeRead, WakeWrite; ///< drain self-pipe
+  uint16_t BoundTcpPort = 0;
+  bool Started = false, Drained = false;
+
+  std::thread Acceptor;
+  mutable std::mutex ConnMu;
+  std::vector<std::shared_ptr<Conn>> Conns;
+  std::vector<std::thread> ConnThreads;
+
+  mutable std::mutex StateMu;
+  std::condition_variable DrainCV;
+  std::atomic<bool> Draining{false};
+  uint64_t InFlight = 0;
+  DaemonSnapshot Stats;
+};
+
+} // namespace cerb::serve
+
+#endif // CERB_SERVE_DAEMON_H

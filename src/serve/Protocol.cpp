@@ -1,0 +1,249 @@
+//===-- serve/Protocol.cpp ------------------------------------------------===//
+
+#include "serve/Protocol.h"
+
+#include "exec/Pipeline.h"
+#include "oracle/Report.h"
+
+using namespace cerb;
+using namespace cerb::serve;
+
+namespace {
+
+std::string quoted(std::string_view S) {
+  return "\"" + oracle::jsonEscape(S) + "\"";
+}
+
+const char *opName(Op K) {
+  switch (K) {
+  case Op::Eval: return "eval";
+  case Op::Ping: return "ping";
+  case Op::Stats: return "stats";
+  case Op::Shutdown: return "shutdown";
+  }
+  return "?";
+}
+
+} // namespace
+
+Expected<Request> cerb::serve::parseRequest(std::string_view Frame) {
+  std::string PErr;
+  auto Doc = json::parse(Frame, &PErr);
+  if (!Doc)
+    return err("malformed request: " + PErr);
+  if (Doc->K != json::Value::Kind::Object)
+    return err("malformed request: not a JSON object");
+  const json::Value *Schema = Doc->get("schema");
+  if (!Schema || Schema->asString() != SchemaName)
+    return err(std::string("unsupported schema (expected \"") + SchemaName +
+               "\")");
+
+  Request R;
+  if (const json::Value *Id = Doc->get("id"))
+    R.Id = Id->asString();
+
+  const json::Value *OpV = Doc->get("op");
+  std::string OpStr = OpV ? OpV->asString() : "eval";
+  if (OpStr == "ping") {
+    R.Kind = Op::Ping;
+    return R;
+  }
+  if (OpStr == "stats") {
+    R.Kind = Op::Stats;
+    return R;
+  }
+  if (OpStr == "shutdown") {
+    R.Kind = Op::Shutdown;
+    return R;
+  }
+  if (OpStr != "eval")
+    return err("unknown op '" + OpStr + "'");
+
+  R.Kind = Op::Eval;
+  EvalRequest &Q = R.Eval;
+  Q.Id = R.Id;
+  const json::Value *Src = Doc->get("source");
+  if (!Src || Src->K != json::Value::Kind::String)
+    return err("eval request needs a string \"source\"");
+  Q.Source = Src->asString();
+  if (const json::Value *Name = Doc->get("name"))
+    Q.Name = Name->asString();
+
+  if (const json::Value *Pols = Doc->get("policies")) {
+    if (Pols->K != json::Value::Kind::Array)
+      return err("\"policies\" must be an array of preset names");
+    for (const json::Value &P : Pols->Arr) {
+      auto Policy = mem::MemoryPolicy::named(P.asString());
+      if (!Policy)
+        return Policy.takeError();
+      Q.Policies.push_back(std::move(*Policy));
+    }
+  }
+  if (Q.Policies.empty())
+    Q.Policies.push_back(mem::MemoryPolicy::defacto());
+
+  if (const json::Value *ModeV = Doc->get("mode")) {
+    auto M = oracle::modeByName(ModeV->asString());
+    if (!M)
+      return err("unknown mode '" + ModeV->asString() +
+                 "' (once|random|exhaustive)");
+    Q.ExecMode = *M;
+  }
+  if (const json::Value *Seed = Doc->get("seed"))
+    Q.Seed = Seed->asU64(1);
+  if (const json::Value *NC = Doc->get("no_cache"))
+    Q.NoCache = NC->asBool();
+
+  if (const json::Value *L = Doc->get("limits")) {
+    if (const json::Value *V = L->get("max_paths"))
+      Q.Limits.MaxPaths = V->asU64(Q.Limits.MaxPaths);
+    if (const json::Value *V = L->get("max_steps"))
+      Q.Limits.MaxSteps = V->asU64();
+    if (const json::Value *V = L->get("max_call_depth"))
+      Q.Limits.MaxCallDepth = V->asU64();
+    if (const json::Value *V = L->get("deadline_ms"))
+      Q.Limits.DeadlineMs = V->asU64();
+    if (const json::Value *V = L->get("fallback_samples"))
+      Q.Limits.FallbackSamples = V->asU64(Q.Limits.FallbackSamples);
+  }
+  return R;
+}
+
+std::string cerb::serve::serializeEvalRequest(const EvalRequest &Q) {
+  std::string J;
+  J += "{\"schema\": " + quoted(SchemaName) + ", \"op\": \"eval\"";
+  if (!Q.Id.empty())
+    J += ", \"id\": " + quoted(Q.Id);
+  J += ", \"name\": " + quoted(Q.Name);
+  J += ", \"source\": " + quoted(Q.Source);
+  J += ", \"policies\": [";
+  for (size_t I = 0; I < Q.Policies.size(); ++I) {
+    if (I)
+      J += ", ";
+    J += quoted(Q.Policies[I].Name);
+  }
+  J += "]";
+  J += ", \"mode\": " + quoted(oracle::modeName(Q.ExecMode));
+  J += ", \"seed\": " + std::to_string(Q.Seed);
+  J += ", \"limits\": {\"max_paths\": " + std::to_string(Q.Limits.MaxPaths) +
+       ", \"max_steps\": " + std::to_string(Q.Limits.MaxSteps) +
+       ", \"max_call_depth\": " + std::to_string(Q.Limits.MaxCallDepth) +
+       ", \"deadline_ms\": " + std::to_string(Q.Limits.DeadlineMs) +
+       ", \"fallback_samples\": " + std::to_string(Q.Limits.FallbackSamples) +
+       "}";
+  if (Q.NoCache)
+    J += ", \"no_cache\": true";
+  J += "}";
+  return J;
+}
+
+std::string cerb::serve::serializeSimpleRequest(Op Kind, const std::string &Id) {
+  std::string J = "{\"schema\": " + quoted(SchemaName) + ", \"op\": " +
+                  quoted(opName(Kind));
+  if (!Id.empty())
+    J += ", \"id\": " + quoted(Id);
+  J += "}";
+  return J;
+}
+
+std::string cerb::serve::okEvalResponse(const std::string &Id,
+                                        std::string_view ReportBody) {
+  // The report is embedded verbatim: a warm cache replays stored bytes, so
+  // cold and warm responses for one query are identical by construction.
+  std::string J;
+  J.reserve(ReportBody.size() + 96);
+  J += "{\"schema\": " + quoted(SchemaName) + ", \"id\": " + quoted(Id) +
+       ", \"status\": \"ok\", \"report\": ";
+  J += ReportBody;
+  J += "}";
+  return J;
+}
+
+std::string cerb::serve::okSimpleResponse(const std::string &Id,
+                                          const char *Extra,
+                                          const std::string &ExtraJson) {
+  std::string J = "{\"schema\": " + quoted(SchemaName) + ", \"id\": " +
+                  quoted(Id) + ", \"status\": \"ok\"";
+  if (Extra)
+    J += std::string(", \"") + Extra + "\": " + ExtraJson;
+  J += "}";
+  return J;
+}
+
+std::string cerb::serve::rejectResponse(const std::string &Id,
+                                        const char *Status,
+                                        std::string_view Message) {
+  std::string J = "{\"schema\": " + quoted(SchemaName) + ", \"id\": " +
+                  quoted(Id) + ", \"status\": " + quoted(Status);
+  if (!Message.empty())
+    J += ", \"error\": " + quoted(Message);
+  J += "}";
+  return J;
+}
+
+Expected<ParsedResponse> cerb::serve::parseResponse(std::string_view Frame) {
+  std::string PErr;
+  auto Doc = json::parse(Frame, &PErr);
+  if (!Doc)
+    return err("malformed response: " + PErr);
+  const json::Value *Schema = Doc->get("schema");
+  if (!Schema || Schema->asString() != SchemaName)
+    return err("response carries no cerb-serve/1 schema");
+  ParsedResponse R;
+  if (const json::Value *Id = Doc->get("id"))
+    R.Id = Id->asString();
+  if (const json::Value *St = Doc->get("status"))
+    R.Status = St->asString();
+  if (const json::Value *E = Doc->get("error"))
+    R.Error = E->asString();
+  // Recover the report bytes verbatim (not re-serialized). The bare
+  // `"report": ` key sequence cannot occur inside a JSON string value —
+  // quotes there are escaped — so the first occurrence is the key, and the
+  // value runs to the envelope's closing brace.
+  if (Doc->get("report")) {
+    static constexpr std::string_view Key = "\"report\": ";
+    size_t At = Frame.find(Key);
+    size_t End = Frame.rfind('}');
+    if (At != std::string_view::npos && End != std::string_view::npos &&
+        End > At + Key.size())
+      R.Report = std::string(Frame.substr(At + Key.size(),
+                                          End - (At + Key.size())));
+  }
+  return R;
+}
+
+std::string cerb::serve::cacheKeyMaterial(const EvalRequest &Q) {
+  // Fixed-format fields first; the free-form name strictly last so no
+  // crafted name can imitate another key's tail.
+  std::string M = "cerb-serve-key/1";
+  M += "|sem=" + oracle::jsonHex64(exec::semanticsFingerprint());
+  M += "|rpt=1"; // bump when cerb-oracle-report/1 serialization changes
+  M += "|src=" +
+       oracle::jsonHex64(oracle::CompileCache::hashSource(Q.Source)) + ":" +
+       std::to_string(Q.Source.size());
+  M += "|mode=" + std::string(oracle::modeName(Q.ExecMode));
+  M += "|seed=" + std::to_string(Q.Seed);
+  M += "|paths=" + std::to_string(Q.Limits.MaxPaths);
+  M += "|steps=" + std::to_string(Q.Limits.MaxSteps);
+  M += "|depth=" + std::to_string(Q.Limits.MaxCallDepth);
+  M += "|deadline=" + std::to_string(Q.Limits.DeadlineMs);
+  M += "|fallback=" + std::to_string(Q.Limits.FallbackSamples);
+  M += "|pol=";
+  for (size_t I = 0; I < Q.Policies.size(); ++I) {
+    if (I)
+      M += ",";
+    M += Q.Policies[I].Name + ":" +
+         oracle::jsonHex64(Q.Policies[I].fingerprint());
+  }
+  M += "|name=" + Q.Name;
+  return M;
+}
+
+uint64_t cerb::serve::cacheKeyHash(std::string_view Material) {
+  uint64_t H = 0xcbf29ce484222325ull;
+  for (char C : Material) {
+    H ^= static_cast<unsigned char>(C);
+    H *= 0x100000001b3ull;
+  }
+  return H;
+}

@@ -1,0 +1,120 @@
+//===-- serve/Protocol.h - The cerb-serve/1 wire protocol -------*- C++ -*-===//
+///
+/// \file
+/// Message layer of the evaluation daemon: every frame on a `cerbd`
+/// connection (see support/Socket.h for the framing) is one JSON document
+/// with `"schema": "cerb-serve/1"`.
+///
+/// Requests carry an `"op"`:
+///  - `eval`: source + policy set + execution mode/limits; the daemon
+///    answers with an embedded `cerb-oracle-report/1` document.
+///  - `ping`: liveness probe.
+///  - `stats`: operational snapshot (queue depth, cache hit rates).
+///  - `shutdown`: trigger a graceful drain (same path as SIGTERM).
+///
+/// Responses echo the request `"id"` and carry a `"status"`: `ok`,
+/// `overloaded` (admission control rejected: the bounded queue is full),
+/// `draining` (daemon is shutting down; it finishes in-flight work but
+/// accepts nothing new), or `error` (malformed request, unknown policy...).
+///
+/// Determinism contract: an `ok` eval response is a deterministic function
+/// of the *request* alone — reports are serialized without timings, batch
+/// cache fields are derived from the request (not from daemon state), and
+/// cache hit/miss status is never in the envelope. So a warm-cache repeat
+/// is byte-identical to its cold run, and responses are byte-identical for
+/// any daemon thread count. (Cache observability lives in the `stats` op
+/// and the `serve.*` trace counters instead.)
+///
+//===----------------------------------------------------------------------===//
+#ifndef CERB_SERVE_PROTOCOL_H
+#define CERB_SERVE_PROTOCOL_H
+
+#include "oracle/Oracle.h"
+#include "support/Expected.h"
+#include "support/Json.h"
+
+#include <string>
+#include <vector>
+
+namespace cerb::serve {
+
+/// Protocol identifier, sent in every frame.
+inline constexpr const char *SchemaName = "cerb-serve/1";
+
+/// Per-request execution budgets (the wire mirror of oracle::JobBudget;
+/// zero means "server default" for the step/depth knobs).
+struct EvalLimits {
+  uint64_t MaxPaths = 512;
+  uint64_t MaxSteps = 0;      ///< 0 = exec::ExecLimits default
+  uint64_t MaxCallDepth = 0;  ///< 0 = exec::ExecLimits default
+  uint64_t DeadlineMs = 0;    ///< 0 = none
+  uint64_t FallbackSamples = 16;
+};
+
+/// One semantics-evaluation query: a source under a policy set.
+struct EvalRequest {
+  std::string Id;             ///< client-chosen, echoed verbatim
+  std::string Name = "query"; ///< display name inside the report
+  std::string Source;
+  std::vector<mem::MemoryPolicy> Policies; ///< resolved presets, in order
+  oracle::Mode ExecMode = oracle::Mode::Exhaustive;
+  uint64_t Seed = 1;
+  EvalLimits Limits;
+  bool NoCache = false; ///< bypass cache *reads* (still populates)
+};
+
+enum class Op { Eval, Ping, Stats, Shutdown };
+
+struct Request {
+  Op Kind = Op::Ping;
+  std::string Id;
+  EvalRequest Eval; ///< meaningful when Kind == Op::Eval
+};
+
+/// Parses one request frame. Unknown policy names, bad modes, and missing
+/// fields produce an error whose message goes back in an `error` response.
+Expected<Request> parseRequest(std::string_view Frame);
+
+/// Client-side serializers.
+std::string serializeEvalRequest(const EvalRequest &Q);
+std::string serializeSimpleRequest(Op Kind, const std::string &Id);
+
+/// Server-side response builders. \p ReportBody is a complete
+/// `cerb-oracle-report/1` JSON document (embedded verbatim, so cached
+/// bytes replay byte-identically).
+std::string okEvalResponse(const std::string &Id, std::string_view ReportBody);
+std::string okSimpleResponse(const std::string &Id, const char *Extra,
+                             const std::string &ExtraJson);
+std::string rejectResponse(const std::string &Id, const char *Status,
+                           std::string_view Message);
+
+/// Pulls status/report back out of a response frame (client side).
+struct ParsedResponse {
+  std::string Id;
+  std::string Status; ///< "ok", "overloaded", "draining", "error"
+  std::string Error;  ///< message when Status == "error"
+  /// Raw bytes of the embedded report document (eval responses), extracted
+  /// verbatim so clients can persist exactly what the daemon serialized.
+  std::string Report;
+};
+Expected<ParsedResponse> parseResponse(std::string_view Frame);
+
+//===----------------------------------------------------------------------===//
+// Content-addressed cache keying
+//===----------------------------------------------------------------------===//
+
+/// The full, unambiguous identity of an eval result:
+/// hash(source) × policy set × mode/seed/limits × semantics version × the
+/// report format version. Equal key material <=> the daemon may legally
+/// replay stored bytes. The free-form display name sits at the end of the
+/// string so no crafted name can collide two distinct keys.
+std::string cacheKeyMaterial(const EvalRequest &Q);
+
+/// FNV-1a of the key material: the content address (disk file name, memory
+/// map key). Collisions are handled by storing the material alongside the
+/// entry and verifying on read.
+uint64_t cacheKeyHash(std::string_view Material);
+
+} // namespace cerb::serve
+
+#endif // CERB_SERVE_PROTOCOL_H

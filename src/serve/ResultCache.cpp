@@ -1,0 +1,205 @@
+//===-- serve/ResultCache.cpp ---------------------------------------------===//
+
+#include "serve/ResultCache.h"
+
+#include "oracle/Report.h"
+#include "serve/Protocol.h"
+#include "trace/Trace.h"
+
+#include <atomic>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+using namespace cerb;
+using namespace cerb::serve;
+
+namespace fs = std::filesystem;
+
+namespace {
+
+// serve.cache.* counters: always-on observability the daemon's reports and
+// traces share (see trace/Trace.h's counter contract).
+trace::Counter &cntMemHits() {
+  static trace::Counter C("serve.cache.memory_hits");
+  return C;
+}
+trace::Counter &cntDiskHits() {
+  static trace::Counter C("serve.cache.disk_hits");
+  return C;
+}
+trace::Counter &cntMisses() {
+  static trace::Counter C("serve.cache.misses");
+  return C;
+}
+trace::Counter &cntEvictions() {
+  static trace::Counter C("serve.cache.evictions");
+  return C;
+}
+trace::Counter &cntStores() {
+  static trace::Counter C("serve.cache.stores");
+  return C;
+}
+
+constexpr const char *EntryMagic = "cerb-serve-cache/1 ";
+
+} // namespace
+
+ResultCache::ResultCache(CacheConfig Cfg) : Cfg(std::move(Cfg)) {
+  if (!this->Cfg.Dir.empty()) {
+    std::error_code EC;
+    fs::create_directories(fs::path(this->Cfg.Dir) / "objects", EC);
+    fs::create_directories(fs::path(this->Cfg.Dir) / "tmp", EC);
+  }
+}
+
+std::string ResultCache::objectPath(uint64_t Hash) const {
+  char Hex[24];
+  std::snprintf(Hex, sizeof Hex, "%016llx",
+                static_cast<unsigned long long>(Hash));
+  // Shard by the top byte so one directory never accumulates every entry.
+  return Cfg.Dir + "/objects/" + std::string(Hex, 2) + "/" + Hex;
+}
+
+std::optional<std::string> ResultCache::get(const std::string &KeyMaterial) {
+  uint64_t Hash = cacheKeyHash(KeyMaterial);
+  {
+    std::lock_guard<std::mutex> L(M);
+    auto It = Map.find(Hash);
+    if (It != Map.end() && It->second->second.Material == KeyMaterial) {
+      Lru.splice(Lru.begin(), Lru, It->second); // touch: move to MRU
+      ++S.MemoryHits;
+      cntMemHits().add();
+      return It->second->second.Body;
+    }
+  }
+  if (!Cfg.Dir.empty()) {
+    if (auto Body = diskGet(KeyMaterial, Hash)) {
+      std::lock_guard<std::mutex> L(M);
+      ++S.DiskHits;
+      cntDiskHits().add();
+      memoryPutLocked(Hash, KeyMaterial, *Body); // promote
+      return Body;
+    }
+  }
+  std::lock_guard<std::mutex> L(M);
+  ++S.Misses;
+  cntMisses().add();
+  return std::nullopt;
+}
+
+void ResultCache::put(const std::string &KeyMaterial,
+                      const std::string &Body) {
+  uint64_t Hash = cacheKeyHash(KeyMaterial);
+  {
+    std::lock_guard<std::mutex> L(M);
+    ++S.Stores;
+    cntStores().add();
+    memoryPutLocked(Hash, KeyMaterial, Body);
+  }
+  if (!Cfg.Dir.empty())
+    diskPut(KeyMaterial, Hash, Body);
+}
+
+void ResultCache::memoryPutLocked(uint64_t Hash,
+                                  const std::string &KeyMaterial,
+                                  const std::string &Body) {
+  if (Cfg.MaxMemoryEntries == 0)
+    return;
+  auto It = Map.find(Hash);
+  if (It != Map.end()) {
+    // Same hash: refresh (covers both re-put and collision overwrite —
+    // the entry stores its own material, so reads stay correct).
+    It->second->second = Entry{KeyMaterial, Body};
+    Lru.splice(Lru.begin(), Lru, It->second);
+    return;
+  }
+  Lru.emplace_front(Hash, Entry{KeyMaterial, Body});
+  Map[Hash] = Lru.begin();
+  while (Map.size() > Cfg.MaxMemoryEntries) {
+    Map.erase(Lru.back().first);
+    Lru.pop_back();
+    ++S.Evictions;
+    cntEvictions().add();
+  }
+}
+
+std::optional<std::string> ResultCache::diskGet(const std::string &KeyMaterial,
+                                                uint64_t Hash) {
+  std::ifstream In(objectPath(Hash), std::ios::binary);
+  if (!In)
+    return std::nullopt;
+  std::ostringstream Buf;
+  Buf << In.rdbuf();
+  if (In.bad())
+    return std::nullopt;
+  std::string All = Buf.str();
+  // Header line: magic + key material. Anything that does not match — torn
+  // write survivor, hash collision, foreign file — is a miss.
+  std::string Expect = std::string(EntryMagic) + KeyMaterial + "\n";
+  if (All.size() < Expect.size() || All.compare(0, Expect.size(), Expect) != 0)
+    return std::nullopt;
+  return All.substr(Expect.size());
+}
+
+void ResultCache::diskPut(const std::string &KeyMaterial, uint64_t Hash,
+                          const std::string &Body) {
+  std::string Path = objectPath(Hash);
+  std::error_code EC;
+  fs::create_directories(fs::path(Path).parent_path(), EC);
+  // Atomic publish: write a private temp file, then rename over the final
+  // name. Readers either see the whole entry or none of it.
+  static std::atomic<unsigned> TmpId{0};
+  std::string Tmp = Cfg.Dir + "/tmp/put-" +
+                    std::to_string(static_cast<unsigned long long>(
+                        reinterpret_cast<uintptr_t>(this) & 0xFFFF)) +
+                    "-" + std::to_string(TmpId.fetch_add(1));
+  {
+    std::ofstream Out(Tmp, std::ios::binary | std::ios::trunc);
+    if (!Out)
+      return; // disk tier is best-effort; memory tier already holds it
+    Out << EntryMagic << KeyMaterial << "\n" << Body;
+    Out.flush();
+    if (!Out) {
+      fs::remove(Tmp, EC);
+      return;
+    }
+  }
+  fs::rename(Tmp, Path, EC);
+  if (EC)
+    fs::remove(Tmp, EC);
+}
+
+bool ResultCache::flushIndex() {
+  if (Cfg.Dir.empty())
+    return true;
+  CacheStats Snap = stats();
+  uint64_t DiskEntries = 0;
+  std::error_code EC;
+  for (fs::recursive_directory_iterator
+           It(fs::path(Cfg.Dir) / "objects", EC),
+       End;
+       It != End && !EC; It.increment(EC))
+    if (It->is_regular_file(EC))
+      ++DiskEntries;
+  std::string J;
+  J += "{\n";
+  J += "  \"schema\": \"cerb-serve-index/1\",\n";
+  J += "  \"disk_entries\": " + std::to_string(DiskEntries) + ",\n";
+  J += "  \"memory_entries\": " + std::to_string(Snap.MemoryEntries) + ",\n";
+  J += "  \"memory_hits\": " + std::to_string(Snap.MemoryHits) + ",\n";
+  J += "  \"disk_hits\": " + std::to_string(Snap.DiskHits) + ",\n";
+  J += "  \"misses\": " + std::to_string(Snap.Misses) + ",\n";
+  J += "  \"evictions\": " + std::to_string(Snap.Evictions) + ",\n";
+  J += "  \"stores\": " + std::to_string(Snap.Stores) + "\n";
+  J += "}\n";
+  return oracle::writeTextFile(Cfg.Dir + "/index.json", J);
+}
+
+CacheStats ResultCache::stats() const {
+  std::lock_guard<std::mutex> L(M);
+  CacheStats Out = S;
+  Out.MemoryEntries = Map.size();
+  return Out;
+}

@@ -1,0 +1,96 @@
+//===-- serve/ResultCache.h - Two-tier content-addressed cache --*- C++ -*-===//
+///
+/// \file
+/// The daemon's durable memo table: maps a cache key (see
+/// Protocol.h::cacheKeyMaterial — source × policies × limits × semantics
+/// version) to the exact bytes of the `cerb-oracle-report/1` document the
+/// cold evaluation produced.
+///
+/// Tier 1 is an in-process LRU bounded at MaxMemoryEntries (evictions only
+/// drop the in-memory copy; the disk tier keeps the entry). Tier 2 is a
+/// content-addressed on-disk store: one file per key at
+/// `<dir>/objects/<hh>/<16-hex-digits>`, written atomically
+/// (temp file + rename) so a killed daemon can never leave a torn entry,
+/// and carrying the full key material in a header line so a 64-bit hash
+/// collision degrades to a miss, never to a wrong replay. A second daemon
+/// pointed at the same directory — or the same daemon after a restart —
+/// serves repeat queries from here in microseconds.
+///
+/// All methods are thread-safe; hit/miss/eviction totals are mirrored into
+/// the `serve.cache.*` trace counters.
+///
+//===----------------------------------------------------------------------===//
+#ifndef CERB_SERVE_RESULTCACHE_H
+#define CERB_SERVE_RESULTCACHE_H
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+namespace cerb::serve {
+
+struct CacheConfig {
+  /// Disk-tier root; empty disables persistence (memory-only daemon).
+  std::string Dir;
+  /// Tier-1 bound: LRU entries held in memory (0 disables the tier).
+  size_t MaxMemoryEntries = 1024;
+};
+
+struct CacheStats {
+  uint64_t MemoryHits = 0;
+  uint64_t DiskHits = 0; ///< found on disk (and promoted to memory)
+  uint64_t Misses = 0;
+  uint64_t Evictions = 0; ///< memory-tier LRU drops
+  uint64_t Stores = 0;
+  uint64_t MemoryEntries = 0;
+};
+
+class ResultCache {
+public:
+  explicit ResultCache(CacheConfig Cfg);
+
+  /// Looks \p KeyMaterial up: memory first, then disk (verifying the
+  /// stored material — a hash collision or torn file is a miss).
+  std::optional<std::string> get(const std::string &KeyMaterial);
+
+  /// Records the result bytes for \p KeyMaterial in both tiers.
+  void put(const std::string &KeyMaterial, const std::string &Body);
+
+  /// Writes `<dir>/index.json` (entry/hit/miss/eviction totals). The drain
+  /// path calls this so operators can read a consistent summary after
+  /// SIGTERM; it is advisory — the object files alone are authoritative.
+  bool flushIndex();
+
+  CacheStats stats() const;
+  bool persistent() const { return !Cfg.Dir.empty(); }
+
+private:
+  struct Entry {
+    std::string Material; ///< full key, for collision-proof verification
+    std::string Body;
+  };
+
+  std::string objectPath(uint64_t Hash) const;
+  std::optional<std::string> diskGet(const std::string &KeyMaterial,
+                                     uint64_t Hash);
+  void diskPut(const std::string &KeyMaterial, uint64_t Hash,
+               const std::string &Body);
+  /// Inserts into the memory tier (must hold M); evicts LRU overflow.
+  void memoryPutLocked(uint64_t Hash, const std::string &KeyMaterial,
+                       const std::string &Body);
+
+  CacheConfig Cfg;
+  mutable std::mutex M;
+  /// LRU: most-recent at the front; the map points into the list.
+  std::list<std::pair<uint64_t, Entry>> Lru;
+  std::unordered_map<uint64_t, std::list<std::pair<uint64_t, Entry>>::iterator>
+      Map;
+  CacheStats S;
+};
+
+} // namespace cerb::serve
+
+#endif // CERB_SERVE_RESULTCACHE_H

@@ -3,6 +3,7 @@
 #include "support/Json.h"
 
 #include <cctype>
+#include <cerrno>
 #include <cstdlib>
 
 using namespace cerb;
@@ -18,9 +19,29 @@ const Value *Value::get(std::string_view Key) const {
 }
 
 uint64_t Value::asU64(uint64_t Default) const {
-  if (K != Kind::Number || Num < 0)
+  if (K != Kind::Number)
+    return Default;
+  if (IsInt)
+    return IntNeg ? Default : IntMag;
+  if (Num < 0)
     return Default;
   return static_cast<uint64_t>(Num);
+}
+
+int64_t Value::asI64(int64_t Default) const {
+  if (K != Kind::Number)
+    return Default;
+  if (IsInt) {
+    if (!IntNeg)
+      return IntMag <= static_cast<uint64_t>(INT64_MAX)
+                 ? static_cast<int64_t>(IntMag)
+                 : Default;
+    // INT64_MIN's magnitude is INT64_MAX + 1.
+    return IntMag <= static_cast<uint64_t>(INT64_MAX) + 1
+               ? static_cast<int64_t>(-IntMag)
+               : Default;
+  }
+  return static_cast<int64_t>(Num);
 }
 
 double Value::asDouble(double Default) const {
@@ -123,10 +144,25 @@ private:
       fail("expected a value");
       return std::nullopt;
     }
+    std::string Tok(S.substr(Start, Pos - Start));
     Value V;
     V.K = Value::Kind::Number;
-    V.Num = std::strtod(std::string(S.substr(Start, Pos - Start)).c_str(),
-                        nullptr);
+    V.Num = std::strtod(Tok.c_str(), nullptr);
+    // Integral literal that fits 64 bits: record it exactly (doubles round
+    // above 2^53, losing serve-protocol ids/seeds/hashes).
+    if (Tok.find_first_of(".eE") == std::string::npos) {
+      size_t DigitsAt = Tok.find_first_not_of("+-");
+      if (DigitsAt != std::string::npos) {
+        errno = 0;
+        char *End = nullptr;
+        uint64_t Mag = std::strtoull(Tok.c_str() + DigitsAt, &End, 10);
+        if (errno == 0 && End && *End == '\0') {
+          V.IsInt = true;
+          V.IntNeg = Tok[0] == '-';
+          V.IntMag = Mag;
+        }
+      }
+    }
     return V;
   }
 

@@ -27,6 +27,13 @@ struct Value {
   Kind K = Kind::Null;
   bool B = false;
   double Num = 0;
+  /// Exact-integer sidecar: when a Number literal is integral (no '.', no
+  /// exponent) and its magnitude fits 64 bits, the parser records it here
+  /// losslessly — Num alone is a double and silently rounds above 2^53,
+  /// which would corrupt the serve protocol's u64 ids, seeds, and hashes.
+  bool IsInt = false;
+  bool IntNeg = false;  ///< the literal had a leading '-'
+  uint64_t IntMag = 0;  ///< magnitude of the exact integer
   std::string Str;
   std::vector<Value> Arr;
   std::vector<std::pair<std::string, Value>> Obj; ///< insertion order
@@ -35,7 +42,10 @@ struct Value {
   /// Object member lookup; nullptr when absent or not an object.
   const Value *get(std::string_view Key) const;
   /// Convenience accessors (return the fallback when the kind mismatches).
+  /// asU64/asI64 are exact for any in-range integer literal (full 64-bit
+  /// precision, not double precision).
   uint64_t asU64(uint64_t Default = 0) const;
+  int64_t asI64(int64_t Default = 0) const;
   double asDouble(double Default = 0) const;
   bool asBool(bool Default = false) const;
   const std::string &asString() const { return Str; }

@@ -1,0 +1,204 @@
+//===-- support/Socket.cpp ------------------------------------------------===//
+
+#include "support/Socket.h"
+
+#include <cerrno>
+#include <cstring>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/stat.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+using namespace cerb;
+using namespace cerb::net;
+
+void Fd::reset() {
+  if (Raw >= 0)
+    ::close(Raw);
+  Raw = -1;
+}
+
+namespace {
+
+StaticError sysErr(const std::string &What) {
+  return err(What + ": " + std::strerror(errno));
+}
+
+/// SIGPIPE would kill the daemon when a client disconnects mid-response;
+/// every socket we create opts out (the write loop sees EPIPE instead).
+void armNoSigpipe(int Raw) {
+#ifdef SO_NOSIGPIPE
+  int One = 1;
+  ::setsockopt(Raw, SOL_SOCKET, SO_NOSIGPIPE, &One, sizeof One);
+#else
+  (void)Raw; // Linux: writeAll uses MSG_NOSIGNAL instead
+#endif
+}
+
+} // namespace
+
+Expected<Fd> cerb::net::listenUnix(const std::string &Path, int Backlog) {
+  sockaddr_un Addr{};
+  if (Path.size() >= sizeof(Addr.sun_path))
+    return err("socket path too long: " + Path);
+  struct stat St{};
+  if (::lstat(Path.c_str(), &St) == 0) {
+    if (!S_ISSOCK(St.st_mode))
+      return err("refusing to unlink non-socket file: " + Path);
+    ::unlink(Path.c_str()); // stale socket from a previous daemon
+  }
+  Fd Sock(::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0));
+  if (!Sock.valid())
+    return sysErr("socket");
+  Addr.sun_family = AF_UNIX;
+  std::memcpy(Addr.sun_path, Path.c_str(), Path.size() + 1);
+  if (::bind(Sock.get(), reinterpret_cast<sockaddr *>(&Addr), sizeof Addr) != 0)
+    return sysErr("bind " + Path);
+  if (::listen(Sock.get(), Backlog) != 0)
+    return sysErr("listen " + Path);
+  armNoSigpipe(Sock.get());
+  return Sock;
+}
+
+Expected<Fd> cerb::net::listenTcp(uint16_t Port, uint16_t *OutPort,
+                                  int Backlog) {
+  Fd Sock(::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0));
+  if (!Sock.valid())
+    return sysErr("socket");
+  int One = 1;
+  ::setsockopt(Sock.get(), SOL_SOCKET, SO_REUSEADDR, &One, sizeof One);
+  sockaddr_in Addr{};
+  Addr.sin_family = AF_INET;
+  Addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  Addr.sin_port = htons(Port);
+  if (::bind(Sock.get(), reinterpret_cast<sockaddr *>(&Addr), sizeof Addr) != 0)
+    return sysErr("bind 127.0.0.1:" + std::to_string(Port));
+  if (::listen(Sock.get(), Backlog) != 0)
+    return sysErr("listen");
+  if (OutPort) {
+    socklen_t Len = sizeof Addr;
+    if (::getsockname(Sock.get(), reinterpret_cast<sockaddr *>(&Addr), &Len) !=
+        0)
+      return sysErr("getsockname");
+    *OutPort = ntohs(Addr.sin_port);
+  }
+  armNoSigpipe(Sock.get());
+  return Sock;
+}
+
+Expected<Fd> cerb::net::connectUnix(const std::string &Path) {
+  sockaddr_un Addr{};
+  if (Path.size() >= sizeof(Addr.sun_path))
+    return err("socket path too long: " + Path);
+  Fd Sock(::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0));
+  if (!Sock.valid())
+    return sysErr("socket");
+  Addr.sun_family = AF_UNIX;
+  std::memcpy(Addr.sun_path, Path.c_str(), Path.size() + 1);
+  int RC;
+  do {
+    RC = ::connect(Sock.get(), reinterpret_cast<sockaddr *>(&Addr),
+                   sizeof Addr);
+  } while (RC != 0 && errno == EINTR);
+  if (RC != 0)
+    return sysErr("connect " + Path);
+  armNoSigpipe(Sock.get());
+  return Sock;
+}
+
+Expected<Fd> cerb::net::connectTcp(uint16_t Port) {
+  Fd Sock(::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0));
+  if (!Sock.valid())
+    return sysErr("socket");
+  sockaddr_in Addr{};
+  Addr.sin_family = AF_INET;
+  Addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  Addr.sin_port = htons(Port);
+  int RC;
+  do {
+    RC = ::connect(Sock.get(), reinterpret_cast<sockaddr *>(&Addr),
+                   sizeof Addr);
+  } while (RC != 0 && errno == EINTR);
+  if (RC != 0)
+    return sysErr("connect 127.0.0.1:" + std::to_string(Port));
+  armNoSigpipe(Sock.get());
+  return Sock;
+}
+
+Fd cerb::net::acceptOn(int ListenFd) {
+  while (true) {
+    int Raw = ::accept(ListenFd, nullptr, nullptr);
+    if (Raw >= 0)
+      return Fd(Raw);
+    if (errno != EINTR)
+      return Fd();
+  }
+}
+
+bool cerb::net::writeAll(int FdRaw, const void *Data, size_t Len) {
+  const char *P = static_cast<const char *>(Data);
+  while (Len > 0) {
+#ifdef MSG_NOSIGNAL
+    ssize_t N = ::send(FdRaw, P, Len, MSG_NOSIGNAL);
+    if (N < 0 && errno == ENOTSOCK) // pipes in tests
+      N = ::write(FdRaw, P, Len);
+#else
+    ssize_t N = ::write(FdRaw, P, Len);
+#endif
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      return false;
+    }
+    P += N;
+    Len -= static_cast<size_t>(N);
+  }
+  return true;
+}
+
+int cerb::net::readExact(int FdRaw, void *Data, size_t Len) {
+  char *P = static_cast<char *>(Data);
+  size_t Got = 0;
+  while (Got < Len) {
+    ssize_t N = ::read(FdRaw, P + Got, Len - Got);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      return -1;
+    }
+    if (N == 0)
+      return Got == 0 ? 0 : -1; // EOF: clean only at a boundary
+    Got += static_cast<size_t>(N);
+  }
+  return 1;
+}
+
+bool cerb::net::writeFrame(int FdRaw, std::string_view Payload,
+                           uint32_t MaxLen) {
+  if (Payload.size() > MaxLen)
+    return false;
+  uint32_t Len = static_cast<uint32_t>(Payload.size());
+  unsigned char Hdr[4] = {static_cast<unsigned char>(Len >> 24),
+                          static_cast<unsigned char>(Len >> 16),
+                          static_cast<unsigned char>(Len >> 8),
+                          static_cast<unsigned char>(Len)};
+  return writeAll(FdRaw, Hdr, 4) && writeAll(FdRaw, Payload.data(), Len);
+}
+
+int cerb::net::readFrame(int FdRaw, std::string &Out, uint32_t MaxLen) {
+  unsigned char Hdr[4];
+  int RC = readExact(FdRaw, Hdr, 4);
+  if (RC <= 0)
+    return RC;
+  uint32_t Len = (uint32_t(Hdr[0]) << 24) | (uint32_t(Hdr[1]) << 16) |
+                 (uint32_t(Hdr[2]) << 8) | uint32_t(Hdr[3]);
+  if (Len > MaxLen)
+    return -1;
+  Out.resize(Len);
+  if (Len == 0)
+    return 1;
+  return readExact(FdRaw, Out.data(), Len) == 1 ? 1 : -1;
+}
+
+void cerb::net::shutdownBoth(int FdRaw) { ::shutdown(FdRaw, SHUT_RDWR); }

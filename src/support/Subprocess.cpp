@@ -3,23 +3,120 @@
 #include "support/Subprocess.h"
 
 #include <atomic>
+#include <cerrno>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <fcntl.h>
+#include <poll.h>
+#include <signal.h>
+#include <sys/stat.h>
 #include <sys/wait.h>
 #include <unistd.h>
 
 using namespace cerb;
 
-std::optional<std::string> cerb::captureCommand(const std::string &Cmd) {
-  FILE *P = popen((Cmd + " 2>/dev/null").c_str(), "r");
-  if (!P)
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Reaps \p Pid unconditionally (EINTR-retrying waitpid). Every fork in
+/// captureCommand is paired with exactly one call, so no exit path — not
+/// even the timeout kill — leaves a zombie behind.
+int reap(pid_t Pid) {
+  int Status = 0;
+  while (waitpid(Pid, &Status, 0) < 0 && errno == EINTR)
+    ;
+  return Status;
+}
+
+} // namespace
+
+std::optional<std::string> cerb::captureCommand(const std::string &Cmd,
+                                                uint64_t TimeoutMs,
+                                                bool *TimedOut) {
+  if (TimedOut)
+    *TimedOut = false;
+
+  int Pipe[2];
+  if (pipe2(Pipe, O_CLOEXEC) != 0)
     return std::nullopt;
+
+  pid_t Pid = fork();
+  if (Pid < 0) {
+    close(Pipe[0]);
+    close(Pipe[1]);
+    return std::nullopt;
+  }
+  if (Pid == 0) {
+    // Child: stdout -> pipe, stderr -> /dev/null, own process group so a
+    // timeout kill takes the whole `sh -c` job, not just the shell.
+    setpgid(0, 0);
+    dup2(Pipe[1], STDOUT_FILENO);
+    int DevNull = open("/dev/null", O_WRONLY);
+    if (DevNull >= 0)
+      dup2(DevNull, STDERR_FILENO);
+    execl("/bin/sh", "sh", "-c", Cmd.c_str(), static_cast<char *>(nullptr));
+    _exit(127);
+  }
+
+  // Parent. Close the write end now: EOF on the read end then means "the
+  // child (and everything holding the descriptor) exited".
+  close(Pipe[1]);
+  setpgid(Pid, Pid); // also in the parent: close the fork/exec race
+
   std::string Out;
+  bool Expired = false;
+  auto Deadline = Clock::now() + std::chrono::milliseconds(TimeoutMs);
   char Buf[4096];
-  size_t N;
-  while ((N = fread(Buf, 1, sizeof Buf, P)) > 0)
-    Out.append(Buf, N);
-  int Status = pclose(P);
+  while (true) {
+    int WaitMs = -1;
+    if (TimeoutMs) {
+      auto Left = std::chrono::duration_cast<std::chrono::milliseconds>(
+                      Deadline - Clock::now())
+                      .count();
+      if (Left <= 0) {
+        Expired = true;
+        break;
+      }
+      WaitMs = static_cast<int>(Left);
+    }
+    pollfd P{Pipe[0], POLLIN, 0};
+    int PR = poll(&P, 1, WaitMs);
+    if (PR < 0) {
+      if (errno == EINTR)
+        continue;
+      break;
+    }
+    if (PR == 0) { // poll timeout: the deadline has passed
+      Expired = true;
+      break;
+    }
+    ssize_t N = read(Pipe[0], Buf, sizeof Buf);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      break;
+    }
+    if (N == 0)
+      break; // EOF: child side closed
+    Out.append(Buf, static_cast<size_t>(N));
+  }
+
+  if (Expired) {
+    // Timeout-kill path: kill the whole process group, then *reap* — the
+    // close below plus the unconditional reap are what keep a
+    // spawn-and-time-out loop from leaking descriptors or zombies.
+    kill(-Pid, SIGKILL);
+    close(Pipe[0]);
+    reap(Pid);
+    if (TimedOut)
+      *TimedOut = true;
+    return std::nullopt;
+  }
+
+  close(Pipe[0]);
+  int Status = reap(Pid);
   if (!WIFEXITED(Status) || WEXITSTATUS(Status) != 0)
     return std::nullopt;
   return Out;
@@ -28,8 +125,7 @@ std::optional<std::string> cerb::captureCommand(const std::string &Cmd) {
 const std::string &cerb::processScratchDir() {
   static const std::string Dir = [] {
     std::string D = "/tmp/cerb-scratch-" + std::to_string(getpid());
-    std::string Cmd = "mkdir -p " + D;
-    if (std::system(Cmd.c_str()) != 0)
+    if (mkdir(D.c_str(), 0700) != 0 && errno != EEXIST)
       return std::string("/tmp");
     return D;
   }();

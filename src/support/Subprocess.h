@@ -7,18 +7,30 @@
 /// the scratch-name counter is atomic and the per-process scratch directory
 /// is created exactly once.
 ///
+/// captureCommand forks `/bin/sh -c`, captures stdout through a pipe, and
+/// enforces an optional wall-clock timeout natively: on expiry the child is
+/// SIGKILLed *and reaped* (waitpid), and the pipe descriptor is closed on
+/// every exit path — a campaign that times out thousands of host runs must
+/// neither accumulate zombies nor exhaust file descriptors
+/// (tests/test_support.cpp pins this with a spawn-and-time-out loop).
+///
 //===----------------------------------------------------------------------===//
 #ifndef CERB_SUPPORT_SUBPROCESS_H
 #define CERB_SUPPORT_SUBPROCESS_H
 
+#include <cstdint>
 #include <optional>
 #include <string>
 
 namespace cerb {
 
 /// Runs a shell command (stderr discarded), capturing stdout; nullopt when
-/// the command exits nonzero or dies on a signal.
-std::optional<std::string> captureCommand(const std::string &Cmd);
+/// the command exits nonzero, dies on a signal, or exceeds \p TimeoutMs
+/// (0 = no timeout). \p TimedOut (optional) reports whether the timeout
+/// path fired — the child was killed and reaped.
+std::optional<std::string> captureCommand(const std::string &Cmd,
+                                          uint64_t TimeoutMs = 0,
+                                          bool *TimedOut = nullptr);
 
 /// A per-process scratch directory under /tmp (created on first use; falls
 /// back to "/tmp" if creation fails).

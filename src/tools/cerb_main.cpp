@@ -17,10 +17,17 @@
 #include "fuzz/Campaign.h"
 #include "oracle/Oracle.h"
 #include "oracle/Report.h"
+#include "serve/Client.h"
+#include "serve/Daemon.h"
 #include "trace/Trace.h"
 
+#include <csignal>
+#include <unistd.h>
+
 #include <algorithm>
+#include <atomic>
 #include <cstdio>
+#include <cstring>
 #include <filesystem>
 #include <string>
 #include <vector>
@@ -43,6 +50,11 @@ int usage(const char *Prog) {
                "  reduce <file.c>        ddmin-minimize a divergent C file\n"
                "  export-suite <dir>     write the built-in suite as .c files\n"
                "  policies               list the memory-model policy presets\n"
+               "  serve                  run the persistent evaluation daemon\n"
+               "                         (cerbd) until SIGTERM/SIGINT drains "
+               "it\n"
+               "  query [file.c]         send one request to a running "
+               "daemon\n"
                "\n"
                "options:\n"
                "  --policy NAME          one policy (repeatable)\n"
@@ -88,7 +100,30 @@ int usage(const char *Prog) {
                "fuzz\n"
                "                         report (off by default: reports are\n"
                "                         byte-identical across --jobs)\n"
-               "  -o FILE                (reduce) write the minimized program\n",
+               "  -o FILE                (reduce) write the minimized program\n"
+               "\n"
+               "serve / query options:\n"
+               "  --socket PATH          unix-domain socket (serve default:\n"
+               "                         ./cerbd.sock)\n"
+               "  --tcp-port N           also/instead listen on 127.0.0.1:N\n"
+               "                         (0 = kernel-assigned)\n"
+               "  --cache-dir DIR        persistent result cache (serve; "
+               "omit\n"
+               "                         for a memory-only cache)\n"
+               "  --max-queue N          admission bound on queued+running "
+               "evals\n"
+               "                         (serve; default 256)\n"
+               "  --mem-cache N          in-memory result-cache entries "
+               "(serve;\n"
+               "                         default 1024)\n"
+               "  --op NAME              query op: eval | ping | stats | "
+               "shutdown\n"
+               "                         (default: eval)\n"
+               "  --name NAME            query display name (default: file "
+               "stem)\n"
+               "  --no-cache             query: bypass the daemon's result-"
+               "cache\n"
+               "                         read (it still stores the result)\n",
                Prog);
   return 2;
 }
@@ -115,6 +150,16 @@ struct Options {
   std::string ResumePath;
   std::string OutputPath;
   bool FuzzTimings = false;
+
+  // serve / query
+  std::string SocketPath;
+  int TcpPort = -1;
+  std::string CacheDir;
+  uint64_t MaxQueue = 256;
+  uint64_t MemCache = 1024;
+  std::string QueryOp = "eval";
+  std::string QueryName;
+  bool NoCache = false;
 };
 
 void splitCommas(const std::string &S, std::vector<std::string> &Out) {
@@ -260,6 +305,43 @@ std::optional<std::vector<std::string>> parseArgs(int Argc, char **Argv,
       O.ResumePath = *V;
     } else if (A == "--timings") {
       O.FuzzTimings = true;
+    } else if (A == "--socket") {
+      auto V = Value("--socket");
+      if (!V)
+        return std::nullopt;
+      O.SocketPath = *V;
+    } else if (A == "--tcp-port") {
+      auto V = Value("--tcp-port");
+      if (!V)
+        return std::nullopt;
+      O.TcpPort = static_cast<int>(std::strtol(V->c_str(), nullptr, 0));
+    } else if (A == "--cache-dir") {
+      auto V = Value("--cache-dir");
+      if (!V)
+        return std::nullopt;
+      O.CacheDir = *V;
+    } else if (A == "--max-queue") {
+      auto V = Value("--max-queue");
+      if (!V)
+        return std::nullopt;
+      O.MaxQueue = std::strtoull(V->c_str(), nullptr, 0);
+    } else if (A == "--mem-cache") {
+      auto V = Value("--mem-cache");
+      if (!V)
+        return std::nullopt;
+      O.MemCache = std::strtoull(V->c_str(), nullptr, 0);
+    } else if (A == "--op") {
+      auto V = Value("--op");
+      if (!V)
+        return std::nullopt;
+      O.QueryOp = *V;
+    } else if (A == "--name") {
+      auto V = Value("--name");
+      if (!V)
+        return std::nullopt;
+      O.QueryName = *V;
+    } else if (A == "--no-cache") {
+      O.NoCache = true;
     } else if (A == "-o") {
       auto V = Value("-o");
       if (!V)
@@ -289,12 +371,9 @@ resolvePolicies(const std::vector<std::string> &Names, bool DefaultAll) {
     return Out;
   }
   for (const std::string &N : Names) {
-    auto P = mem::MemoryPolicy::byName(N);
+    auto P = mem::MemoryPolicy::named(N);
     if (!P) {
-      std::fprintf(stderr, "cerb: unknown policy '%s' (known: ", N.c_str());
-      for (const std::string &K : mem::MemoryPolicy::presetNames())
-        std::fprintf(stderr, "%s ", K.c_str());
-      std::fprintf(stderr, "\b)\n");
+      std::fprintf(stderr, "cerb: %s\n", P.error().Message.c_str());
       return std::nullopt;
     }
     Out.push_back(std::move(*P));
@@ -619,6 +698,143 @@ int cmdReduce(const std::string &Path, const Options &O) {
   return 0;
 }
 
+/// SIGTERM/SIGINT → one byte on the daemon's drain pipe (async-signal-safe
+/// by construction: the handler only write()s to a pre-stored fd).
+std::atomic<int> GDrainFd{-1};
+
+void onTermSignal(int) {
+  int Fd = GDrainFd.load(std::memory_order_relaxed);
+  if (Fd >= 0) {
+    char B = 'x';
+    [[maybe_unused]] ssize_t R = ::write(Fd, &B, 1);
+  }
+}
+
+/// `cerb serve`: run the evaluation daemon until a termination signal (or a
+/// `shutdown` op) drains it.
+int cmdServe(const Options &O) {
+  serve::DaemonConfig DC;
+  DC.SocketPath = O.SocketPath;
+  DC.TcpPort = O.TcpPort;
+  if (DC.SocketPath.empty() && DC.TcpPort < 0)
+    DC.SocketPath = "cerbd.sock";
+  DC.Threads = O.Jobs;
+  DC.MaxQueue = O.MaxQueue;
+  DC.Cache.Dir = O.CacheDir;
+  DC.Cache.MaxMemoryEntries = static_cast<size_t>(O.MemCache);
+  DC.Quiet = O.Quiet;
+
+  serve::Daemon D(std::move(DC));
+  auto Started = D.start();
+  if (!Started) {
+    std::fprintf(stderr, "cerb: %s\n", Started.error().str().c_str());
+    return 1;
+  }
+
+  GDrainFd.store(D.drainFd(), std::memory_order_relaxed);
+  struct sigaction SA;
+  std::memset(&SA, 0, sizeof SA);
+  SA.sa_handler = onTermSignal;
+  sigemptyset(&SA.sa_mask);
+  sigaction(SIGTERM, &SA, nullptr);
+  sigaction(SIGINT, &SA, nullptr);
+  std::signal(SIGPIPE, SIG_IGN); // a vanished client must not kill cerbd
+
+  int RC = D.waitUntilDrained();
+  GDrainFd.store(-1, std::memory_order_relaxed);
+  return RC;
+}
+
+/// `cerb query`: one request against a running daemon.
+int cmdQuery(const std::vector<std::string> &Files, const Options &O) {
+  if (O.SocketPath.empty() && O.TcpPort < 0) {
+    std::fprintf(stderr, "cerb: query needs --socket PATH or --tcp-port N\n");
+    return 2;
+  }
+  auto Conn = serve::Client::connect(O.SocketPath, O.TcpPort);
+  if (!Conn) {
+    std::fprintf(stderr, "cerb: %s\n", Conn.error().str().c_str());
+    return 1;
+  }
+
+  if (O.QueryOp != "eval") {
+    serve::Op K;
+    if (O.QueryOp == "ping")
+      K = serve::Op::Ping;
+    else if (O.QueryOp == "stats")
+      K = serve::Op::Stats;
+    else if (O.QueryOp == "shutdown")
+      K = serve::Op::Shutdown;
+    else {
+      std::fprintf(stderr,
+                   "cerb: unknown op '%s' (eval | ping | stats | shutdown)\n",
+                   O.QueryOp.c_str());
+      return 2;
+    }
+    auto Raw = Conn->call(serve::serializeSimpleRequest(K, "cli"));
+    if (!Raw) {
+      std::fprintf(stderr, "cerb: %s\n", Raw.error().str().c_str());
+      return 1;
+    }
+    std::printf("%s\n", Raw->c_str());
+    auto R = serve::parseResponse(*Raw);
+    return (R && R->Status == "ok") ? 0 : 1;
+  }
+
+  if (Files.size() != 1) {
+    std::fprintf(stderr, "cerb: query requires exactly one file\n");
+    return 2;
+  }
+  auto Policies = resolvePolicies(O.PolicyNames, /*DefaultAll=*/false);
+  if (!Policies)
+    return 2;
+  auto Src = exec::readSourceFile(Files.front());
+  if (!Src) {
+    std::fprintf(stderr, "cerb: %s\n", Src.error().str().c_str());
+    return 2;
+  }
+
+  serve::EvalRequest Q;
+  Q.Id = "cli-1";
+  Q.Name = O.QueryName.empty()
+               ? std::filesystem::path(Files.front()).stem().string()
+               : O.QueryName;
+  Q.Source = *Src;
+  Q.Policies = *Policies;
+  Q.ExecMode = O.ExecMode;
+  Q.Seed = O.Seed;
+  Q.Limits.MaxPaths = O.Budget.MaxPaths;
+  Q.Limits.MaxSteps = O.Budget.Limits.MaxSteps;
+  Q.Limits.MaxCallDepth = O.Budget.Limits.MaxCallDepth;
+  Q.Limits.DeadlineMs = O.Budget.DeadlineMs;
+  Q.Limits.FallbackSamples = O.Budget.FallbackSamples;
+  Q.NoCache = O.NoCache;
+
+  auto R = Conn->callParsed(serve::serializeEvalRequest(Q));
+  if (!R) {
+    std::fprintf(stderr, "cerb: %s\n", R.error().str().c_str());
+    return 1;
+  }
+  if (R->Status != "ok") {
+    std::fprintf(stderr, "cerb: daemon answered '%s'%s%s\n",
+                 R->Status.c_str(), R->Error.empty() ? "" : ": ",
+                 R->Error.c_str());
+    return 1;
+  }
+  if (!O.ReportPath.empty()) {
+    std::string Err;
+    if (!writeTextFile(O.ReportPath, R->Report, &Err)) {
+      std::fprintf(stderr, "cerb: %s\n", Err.c_str());
+      return 1;
+    }
+    if (!O.Quiet)
+      std::printf("wrote JSON report: %s\n", O.ReportPath.c_str());
+  } else {
+    std::fputs(R->Report.c_str(), stdout);
+  }
+  return 0;
+}
+
 int cmdPolicies() {
   std::printf("memory-model policy presets (select with --policy/--policies):"
               "\n");
@@ -701,6 +917,15 @@ int main(int Argc, char **Argv) {
     }
     return Finish(cmdReduce(Positional->front(), O));
   }
+  if (Cmd == "serve") {
+    if (!Positional->empty()) {
+      std::fprintf(stderr, "cerb: serve takes no positional arguments\n");
+      return 2;
+    }
+    return Finish(cmdServe(O));
+  }
+  if (Cmd == "query")
+    return Finish(cmdQuery(*Positional, O));
   if (Cmd == "export-suite") {
     if (Positional->size() != 1) {
       std::fprintf(stderr, "cerb: export-suite requires a directory\n");

@@ -1,0 +1,594 @@
+//===-- tests/test_serve.cpp - evaluation daemon unit tests ---------------===//
+//
+// Covers the serve subsystem from the bottom up: exact-integer JSON
+// round-trips for protocol frames, cache keying, the two-tier result
+// cache, and a real in-process daemon driven over unix-domain sockets
+// (cold/warm byte-identity, admission control, graceful drain with an
+// in-flight request).
+//
+//===----------------------------------------------------------------------===//
+
+#include "exec/Pipeline.h"
+#include "serve/Client.h"
+#include "serve/Daemon.h"
+#include "serve/Eval.h"
+#include "serve/Protocol.h"
+#include "serve/ResultCache.h"
+#include "support/Json.h"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <atomic>
+#include <filesystem>
+#include <fstream>
+#include <thread>
+
+using namespace cerb;
+using namespace cerb::serve;
+
+namespace fs = std::filesystem;
+
+namespace {
+
+/// A unique fresh directory per test (removed on destruction).
+struct TempDir {
+  fs::path Path;
+  TempDir() {
+    static std::atomic<unsigned> Id{0};
+    Path = fs::temp_directory_path() /
+           ("cerb-serve-test-" + std::to_string(::getpid()) + "-" +
+            std::to_string(Id.fetch_add(1)));
+    fs::create_directories(Path);
+  }
+  ~TempDir() {
+    std::error_code EC;
+    fs::remove_all(Path, EC);
+  }
+  std::string str(const char *Leaf) const { return (Path / Leaf).string(); }
+};
+
+const char *TrivialSource = "int main(void) { return 0; }\n";
+
+EvalRequest basicRequest() {
+  EvalRequest Q;
+  Q.Id = "req-1";
+  Q.Name = "t";
+  Q.Source = TrivialSource;
+  Q.Policies = {mem::MemoryPolicy::defacto()};
+  return Q;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// JSON round trips for protocol frames
+//===----------------------------------------------------------------------===//
+
+TEST(ServeJson, ExactIntegersSurviveRoundTrip) {
+  auto Doc = json::parse("{\"a\": 18446744073709551615, \"b\": 9223372036854775808, "
+                         "\"c\": -9223372036854775808, \"d\": 9007199254740993, "
+                         "\"e\": 1.5, \"f\": -7}");
+  ASSERT_TRUE(Doc.has_value());
+  // u64 max and 2^63: both above double precision (2^53).
+  EXPECT_EQ(Doc->get("a")->asU64(), 18446744073709551615ull);
+  EXPECT_EQ(Doc->get("b")->asU64(), 9223372036854775808ull);
+  // INT64_MIN has magnitude 2^63 — the one negative that still fits.
+  EXPECT_EQ(Doc->get("c")->asI64(), INT64_MIN);
+  // 2^53 + 1 rounds under double arithmetic; the sidecar must not.
+  EXPECT_EQ(Doc->get("d")->asU64(), 9007199254740993ull);
+  EXPECT_FALSE(Doc->get("e")->IsInt);
+  EXPECT_DOUBLE_EQ(Doc->get("e")->asDouble(), 1.5);
+  EXPECT_EQ(Doc->get("f")->asI64(), -7);
+  EXPECT_EQ(Doc->get("f")->asU64(42), 42u) << "negative is out of u64 range";
+}
+
+TEST(ServeJson, EscapedStringsRoundTripThroughEvalFrames) {
+  EvalRequest Q = basicRequest();
+  Q.Id = "id \"quoted\"\\backslash";
+  Q.Name = "name\twith\nnewline and \x01 control";
+  Q.Source = "int main(void){\n  // \"str\" \\ \t\x02\x1f\n  return 0;\n}\n";
+  Q.Seed = 18446744073709551615ull; // u64 max over the wire
+
+  auto R = parseRequest(serializeEvalRequest(Q));
+  ASSERT_TRUE(static_cast<bool>(R)) << R.error().Message;
+  ASSERT_EQ(R->Kind, Op::Eval);
+  EXPECT_EQ(R->Eval.Id, Q.Id);
+  EXPECT_EQ(R->Eval.Name, Q.Name);
+  EXPECT_EQ(R->Eval.Source, Q.Source);
+  EXPECT_EQ(R->Eval.Seed, Q.Seed);
+}
+
+TEST(ServeJson, LimitsAndPoliciesRoundTrip) {
+  EvalRequest Q = basicRequest();
+  Q.Policies = {mem::MemoryPolicy::concrete(), mem::MemoryPolicy::cheri()};
+  Q.ExecMode = oracle::Mode::Random;
+  Q.Seed = 1ull << 63;
+  Q.Limits.MaxPaths = 9007199254740993ull; // 2^53 + 1
+  Q.Limits.MaxSteps = 123456789012345ull;
+  Q.Limits.MaxCallDepth = 77;
+  Q.Limits.DeadlineMs = 4000;
+  Q.Limits.FallbackSamples = 3;
+  Q.NoCache = true;
+
+  auto R = parseRequest(serializeEvalRequest(Q));
+  ASSERT_TRUE(static_cast<bool>(R)) << R.error().Message;
+  ASSERT_EQ(R->Eval.Policies.size(), 2u);
+  EXPECT_EQ(R->Eval.Policies[0].Name, "concrete");
+  EXPECT_EQ(R->Eval.Policies[1].Name, "cheri");
+  EXPECT_EQ(R->Eval.ExecMode, oracle::Mode::Random);
+  EXPECT_EQ(R->Eval.Seed, 1ull << 63);
+  EXPECT_EQ(R->Eval.Limits.MaxPaths, 9007199254740993ull);
+  EXPECT_EQ(R->Eval.Limits.MaxSteps, 123456789012345ull);
+  EXPECT_EQ(R->Eval.Limits.MaxCallDepth, 77u);
+  EXPECT_EQ(R->Eval.Limits.DeadlineMs, 4000u);
+  EXPECT_EQ(R->Eval.Limits.FallbackSamples, 3u);
+  EXPECT_TRUE(R->Eval.NoCache);
+  // And the round-tripped request keys identically to the original.
+  EXPECT_EQ(cacheKeyMaterial(R->Eval), cacheKeyMaterial(Q));
+}
+
+TEST(ServeJson, NestedReportSurvivesTheEnvelope) {
+  // A response embedding a nested report document parses as one JSON value
+  // and the raw report bytes come back out verbatim.
+  std::string Report =
+      "{\n  \"schema\": \"cerb-oracle-report/1\",\n  \"stats\": "
+      "{\"jobs\": 2, \"nested\": [1, 2, {\"deep\": \"y\\\"es\"}]},\n"
+      "  \"jobs\": []\n}\n";
+  std::string Frame = okEvalResponse("id-9", Report);
+  auto Doc = json::parse(Frame);
+  ASSERT_TRUE(Doc.has_value());
+  EXPECT_EQ(Doc->get("status")->asString(), "ok");
+  const json::Value *Rep = Doc->get("report");
+  ASSERT_NE(Rep, nullptr);
+  EXPECT_EQ(Rep->get("schema")->asString(), "cerb-oracle-report/1");
+  EXPECT_EQ(Rep->get("stats")->get("jobs")->asU64(), 2u);
+
+  auto P = parseResponse(Frame);
+  ASSERT_TRUE(static_cast<bool>(P));
+  EXPECT_EQ(P->Id, "id-9");
+  EXPECT_EQ(P->Status, "ok");
+  EXPECT_EQ(P->Report, Report) << "report bytes must be extracted verbatim";
+}
+
+TEST(ServeJson, ParseRequestRejectsMalformedFrames) {
+  EXPECT_FALSE(static_cast<bool>(parseRequest("{not json")));
+  EXPECT_FALSE(static_cast<bool>(parseRequest("{\"schema\": \"wrong/9\"}")));
+  auto NoSource = parseRequest("{\"schema\": \"cerb-serve/1\", \"op\": \"eval\"}");
+  ASSERT_FALSE(static_cast<bool>(NoSource));
+  EXPECT_NE(NoSource.error().Message.find("source"), std::string::npos);
+  auto BadPolicy = parseRequest(
+      "{\"schema\": \"cerb-serve/1\", \"op\": \"eval\", \"source\": \"int\","
+      " \"policies\": [\"bogus\"]}");
+  ASSERT_FALSE(static_cast<bool>(BadPolicy));
+  EXPECT_NE(BadPolicy.error().Message.find("valid presets"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Policy naming and fingerprints (the byName/named satellite)
+//===----------------------------------------------------------------------===//
+
+TEST(ServePolicies, ByNameIsCaseInsensitive) {
+  for (const char *N : {"defacto", "DeFacto", "DEFACTO", "de-facto"}) {
+    auto P = mem::MemoryPolicy::byName(N);
+    ASSERT_TRUE(P.has_value()) << N;
+    EXPECT_EQ(P->Name, "defacto");
+  }
+  for (const char *N : {"strict-iso", "Strict-ISO", "strictIso", "ISO"}) {
+    auto P = mem::MemoryPolicy::byName(N);
+    ASSERT_TRUE(P.has_value()) << N;
+    EXPECT_EQ(P->Name, "strict-iso");
+  }
+  EXPECT_TRUE(mem::MemoryPolicy::byName("CHERI").has_value());
+  EXPECT_TRUE(mem::MemoryPolicy::byName("Concrete").has_value());
+  EXPECT_FALSE(mem::MemoryPolicy::byName("defact").has_value());
+}
+
+TEST(ServePolicies, NamedErrorListsValidPresets) {
+  auto P = mem::MemoryPolicy::named("no-such-policy");
+  ASSERT_FALSE(static_cast<bool>(P));
+  const std::string &M = P.error().Message;
+  EXPECT_NE(M.find("no-such-policy"), std::string::npos);
+  for (const char *K : {"concrete", "defacto", "strict-iso", "cheri"})
+    EXPECT_NE(M.find(K), std::string::npos) << M;
+}
+
+TEST(ServePolicies, FingerprintsSeparatePresets) {
+  auto All = mem::MemoryPolicy::allPresets();
+  for (size_t I = 0; I < All.size(); ++I)
+    for (size_t J = I + 1; J < All.size(); ++J)
+      EXPECT_NE(All[I].fingerprint(), All[J].fingerprint())
+          << All[I].Name << " vs " << All[J].Name;
+  // The name is a label, not semantics: renaming must not change the print.
+  mem::MemoryPolicy Renamed = mem::MemoryPolicy::defacto();
+  Renamed.Name = "something-else";
+  EXPECT_EQ(Renamed.fingerprint(), mem::MemoryPolicy::defacto().fingerprint());
+}
+
+TEST(ServePolicies, SemanticsFingerprintIsStableWithinProcess) {
+  uint64_t A = exec::semanticsFingerprint();
+  EXPECT_NE(A, 0u);
+  EXPECT_EQ(A, exec::semanticsFingerprint());
+}
+
+//===----------------------------------------------------------------------===//
+// Cache keying
+//===----------------------------------------------------------------------===//
+
+TEST(ServeCacheKey, SensitiveToEverySemanticsField) {
+  EvalRequest Base = basicRequest();
+  std::string K0 = cacheKeyMaterial(Base);
+
+  auto Differs = [&](auto Mutate, const char *What) {
+    EvalRequest Q = basicRequest();
+    Mutate(Q);
+    EXPECT_NE(cacheKeyMaterial(Q), K0) << What;
+  };
+  Differs([](EvalRequest &Q) { Q.Source += " "; }, "source");
+  Differs([](EvalRequest &Q) { Q.Policies = {mem::MemoryPolicy::cheri()}; },
+          "policy");
+  Differs([](EvalRequest &Q) {
+    Q.Policies.push_back(mem::MemoryPolicy::cheri());
+  }, "policy set");
+  Differs([](EvalRequest &Q) { Q.ExecMode = oracle::Mode::Random; }, "mode");
+  Differs([](EvalRequest &Q) { Q.Seed = 2; }, "seed");
+  Differs([](EvalRequest &Q) { Q.Limits.MaxPaths = 7; }, "max paths");
+  Differs([](EvalRequest &Q) { Q.Limits.MaxSteps = 1000; }, "max steps");
+  Differs([](EvalRequest &Q) { Q.Limits.MaxCallDepth = 5; }, "call depth");
+  Differs([](EvalRequest &Q) { Q.Limits.DeadlineMs = 9; }, "deadline");
+  Differs([](EvalRequest &Q) { Q.Limits.FallbackSamples = 2; }, "fallback");
+  Differs([](EvalRequest &Q) { Q.Name = "other"; }, "name");
+
+  // Id and NoCache are delivery details, not result identity.
+  EvalRequest Q1 = basicRequest();
+  Q1.Id = "different-id";
+  Q1.NoCache = true;
+  EXPECT_EQ(cacheKeyMaterial(Q1), K0);
+
+  // A policy whose knobs changed keys differently even under the same name.
+  EvalRequest Q2 = basicRequest();
+  Q2.Policies[0].TrackProvenance = !Q2.Policies[0].TrackProvenance;
+  EXPECT_NE(cacheKeyMaterial(Q2), K0);
+}
+
+TEST(ServeCacheKey, HashMatchesMaterialEquality) {
+  EvalRequest A = basicRequest(), B = basicRequest();
+  EXPECT_EQ(cacheKeyHash(cacheKeyMaterial(A)), cacheKeyHash(cacheKeyMaterial(B)));
+  B.Seed = 99;
+  EXPECT_NE(cacheKeyHash(cacheKeyMaterial(A)), cacheKeyHash(cacheKeyMaterial(B)));
+}
+
+//===----------------------------------------------------------------------===//
+// ResultCache
+//===----------------------------------------------------------------------===//
+
+TEST(ServeResultCache, MemoryTierHitsAndMisses) {
+  CacheConfig Cfg; // memory-only
+  ResultCache C(Cfg);
+  EXPECT_FALSE(C.persistent());
+  EXPECT_FALSE(C.get("key-a").has_value());
+  C.put("key-a", "body-a");
+  auto Hit = C.get("key-a");
+  ASSERT_TRUE(Hit.has_value());
+  EXPECT_EQ(*Hit, "body-a");
+  CacheStats S = C.stats();
+  EXPECT_EQ(S.Misses, 1u);
+  EXPECT_EQ(S.MemoryHits, 1u);
+  EXPECT_EQ(S.Stores, 1u);
+  EXPECT_EQ(S.MemoryEntries, 1u);
+}
+
+TEST(ServeResultCache, LruEvictionIsBounded) {
+  CacheConfig Cfg;
+  Cfg.MaxMemoryEntries = 2;
+  ResultCache C(Cfg);
+  C.put("k1", "b1");
+  C.put("k2", "b2");
+  ASSERT_TRUE(C.get("k1").has_value()); // k1 is now MRU
+  C.put("k3", "b3");                    // evicts k2 (LRU)
+  EXPECT_TRUE(C.get("k1").has_value());
+  EXPECT_TRUE(C.get("k3").has_value());
+  EXPECT_FALSE(C.get("k2").has_value());
+  CacheStats S = C.stats();
+  EXPECT_EQ(S.Evictions, 1u);
+  EXPECT_EQ(S.MemoryEntries, 2u);
+}
+
+TEST(ServeResultCache, DiskTierSurvivesRestart) {
+  TempDir T;
+  CacheConfig Cfg;
+  Cfg.Dir = T.str("cache");
+  {
+    ResultCache C(Cfg);
+    C.put("persistent-key", "persistent-body");
+    EXPECT_TRUE(C.flushIndex());
+  }
+  ResultCache C2(Cfg); // "restarted daemon"
+  auto Hit = C2.get("persistent-key");
+  ASSERT_TRUE(Hit.has_value());
+  EXPECT_EQ(*Hit, "persistent-body");
+  CacheStats S = C2.stats();
+  EXPECT_EQ(S.DiskHits, 1u);
+  EXPECT_EQ(S.MemoryEntries, 1u) << "disk hits promote into memory";
+  auto Again = C2.get("persistent-key");
+  ASSERT_TRUE(Again.has_value());
+  EXPECT_EQ(C2.stats().MemoryHits, 1u);
+}
+
+TEST(ServeResultCache, CorruptOrMismatchedEntriesAreMisses) {
+  TempDir T;
+  CacheConfig Cfg;
+  Cfg.Dir = T.str("cache");
+  ResultCache C(Cfg);
+  C.put("the-key", "the-body");
+
+  // Find the object file and corrupt its header.
+  fs::path Obj;
+  for (const auto &E : fs::recursive_directory_iterator(Cfg.Dir + "/objects"))
+    if (E.is_regular_file())
+      Obj = E.path();
+  ASSERT_FALSE(Obj.empty());
+  {
+    std::ofstream Out(Obj, std::ios::binary | std::ios::trunc);
+    Out << "garbage";
+  }
+  ResultCache Fresh(Cfg); // bypass the memory tier
+  EXPECT_FALSE(Fresh.get("the-key").has_value())
+      << "a torn disk entry must read as a miss, not as data";
+}
+
+TEST(ServeResultCache, IndexFileIsWellFormed) {
+  TempDir T;
+  CacheConfig Cfg;
+  Cfg.Dir = T.str("cache");
+  ResultCache C(Cfg);
+  C.put("a", "1");
+  C.put("b", "2");
+  ASSERT_TRUE(C.flushIndex());
+  std::ifstream In(Cfg.Dir + "/index.json");
+  std::string Text((std::istreambuf_iterator<char>(In)),
+                   std::istreambuf_iterator<char>());
+  auto Doc = json::parse(Text);
+  ASSERT_TRUE(Doc.has_value()) << Text;
+  EXPECT_EQ(Doc->get("schema")->asString(), "cerb-serve-index/1");
+  EXPECT_EQ(Doc->get("disk_entries")->asU64(), 2u);
+  EXPECT_EQ(Doc->get("stores")->asU64(), 2u);
+}
+
+//===----------------------------------------------------------------------===//
+// The daemon over real sockets
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+struct DaemonFixture {
+  TempDir T;
+  std::unique_ptr<Daemon> D;
+
+  explicit DaemonFixture(uint64_t MaxQueue = 64, size_t MemEntries = 1024,
+                         bool Persistent = true) {
+    DaemonConfig Cfg;
+    Cfg.SocketPath = T.str("d.sock");
+    Cfg.Threads = 2;
+    Cfg.MaxQueue = MaxQueue;
+    if (Persistent)
+      Cfg.Cache.Dir = T.str("cache");
+    Cfg.Cache.MaxMemoryEntries = MemEntries;
+    D = std::make_unique<Daemon>(std::move(Cfg));
+  }
+
+  Client client() {
+    auto C = Client::connect(T.str("d.sock"));
+    EXPECT_TRUE(static_cast<bool>(C));
+    return std::move(*C);
+  }
+};
+
+} // namespace
+
+TEST(ServeDaemon, PingAndStats) {
+  DaemonFixture F;
+  ASSERT_TRUE(static_cast<bool>(F.D->start()));
+  Client C = F.client();
+
+  auto Pong = C.callParsed(serializeSimpleRequest(Op::Ping, "p1"));
+  ASSERT_TRUE(static_cast<bool>(Pong));
+  EXPECT_EQ(Pong->Id, "p1");
+  EXPECT_EQ(Pong->Status, "ok");
+
+  auto StatsRaw = C.call(serializeSimpleRequest(Op::Stats, "s1"));
+  ASSERT_TRUE(static_cast<bool>(StatsRaw));
+  auto Doc = json::parse(*StatsRaw);
+  ASSERT_TRUE(Doc.has_value()) << *StatsRaw;
+  const json::Value *S = Doc->get("stats");
+  ASSERT_NE(S, nullptr);
+  EXPECT_EQ(S->get("in_flight")->asU64(), 0u);
+  EXPECT_EQ(S->get("max_queue")->asU64(), 64u);
+  EXPECT_TRUE(S->get("result_cache")->get("persistent")->asBool());
+
+  F.D->requestDrain();
+  EXPECT_EQ(F.D->waitUntilDrained(), 0);
+}
+
+TEST(ServeDaemon, WarmRepeatIsByteIdenticalToCold) {
+  DaemonFixture F;
+  ASSERT_TRUE(static_cast<bool>(F.D->start()));
+  Client C = F.client();
+
+  EvalRequest Q = basicRequest();
+  Q.Policies = mem::MemoryPolicy::allPresets();
+  std::string Frame = serializeEvalRequest(Q);
+
+  auto Cold = C.call(Frame);
+  ASSERT_TRUE(static_cast<bool>(Cold));
+  auto Warm = C.call(Frame);
+  ASSERT_TRUE(static_cast<bool>(Warm));
+  EXPECT_EQ(*Cold, *Warm) << "warm replay must be byte-identical";
+
+  auto P = parseResponse(*Cold);
+  ASSERT_TRUE(static_cast<bool>(P));
+  EXPECT_EQ(P->Status, "ok");
+  auto Rep = json::parse(P->Report);
+  ASSERT_TRUE(Rep.has_value());
+  EXPECT_EQ(Rep->get("schema")->asString(), "cerb-oracle-report/1");
+  EXPECT_EQ(Rep->get("stats")->get("jobs")->asU64(),
+            mem::MemoryPolicy::allPresets().size());
+
+  CacheStats CS = F.D->cache().stats();
+  EXPECT_EQ(CS.Misses, 1u);
+  EXPECT_EQ(CS.MemoryHits, 1u);
+
+  // A fresh daemon on the same cache directory serves it from disk —
+  // still byte-identical.
+  F.D->requestDrain();
+  ASSERT_EQ(F.D->waitUntilDrained(), 0);
+  DaemonConfig Cfg2;
+  Cfg2.SocketPath = F.T.str("d2.sock");
+  Cfg2.Threads = 2;
+  Cfg2.Cache.Dir = F.T.str("cache");
+  Daemon D2(std::move(Cfg2));
+  ASSERT_TRUE(static_cast<bool>(D2.start()));
+  auto C2 = Client::connect(F.T.str("d2.sock"));
+  ASSERT_TRUE(static_cast<bool>(C2));
+  auto Disk = C2->call(Frame);
+  ASSERT_TRUE(static_cast<bool>(Disk));
+  EXPECT_EQ(*Disk, *Cold);
+  EXPECT_EQ(D2.cache().stats().DiskHits, 1u);
+  D2.requestDrain();
+  EXPECT_EQ(D2.waitUntilDrained(), 0);
+}
+
+TEST(ServeDaemon, DistinctRequestsDoNotShareEntries) {
+  DaemonFixture F;
+  ASSERT_TRUE(static_cast<bool>(F.D->start()));
+  Client C = F.client();
+
+  EvalRequest A = basicRequest();
+  EvalRequest B = basicRequest();
+  B.Source = "int main(void) { return 1; }\n";
+  auto RA = C.callParsed(serializeEvalRequest(A));
+  auto RB = C.callParsed(serializeEvalRequest(B));
+  ASSERT_TRUE(static_cast<bool>(RA));
+  ASSERT_TRUE(static_cast<bool>(RB));
+  EXPECT_NE(RA->Report, RB->Report);
+  EXPECT_EQ(F.D->cache().stats().Misses, 2u);
+
+  F.D->requestDrain();
+  EXPECT_EQ(F.D->waitUntilDrained(), 0);
+}
+
+TEST(ServeDaemon, CompileErrorsTravelInsideReports) {
+  DaemonFixture F;
+  ASSERT_TRUE(static_cast<bool>(F.D->start()));
+  Client C = F.client();
+  EvalRequest Q = basicRequest();
+  Q.Source = "int main(void) { return not c at all; }";
+  auto R = C.callParsed(serializeEvalRequest(Q));
+  ASSERT_TRUE(static_cast<bool>(R));
+  EXPECT_EQ(R->Status, "ok") << "static errors are results, not failures";
+  auto Rep = json::parse(R->Report);
+  ASSERT_TRUE(Rep.has_value());
+  EXPECT_EQ(Rep->get("stats")->get("compile_errors")->asU64(), 1u);
+  F.D->requestDrain();
+  EXPECT_EQ(F.D->waitUntilDrained(), 0);
+}
+
+TEST(ServeDaemon, ZeroQueueRejectsEveryEvalDeterministically) {
+  DaemonFixture F(/*MaxQueue=*/0);
+  ASSERT_TRUE(static_cast<bool>(F.D->start()));
+  Client C = F.client();
+  auto R = C.callParsed(serializeEvalRequest(basicRequest()));
+  ASSERT_TRUE(static_cast<bool>(R));
+  EXPECT_EQ(R->Status, "overloaded");
+  // Control ops still answer under load shedding.
+  auto Pong = C.callParsed(serializeSimpleRequest(Op::Ping, "p"));
+  ASSERT_TRUE(static_cast<bool>(Pong));
+  EXPECT_EQ(Pong->Status, "ok");
+  EXPECT_EQ(F.D->snapshot().Overloaded, 1u);
+  F.D->requestDrain();
+  EXPECT_EQ(F.D->waitUntilDrained(), 0);
+}
+
+TEST(ServeDaemon, MalformedFramesGetErrorResponses) {
+  DaemonFixture F;
+  ASSERT_TRUE(static_cast<bool>(F.D->start()));
+  Client C = F.client();
+  auto R = C.callParsed("{\"schema\": \"cerb-serve/1\", \"op\": \"eval\"}");
+  ASSERT_TRUE(static_cast<bool>(R));
+  EXPECT_EQ(R->Status, "error");
+  EXPECT_NE(R->Error.find("source"), std::string::npos);
+  F.D->requestDrain();
+  EXPECT_EQ(F.D->waitUntilDrained(), 0);
+}
+
+TEST(ServeDaemon, DrainCompletesInFlightRequests) {
+  DaemonFixture F;
+  ASSERT_TRUE(static_cast<bool>(F.D->start()));
+  Client C = F.client();
+
+  EvalRequest Q = basicRequest();
+  Q.Name = "busy";
+  Q.Source = "#include <stdio.h>\n"
+             "int g;\n"
+             "int main(void) {\n"
+             "  int a = (g = 1) + (g = 2);\n"
+             "  int b = (g = 3) + (g = 4);\n"
+             "  printf(\"%d %d %d\\n\", a, b, g);\n"
+             "  return 0;\n"
+             "}\n";
+  Q.Policies = mem::MemoryPolicy::allPresets();
+
+  // Launch the call from another thread, drain as soon as the daemon has
+  // admitted it: the drain must wait for the answer (zero drops).
+  std::string Response;
+  bool CallOk = false;
+  std::thread Caller([&] {
+    auto R = C.call(serializeEvalRequest(Q));
+    if (R) {
+      CallOk = true;
+      Response = *R;
+    }
+  });
+  while (F.D->snapshot().Admitted == 0 && F.D->snapshot().InFlight == 0)
+    std::this_thread::yield();
+  F.D->requestDrain();
+  EXPECT_EQ(F.D->waitUntilDrained(), 0);
+  Caller.join();
+
+  ASSERT_TRUE(CallOk) << "the in-flight request must be answered";
+  auto P = parseResponse(Response);
+  ASSERT_TRUE(static_cast<bool>(P));
+  EXPECT_EQ(P->Status, "ok");
+
+  // After the drain, new connections are not served.
+  auto Late = Client::connect(F.T.str("d.sock"));
+  EXPECT_FALSE(static_cast<bool>(Late));
+}
+
+TEST(ServeDaemon, ShutdownOpTriggersDrain) {
+  DaemonFixture F;
+  ASSERT_TRUE(static_cast<bool>(F.D->start()));
+  Client C = F.client();
+  auto R = C.callParsed(serializeSimpleRequest(Op::Shutdown, "bye"));
+  ASSERT_TRUE(static_cast<bool>(R));
+  EXPECT_EQ(R->Status, "ok");
+  EXPECT_EQ(F.D->waitUntilDrained(), 0);
+}
+
+//===----------------------------------------------------------------------===//
+// Eval determinism without sockets
+//===----------------------------------------------------------------------===//
+
+TEST(ServeEval, ReportBytesAreAPureFunctionOfTheRequest) {
+  EvalRequest Q = basicRequest();
+  Q.Policies = mem::MemoryPolicy::allPresets();
+  oracle::CompileCache CacheA, CacheB;
+  std::string A = evaluateToReport(Q, CacheA);
+  // A *shared, already-warm* compile cache must not change the bytes.
+  std::string B1 = evaluateToReport(Q, CacheB);
+  std::string B2 = evaluateToReport(Q, CacheB);
+  EXPECT_EQ(A, B1);
+  EXPECT_EQ(B1, B2);
+  EXPECT_GT(CacheB.hits(), 0u);
+}

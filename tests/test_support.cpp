@@ -3,8 +3,15 @@
 #include "support/Expected.h"
 #include "support/Format.h"
 #include "support/Scheduler.h"
+#include "support/Subprocess.h"
 
 #include <gtest/gtest.h>
+
+#include <sys/wait.h>
+
+#include <cerrno>
+#include <chrono>
+#include <filesystem>
 
 using namespace cerb;
 
@@ -48,6 +55,63 @@ TEST(Expected, ValueAndError) {
   ASSERT_FALSE(static_cast<bool>(E));
   EXPECT_EQ(E.error().Message, "boom");
   EXPECT_EQ(E.error().str(), "3:4: boom [ISO C11 6.5p2]");
+}
+
+namespace {
+size_t openFdCount() {
+  size_t N = 0;
+  std::error_code EC;
+  for ([[maybe_unused]] const auto &E :
+       std::filesystem::directory_iterator("/proc/self/fd", EC))
+    ++N;
+  return N;
+}
+} // namespace
+
+TEST(Subprocess, CapturesStdout) {
+  bool TimedOut = true;
+  auto Out = captureCommand("echo hello", 0, &TimedOut);
+  ASSERT_TRUE(Out.has_value());
+  EXPECT_EQ(*Out, "hello\n");
+  EXPECT_FALSE(TimedOut);
+}
+
+TEST(Subprocess, NonzeroExitIsFailureNotTimeout) {
+  bool TimedOut = true;
+  EXPECT_FALSE(captureCommand("exit 3", 0, &TimedOut).has_value());
+  EXPECT_FALSE(TimedOut);
+}
+
+TEST(Subprocess, TimeoutKillsWithinDeadline) {
+  bool TimedOut = false;
+  auto Start = std::chrono::steady_clock::now();
+  EXPECT_FALSE(captureCommand("sleep 30", 50, &TimedOut).has_value());
+  EXPECT_TRUE(TimedOut);
+  auto Ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                std::chrono::steady_clock::now() - Start)
+                .count();
+  EXPECT_LT(Ms, 10'000) << "timeout path must not wait for the child";
+}
+
+// The regression this pins: the old popen-based timeout path leaked the
+// pipe descriptor and never reaped the killed child, so a campaign that
+// timed out thousands of host runs exhausted fds and accumulated zombies.
+TEST(Subprocess, TimeoutLoopLeaksNeitherFdsNorZombies) {
+  // Settle lazily-opened descriptors before measuring.
+  (void)captureCommand("sleep 1", 20);
+  size_t Before = openFdCount();
+  for (int I = 0; I < 40; ++I) {
+    bool TimedOut = false;
+    EXPECT_FALSE(captureCommand("sleep 30", 10, &TimedOut).has_value());
+    EXPECT_TRUE(TimedOut);
+  }
+  size_t After = openFdCount();
+  EXPECT_LE(After, Before + 2)
+      << "timed-out children must not leak pipe descriptors";
+  // Every killed child was reaped: no zombies left to collect.
+  errno = 0;
+  EXPECT_EQ(waitpid(-1, nullptr, WNOHANG), -1);
+  EXPECT_EQ(errno, ECHILD);
 }
 
 TEST(Scheduler, LeftmostAlwaysZero) {
