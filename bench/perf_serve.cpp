@@ -19,6 +19,7 @@
 #include "bench_json.h"
 #include "serve/Client.h"
 #include "serve/Daemon.h"
+#include "support/FaultInjector.h"
 
 #include <benchmark/benchmark.h>
 
@@ -79,6 +80,17 @@ void BM_SerializeEvalRequest(benchmark::State &State) {
   }
 }
 BENCHMARK(BM_SerializeEvalRequest);
+
+/// The disarmed fault hook on the serve hot path: one relaxed atomic load.
+/// The P6 summary gates its aggregate cost at < 2% of a warm query.
+void BM_DisarmedFaultCheck(benchmark::State &State) {
+  int E = 0;
+  for (auto _ : State) {
+    bool F = fault::shouldFail("socket.read", &E);
+    benchmark::DoNotOptimize(F);
+  }
+}
+BENCHMARK(BM_DisarmedFaultCheck);
 
 void BM_CacheKeyMaterial(benchmark::State &State) {
   EvalRequest Q;
@@ -223,9 +235,32 @@ int serveSummary() {
     D2.waitUntilDrained();
   }
 
+  // Disarmed fault-hook overhead: the injection points stay compiled into
+  // the serve hot path, so their cost when *no* schedule is armed is part
+  // of the acceptance bound. Measure the per-check cost directly and
+  // charge a warm query generously (32 checks: every socket read/write on
+  // both sides plus the cache probes) — the total must stay under 2% of
+  // the measured warm latency.
+  double DisarmedNs;
+  {
+    constexpr int Checks = 1 << 22;
+    int E = 0;
+    bool Sink = false;
+    T0 = std::chrono::steady_clock::now();
+    for (int I = 0; I < Checks; ++I)
+      Sink ^= fault::shouldFail("socket.read", &E);
+    benchmark::DoNotOptimize(Sink);
+    DisarmedNs = msSince(T0) * 1e6 / Checks;
+  }
+  constexpr double ChecksPerWarmQuery = 32.0;
+  double DisarmedOverheadPct =
+      WarmMs > 0 ? (DisarmedNs * ChecksPerWarmQuery) / (WarmMs * 1e6) * 100.0
+                 : 0;
+  bool FaultHookCheap = DisarmedOverheadPct < 2.0;
+
   double Speedup = WarmMs > 0 ? ColdMs / WarmMs : 0;
   bool Pass = WarmIdentical && DiskIdentical && QpsOk.load() &&
-              Speedup >= 50.0;
+              Speedup >= 50.0 && FaultHookCheap;
 
   std::printf("  cold evaluation:   %8.2f ms\n", ColdMs);
   std::printf("  warm repeat:       %8.4f ms (best of %d)  %.0fx\n", WarmMs,
@@ -236,7 +271,13 @@ int serveSummary() {
   std::printf("  byte-identical: warm=%s disk=%s concurrent=%s\n",
               WarmIdentical ? "yes" : "NO", DiskIdentical ? "yes" : "NO",
               QpsOk.load() ? "yes" : "NO");
-  std::printf("  warm speedup bound (>= 50x): %s\n", Pass ? "PASS" : "FAIL");
+  std::printf("  disarmed fault hook: %6.2f ns/check (%.4f%% of a warm "
+              "query at %gx/call)\n",
+              DisarmedNs, DisarmedOverheadPct, ChecksPerWarmQuery);
+  std::printf("  warm speedup bound (>= 50x): %s\n",
+              Speedup >= 50.0 ? "PASS" : "FAIL");
+  std::printf("  disarmed fault overhead bound (< 2%%): %s\n",
+              FaultHookCheap ? "PASS" : "FAIL");
 
   benchjson::Emitter E("serve");
   E.metric("cold_ms", ColdMs);
@@ -244,6 +285,8 @@ int serveSummary() {
   E.metric("disk_warm_ms", DiskMs);
   E.metric("warm_speedup", Speedup);
   E.metric("sustained_qps", Qps);
+  E.metric("disarmed_fault_ns_per_check", DisarmedNs);
+  E.metric("disarmed_fault_overhead_pct", DisarmedOverheadPct);
   E.metric("warm_byte_identical", WarmIdentical);
   E.metric("disk_byte_identical", DiskIdentical);
   E.metric("concurrent_byte_identical", QpsOk.load());

@@ -1,9 +1,11 @@
 #!/bin/sh
 # Full CI gate: tier-1 unit suite, the slow golden-outcome regression
 # sweep (tests/test_golden_defacto.cpp), a fixed-seed-range fuzz
-# campaign smoke stage (label `fuzz`, excluded from tier-1), and the
+# campaign smoke stage (label `fuzz`, excluded from tier-1), the
 # evaluation-daemon lifecycle smoke (label `serve_smoke`,
-# scripts/serve_smoke.sh through the real CLI). Use
+# scripts/serve_smoke.sh through the real CLI), and the fault-injection
+# chaos soak of the serve stack (label `chaos`, tests/test_chaos.cpp;
+# replay a failure with CERB_CHAOS_SEED=<seed from the log>). Use
 # scripts/tier1.sh alone for the fast inner loop; this script is what a
 # merge gate should run.
 #
@@ -40,3 +42,4 @@ run_label tier1
 run_label slow
 run_label fuzz
 run_label serve_smoke
+run_label chaos

@@ -84,6 +84,24 @@ for i in 1 2 3; do
     fail "warm$i.json differs from cold$i.json (cache replay not byte-identical)"
 done
 
+# Robustness through the real CLI: inject a deterministic client-side
+# fault (the first socket write in the query process dies with EPIPE) and
+# assert the retry path recovers with byte-identical results. The daemon
+# is untouched — this exercises reconnect + backoff end to end.
+"$CERB" query "$WORK/t1.c" --socket "$SOCK" \
+  --policies concrete,defacto,strict-iso,cheri \
+  --faults 'seed=3;socket.write,nth=1,errno=EPIPE' --retries 3 \
+  --report "$WORK/faulted.json" --quiet ||
+  fail "fault-injected query did not recover via retry"
+cmp -s "$WORK/cold1.json" "$WORK/faulted.json" ||
+  fail "faulted.json differs from cold1.json (retry corrupted the reply)"
+
+# A bad fault spec must be rejected up front, not half-applied.
+if "$CERB" query --socket "$SOCK" --op ping --faults 'seed=nope' \
+     >/dev/null 2>&1; then
+  fail "malformed --faults spec was accepted"
+fi
+
 # Cache observability: the daemon must report hits for the warm round.
 STATS=$("$CERB" query --socket "$SOCK" --op stats) || fail "stats op failed"
 case "$STATS" in

@@ -2,26 +2,83 @@
 
 #include "serve/Client.h"
 
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
 using namespace cerb;
 using namespace cerb::serve;
 
-Expected<Client> Client::connect(const std::string &SocketPath, int Port) {
-  if (!SocketPath.empty()) {
-    auto S = net::connectUnix(SocketPath);
-    if (!S)
-      return S.takeError();
-    return Client(std::move(*S));
-  }
-  if (Port >= 0) {
-    auto S = net::connectTcp(static_cast<uint16_t>(Port));
-    if (!S)
-      return S.takeError();
-    return Client(std::move(*S));
-  }
-  return err("no daemon address (need a socket path or a TCP port)");
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+uint64_t elapsedMs(Clock::time_point Since) {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(Clock::now() -
+                                                            Since)
+          .count());
+}
+
+/// Rejection statuses worth a retry: transient daemon-side conditions that
+/// a later attempt can clear. Everything else (`error`, `bad_request`,
+/// `draining`, unknown) is deterministic or a stop signal — terminal.
+bool retryableStatus(const std::string &Status) {
+  return Status == "overloaded" || Status == "conn_limit" ||
+         Status == "timeout";
+}
+
+} // namespace
+
+Expected<net::Fd> Client::dial(const std::string &SocketPath, int Port,
+                               const RetryPolicy &Policy) {
+  Expected<net::Fd> S =
+      !SocketPath.empty()
+          ? net::connectUnix(SocketPath)
+          : (Port >= 0
+                 ? net::connectTcp(static_cast<uint16_t>(Port))
+                 : Expected<net::Fd>(
+                       err("no daemon address (need a socket path or a TCP "
+                           "port)")));
+  if (S && Policy.CallTimeoutMs)
+    net::setIoTimeout(S->get(), Policy.CallTimeoutMs);
+  return S;
+}
+
+Expected<Client> Client::connect(const std::string &SocketPath, int Port,
+                                 const RetryPolicy &Policy) {
+  auto S = dial(SocketPath, Port, Policy);
+  if (!S)
+    return S.takeError();
+  return Client(std::move(*S), SocketPath, Port, Policy);
+}
+
+uint64_t Client::backoffMs(unsigned Attempt) {
+  uint64_t D = Policy.BaseDelayMs ? Policy.BaseDelayMs : 1;
+  for (unsigned I = 0; I < Attempt && D < Policy.MaxDelayMs; ++I)
+    D *= 2;
+  D = std::min<uint64_t>(std::max<uint64_t>(D, 1), Policy.MaxDelayMs);
+  // xorshift64 jitter into [D/2, D]: decorrelates a fleet of clients all
+  // retrying the same recovering daemon.
+  Rng ^= Rng << 13;
+  Rng ^= Rng >> 7;
+  Rng ^= Rng << 17;
+  uint64_t Half = D / 2;
+  return D - (Half ? Rng % (Half + 1) : 0);
+}
+
+ExpectedVoid Client::reconnect() {
+  Sock.reset();
+  auto S = dial(SocketPath, Port, Policy);
+  if (!S)
+    return S.takeError();
+  Sock = std::move(*S);
+  return ExpectedVoid();
 }
 
 Expected<std::string> Client::call(std::string_view RequestFrame) {
+  if (!Sock.valid())
+    return err("client is not connected (reconnect first)");
   if (!net::writeFrame(Sock.get(), RequestFrame))
     return err("failed to send request frame (daemon gone?)");
   std::string Out;
@@ -35,6 +92,59 @@ Expected<std::string> Client::call(std::string_view RequestFrame) {
 
 Expected<ParsedResponse> Client::callParsed(std::string_view RequestFrame) {
   auto Raw = call(RequestFrame);
+  if (!Raw)
+    return Raw.takeError();
+  return parseResponse(*Raw);
+}
+
+Expected<std::string> Client::callRetry(std::string_view RequestFrame) {
+  const unsigned Attempts = std::max(1u, Policy.MaxAttempts);
+  Clock::time_point Start = Clock::now();
+  std::string LastError = "call never attempted";
+  for (unsigned Attempt = 0; Attempt < Attempts; ++Attempt) {
+    if (Attempt) {
+      // A failed call poisons the framed stream (a half-read response may
+      // be in flight); every retry gets a fresh connection.
+      uint64_t Delay = backoffMs(Attempt - 1);
+      if (Policy.TotalDeadlineMs &&
+          elapsedMs(Start) + Delay >= Policy.TotalDeadlineMs)
+        return err("retry deadline exceeded after " +
+                   std::to_string(Attempt) + " attempts: " + LastError);
+      std::this_thread::sleep_for(std::chrono::milliseconds(Delay));
+      if (auto R = reconnect(); !R) {
+        LastError = R.error().Message;
+        continue;
+      }
+    } else if (!Sock.valid()) {
+      if (auto R = reconnect(); !R) {
+        LastError = R.error().Message;
+        continue;
+      }
+    }
+    auto Raw = call(RequestFrame);
+    if (!Raw) {
+      LastError = Raw.error().Message;
+      Sock.reset(); // poisoned
+      continue;
+    }
+    // Transport succeeded; peek at the status to honour backpressure
+    // rejections. An unparseable response is returned as-is — that is the
+    // caller's problem, not a transport failure.
+    auto Parsed = parseResponse(*Raw);
+    if (Parsed && retryableStatus(Parsed->Status)) {
+      LastError = "daemon rejected with status '" + Parsed->Status + "'";
+      Sock.reset(); // conn_limit/timeout closed it daemon-side anyway
+      continue;
+    }
+    return Raw;
+  }
+  return err("all " + std::to_string(Attempts) +
+             " attempts failed: " + LastError);
+}
+
+Expected<ParsedResponse>
+Client::callRetryParsed(std::string_view RequestFrame) {
+  auto Raw = callRetry(RequestFrame);
   if (!Raw)
     return Raw.takeError();
   return parseResponse(*Raw);

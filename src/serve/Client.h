@@ -1,10 +1,21 @@
 //===-- serve/Client.h - cerb-serve/1 client ----------------------*- C++ -*-===//
 ///
 /// \file
-/// The thin client side of the daemon protocol: connect once (unix path or
-/// loopback TCP port), then call() any number of request frames. `cerb
-/// query` is a direct wrapper around this; tests use it to drive an
-/// in-process daemon over real sockets.
+/// The client side of the daemon protocol: connect (unix path or loopback
+/// TCP port), then call() any number of request frames. `cerb query` is a
+/// direct wrapper around this; tests use it to drive an in-process daemon
+/// over real sockets.
+///
+/// Robustness: callRetry() survives the transient failures the daemon and
+/// the network are allowed to produce — connection reset, torn response,
+/// accept drop, `overloaded`/`conn_limit` backpressure — by reconnecting
+/// and retrying under a seeded exponential-backoff-with-jitter policy with
+/// a total-attempt deadline. A failed call poisons the framed stream (a
+/// half-read response may be in flight), so every retry runs on a fresh
+/// connection. Retrying evals is safe: they are idempotent and
+/// cache-keyed, so a duplicate attempt returns the identical bytes.
+/// Terminal rejections (`error`, `bad_request`, `draining`) are never
+/// retried — repeating a deterministic failure cannot help.
 ///
 //===----------------------------------------------------------------------===//
 #ifndef CERB_SERVE_CLIENT_H
@@ -17,22 +28,70 @@
 
 namespace cerb::serve {
 
+/// When and how callRetry() re-attempts a failed call.
+struct RetryPolicy {
+  /// Total attempts (first try included). 1 = no retries.
+  unsigned MaxAttempts = 1;
+  /// First backoff delay; doubles per retry up to MaxDelayMs. The actual
+  /// sleep is jittered into [delay/2, delay] so a fleet of clients
+  /// retrying a recovering daemon does not stampede in lockstep.
+  uint64_t BaseDelayMs = 2;
+  uint64_t MaxDelayMs = 200;
+  /// Give up (whatever MaxAttempts says) once this much wall time has
+  /// elapsed since the callRetry() began. 0 = no deadline.
+  uint64_t TotalDeadlineMs = 0;
+  /// Per-call socket timeout (SO_RCVTIMEO/SO_SNDTIMEO): a dead or stalled
+  /// daemon fails the attempt instead of hanging it. 0 = block forever.
+  uint64_t CallTimeoutMs = 0;
+  /// Seed for the jitter PRNG — a fixed seed makes a retry schedule
+  /// reproducible in tests.
+  uint64_t Seed = 1;
+};
+
 class Client {
 public:
   /// Connects to a daemon: \p SocketPath when non-empty, else loopback TCP
-  /// \p Port.
+  /// \p Port. The policy is remembered for callRetry() and reconnect().
   static Expected<Client> connect(const std::string &SocketPath,
-                                  int Port = -1);
+                                  int Port = -1,
+                                  const RetryPolicy &Policy = RetryPolicy());
 
   /// One round trip: writes \p RequestFrame, reads one response frame.
+  /// After a failure the stream is poisoned — reconnect() before reuse.
   Expected<std::string> call(std::string_view RequestFrame);
 
   /// call() + parseResponse.
   Expected<ParsedResponse> callParsed(std::string_view RequestFrame);
 
+  /// call() under the connect-time RetryPolicy: on transport failure or a
+  /// retryable rejection (`overloaded`, `conn_limit`, `timeout`), tears
+  /// the connection down, backs off, reconnects, and re-sends — until the
+  /// response is terminal, attempts run out, or the deadline passes.
+  Expected<std::string> callRetry(std::string_view RequestFrame);
+
+  /// callRetry() + parseResponse.
+  Expected<ParsedResponse> callRetryParsed(std::string_view RequestFrame);
+
+  /// Drops the current socket and dials the daemon again (with connect
+  /// retries under the policy). callRetry() does this automatically.
+  ExpectedVoid reconnect();
+
 private:
-  explicit Client(net::Fd Sock) : Sock(std::move(Sock)) {}
+  Client(net::Fd Sock, std::string SocketPath, int Port, RetryPolicy Policy)
+      : Sock(std::move(Sock)), SocketPath(std::move(SocketPath)), Port(Port),
+        Policy(Policy), Rng(Policy.Seed ? Policy.Seed : 1) {}
+
+  /// One dial attempt (no retries), applying CallTimeoutMs to the socket.
+  static Expected<net::Fd> dial(const std::string &SocketPath, int Port,
+                                const RetryPolicy &Policy);
+  /// Jittered backoff delay for 0-based retry \p Attempt.
+  uint64_t backoffMs(unsigned Attempt);
+
   net::Fd Sock;
+  std::string SocketPath;
+  int Port = -1;
+  RetryPolicy Policy;
+  uint64_t Rng; ///< xorshift64 state for jitter
 };
 
 } // namespace cerb::serve

@@ -36,6 +36,22 @@ trace::Counter &cntConnections() {
   static trace::Counter C("serve.connections");
   return C;
 }
+trace::Counter &cntConnLimit() {
+  static trace::Counter C("serve.rejected_conn_limit");
+  return C;
+}
+trace::Counter &cntIdleReaped() {
+  static trace::Counter C("serve.idle_reaped");
+  return C;
+}
+trace::Counter &cntReadTimeouts() {
+  static trace::Counter C("serve.read_timeouts");
+  return C;
+}
+trace::Counter &cntBadFrames() {
+  static trace::Counter C("serve.bad_frames");
+  return C;
+}
 
 } // namespace
 
@@ -140,15 +156,44 @@ void Daemon::acceptLoop() {
       net::Fd Sock = net::acceptOn(Fds[Idx].fd);
       if (!Sock.valid())
         continue;
+      // Connection cap: reject at the door with an explicit status frame
+      // so the client can back off and retry, instead of queueing reader
+      // threads without bound.
+      bool OverCap = false;
+      {
+        std::lock_guard<std::mutex> L(StateMu);
+        if (Cfg.MaxConns && ConnThreadsLive >= Cfg.MaxConns) {
+          OverCap = true;
+          ++Stats.RejectedConnLimit;
+        } else {
+          ++ConnThreadsLive; // the reader we are about to spawn
+        }
+      }
+      if (OverCap) {
+        cntConnLimit().add();
+        // Best-effort courtesy frame; a stuffed send buffer must not stall
+        // the accept loop, so bound the write and close regardless.
+        net::setIoTimeout(Sock.get(), 100);
+        net::writeFrame(Sock.get(),
+                        rejectResponse("", "conn_limit",
+                                       "connection limit " +
+                                           std::to_string(Cfg.MaxConns)));
+        continue; // Sock's destructor closes it
+      }
       cntConnections().add();
       auto C = std::make_shared<Conn>();
       C->Sock = std::move(Sock);
-      std::lock_guard<std::mutex> L(ConnMu);
-      Conns.push_back(C);
-      ConnThreads.emplace_back([this, C] {
+      {
+        std::lock_guard<std::mutex> L(ConnMu);
+        Conns.push_back(C);
+      }
+      // Detached: the reader retires itself (and releases the descriptor)
+      // the moment its peer goes away. Drain waits on ConnThreadsLive
+      // instead of join().
+      std::thread([this, C]() mutable {
         trace::setCurrentThreadName("cerbd-conn");
-        connLoop(C);
-      });
+        connLoop(std::move(C));
+      }).detach();
     }
   }
   // Entering drain: from here every new eval is rejected with "draining".
@@ -161,12 +206,65 @@ void Daemon::acceptLoop() {
 }
 
 void Daemon::connLoop(std::shared_ptr<Conn> C) {
+  const int IdleMs =
+      Cfg.IdleTimeoutMs ? static_cast<int>(Cfg.IdleTimeoutMs) : -1;
+  const int FrameMs =
+      Cfg.ReadTimeoutMs ? static_cast<int>(Cfg.ReadTimeoutMs) : -1;
   std::string Frame;
-  while (net::readFrame(C->Sock.get(), Frame) == 1)
-    if (!handleFrame(C, Frame))
-      break;
-  // Reader exits on peer EOF, I/O error, or drain's shutdownBoth(). The
-  // Conn object stays alive while admitted evals still hold the shared_ptr.
+  for (;;) {
+    net::RecvStatus St = net::readFrameTimed(C->Sock.get(), Frame,
+                                             net::DefaultMaxFrame, IdleMs,
+                                             FrameMs);
+    if (St == net::RecvStatus::Frame) {
+      if (!handleFrame(C, Frame))
+        break;
+      continue;
+    }
+    if (St == net::RecvStatus::Idle) {
+      {
+        std::lock_guard<std::mutex> L(StateMu);
+        ++Stats.IdleReaped;
+      }
+      cntIdleReaped().add();
+    } else if (St == net::RecvStatus::Timeout) {
+      {
+        std::lock_guard<std::mutex> L(StateMu);
+        ++Stats.ReadTimeouts;
+      }
+      cntReadTimeouts().add();
+      send(*C, rejectResponse("", "timeout", "frame read timed out"));
+    } else if (St == net::RecvStatus::Oversize ||
+               St == net::RecvStatus::Error) {
+      // Oversize length prefix or a frame torn mid-body: the stream is
+      // desynchronized, so after a best-effort rejection the only safe
+      // move is to close. (Error also covers plain ECONNRESET — cheap to
+      // count, harmless to over-count.)
+      {
+        std::lock_guard<std::mutex> L(StateMu);
+        ++Stats.BadFrames;
+      }
+      cntBadFrames().add();
+      if (St == net::RecvStatus::Oversize)
+        send(*C, rejectResponse("", "bad_request", "frame exceeds size cap"));
+    }
+    break; // Eof / Idle / Timeout / Oversize / Error all end the connection
+  }
+  // Reader exit (peer EOF, I/O error, reap, or drain's shutdownBoth):
+  // release the daemon's reference so the descriptor closes as soon as any
+  // still-running evals drop theirs — not at drain time.
+  {
+    std::lock_guard<std::mutex> L(ConnMu);
+    Conns.erase(std::remove(Conns.begin(), Conns.end(), C), Conns.end());
+  }
+  C.reset();
+  // Decrement-and-notify under StateMu: the drain waiter cannot wake (and
+  // start destroying the daemon) until this thread has released the lock,
+  // after which it touches only its own stack.
+  {
+    std::lock_guard<std::mutex> L(StateMu);
+    --ConnThreadsLive;
+    DrainCV.notify_all();
+  }
 }
 
 bool Daemon::handleFrame(const std::shared_ptr<Conn> &C,
@@ -261,8 +359,10 @@ int Daemon::waitUntilDrained() {
     DrainCV.wait(L, [this] { return Draining.load() && InFlight == 0; });
   }
   // Every admitted request has been answered (zero drops). Tear down:
-  // acceptor first (it already broke out of poll), then unblock and join
-  // the connection readers, then retire the pool and flush the cache.
+  // acceptor first (it already broke out of poll), then unblock the
+  // connection readers and wait for the live count to hit zero (the
+  // detached-thread analogue of join), then retire the pool and flush the
+  // cache.
   if (Acceptor.joinable())
     Acceptor.join();
   {
@@ -271,9 +371,10 @@ int Daemon::waitUntilDrained() {
       if (C->Sock.valid())
         net::shutdownBoth(C->Sock.get());
   }
-  for (auto &T : ConnThreads)
-    if (T.joinable())
-      T.join();
+  {
+    std::unique_lock<std::mutex> L(StateMu);
+    DrainCV.wait(L, [this] { return ConnThreadsLive == 0; });
+  }
   if (Pool) {
     Pool->wait();
     Pool.reset();
@@ -293,6 +394,7 @@ DaemonSnapshot Daemon::snapshot() const {
   std::lock_guard<std::mutex> L(StateMu);
   DaemonSnapshot Out = Stats;
   Out.InFlight = InFlight;
+  Out.LiveConns = ConnThreadsLive;
   Out.Draining = Draining.load();
   return Out;
 }
@@ -310,6 +412,11 @@ std::string Daemon::statsJson() const {
   J += ", \"admitted\": " + N(D.Admitted);
   J += ", \"overloaded\": " + N(D.Overloaded);
   J += ", \"rejected_draining\": " + N(D.RejectedDraining);
+  J += ", \"rejected_conn_limit\": " + N(D.RejectedConnLimit);
+  J += ", \"idle_reaped\": " + N(D.IdleReaped);
+  J += ", \"read_timeouts\": " + N(D.ReadTimeouts);
+  J += ", \"bad_frames\": " + N(D.BadFrames);
+  J += ", \"live_conns\": " + N(D.LiveConns);
   J += ", \"threads\": " + N(threadCount());
   J += ", \"result_cache\": {";
   J += "\"memory_hits\": " + N(CS.MemoryHits);
@@ -318,6 +425,9 @@ std::string Daemon::statsJson() const {
   J += ", \"evictions\": " + N(CS.Evictions);
   J += ", \"stores\": " + N(CS.Stores);
   J += ", \"memory_entries\": " + N(CS.MemoryEntries);
+  J += ", \"quarantined\": " + N(CS.Quarantined);
+  J += ", \"tmp_reclaimed\": " + N(CS.TmpReclaimed);
+  J += ", \"index_rebuilt\": " + N(CS.IndexRebuilt);
   J += ", \"persistent\": " + std::string(Results.persistent() ? "true" : "false");
   J += "}, \"compile_cache\": {";
   J += "\"hits\": " + N(Compiles.hits());

@@ -12,7 +12,13 @@
 ///    Draining they are rejected with `draining`, and once
 ///    queued-plus-running requests reach MaxQueue they are rejected with
 ///    `overloaded` — bounded queue and an explicit backpressure signal
-///    instead of unbounded growth;
+///    instead of unbounded growth. Readers are detached and retire
+///    themselves the moment their peer goes away (descriptor released
+///    immediately, not at drain), use deadline-aware frame reads so a
+///    partial or garbage frame can never hang them (IdleTimeoutMs reaps
+///    silent peers, ReadTimeoutMs bounds a started frame), and MaxConns
+///    caps concurrent connections with an explicit `conn_limit` rejection
+///    at accept time;
 ///  - admitted requests run on the shared support::ThreadPool. Each task
 ///    consults the two-tier cache (ResultCache over the report bytes;
 ///    oracle::CompileCache underneath for elaborations), evaluates on a
@@ -61,6 +67,16 @@ struct DaemonConfig {
   /// Admission bound: maximum queued-plus-running eval requests. Beyond
   /// it, requests are answered `overloaded` immediately.
   uint64_t MaxQueue = 256;
+  /// Concurrent-connection cap: connections accepted beyond it receive a
+  /// `conn_limit` rejection frame and are closed (0 = unlimited).
+  uint64_t MaxConns = 0;
+  /// Reap a connection whose peer sends nothing for this long between
+  /// frames (0 = never reap). Reaped peers simply reconnect.
+  uint64_t IdleTimeoutMs = 0;
+  /// Once a frame's first byte arrives the rest must follow within this
+  /// window (0 = wait forever). Bounds the damage of a torn or trickling
+  /// frame: the reader closes the connection instead of hanging.
+  uint64_t ReadTimeoutMs = 0;
   CacheConfig Cache;
   /// Honour the `shutdown` op (tests and the CLI default); a deployment
   /// that only trusts signals can turn it off.
@@ -76,6 +92,11 @@ struct DaemonSnapshot {
   uint64_t Admitted = 0;
   uint64_t Overloaded = 0;
   uint64_t RejectedDraining = 0;
+  uint64_t RejectedConnLimit = 0; ///< accepts bounced off MaxConns
+  uint64_t IdleReaped = 0;        ///< connections reaped by IdleTimeoutMs
+  uint64_t ReadTimeouts = 0;      ///< frames that stalled past ReadTimeoutMs
+  uint64_t BadFrames = 0;         ///< oversize/torn frames that ended a conn
+  uint64_t LiveConns = 0;         ///< reader threads currently alive
   bool Draining = false;
 };
 
@@ -136,13 +157,18 @@ private:
 
   std::thread Acceptor;
   mutable std::mutex ConnMu;
+  /// Live connections only: a reader erases its Conn on exit, so the
+  /// descriptor is released the moment the peer goes away (the shared_ptr
+  /// keeps it alive for any still-running evals on that connection).
   std::vector<std::shared_ptr<Conn>> Conns;
-  std::vector<std::thread> ConnThreads;
 
   mutable std::mutex StateMu;
   std::condition_variable DrainCV;
   std::atomic<bool> Draining{false};
   uint64_t InFlight = 0;
+  /// Detached reader threads still running (guarded by StateMu; drain
+  /// waits for zero — the detached-thread analogue of join()).
+  uint64_t ConnThreadsLive = 0;
   DaemonSnapshot Stats;
 };
 

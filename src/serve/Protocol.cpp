@@ -4,6 +4,7 @@
 
 #include "exec/Pipeline.h"
 #include "oracle/Report.h"
+#include "support/FaultInjector.h"
 
 using namespace cerb;
 using namespace cerb::serve;
@@ -27,6 +28,12 @@ const char *opName(Op K) {
 } // namespace
 
 Expected<Request> cerb::serve::parseRequest(std::string_view Frame) {
+  // `protocol.decode` fault point: a request the daemon fails to decode for
+  // reasons other than its bytes (allocation pressure, future schema skew).
+  // Surfaces as a `bad_request` reject, which the retrying client treats as
+  // terminal — decode failure is deterministic, retrying cannot help.
+  if (fault::shouldFail("protocol.decode"))
+    return err("malformed request: injected protocol.decode fault");
   std::string PErr;
   auto Doc = json::parse(Frame, &PErr);
   if (!Doc)

@@ -4,9 +4,12 @@
 
 #include "oracle/Report.h"
 #include "serve/Protocol.h"
+#include "support/FaultInjector.h"
+#include "support/Json.h"
 #include "trace/Trace.h"
 
 #include <atomic>
+#include <cinttypes>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -42,7 +45,62 @@ trace::Counter &cntStores() {
   return C;
 }
 
-constexpr const char *EntryMagic = "cerb-serve-cache/1 ";
+trace::Counter &cntQuarantined() {
+  static trace::Counter C("serve.cache.quarantined");
+  return C;
+}
+
+// Entry format v2: "cerb-serve-cache/2 <mlen> <blen>\n" + material + "\n"
+// + body. The explicit lengths make truncation and torn writes detectable
+// *structurally* — recovery can validate an entry without knowing its key,
+// and a torn-but-published file (non-atomic filesystem, injected
+// cache.torn fault) can never replay a short body as a hit.
+constexpr const char *EntryMagic = "cerb-serve-cache/2";
+
+std::string entryHeader(size_t MaterialLen, size_t BodyLen) {
+  return std::string(EntryMagic) + " " + std::to_string(MaterialLen) + " " +
+         std::to_string(BodyLen) + "\n";
+}
+
+/// Structural validation shared by diskGet and recovery: parses the header
+/// line and checks the exact record length. Returns false for anything a
+/// crash, a partial write, or a foreign file could have left behind. On
+/// success *MaterialAt/*BodyAt delimit the two payload sections.
+bool parseEntry(const std::string &All, size_t *MaterialAt,
+                size_t *MaterialLen, size_t *BodyAt, size_t *BodyLen) {
+  size_t Nl = All.find('\n');
+  if (Nl == std::string::npos)
+    return false;
+  uint64_t MLen = 0, BLen = 0;
+  char Magic[32] = {0};
+  if (std::sscanf(All.c_str(), "%31s %" SCNu64 " %" SCNu64, Magic, &MLen,
+                  &BLen) != 3 ||
+      std::string_view(Magic) != EntryMagic)
+    return false;
+  size_t HdrLen = Nl + 1;
+  // material + "\n" + body, with nothing missing and nothing extra.
+  if (All.size() != HdrLen + MLen + 1 + BLen)
+    return false;
+  if (All[HdrLen + MLen] != '\n')
+    return false;
+  *MaterialAt = HdrLen;
+  *MaterialLen = MLen;
+  *BodyAt = HdrLen + MLen + 1;
+  *BodyLen = BLen;
+  return true;
+}
+
+bool readWholeFile(const fs::path &Path, std::string &Out) {
+  std::ifstream In(Path, std::ios::binary);
+  if (!In)
+    return false;
+  std::ostringstream Buf;
+  Buf << In.rdbuf();
+  if (In.bad())
+    return false;
+  Out = Buf.str();
+  return true;
+}
 
 } // namespace
 
@@ -51,7 +109,72 @@ ResultCache::ResultCache(CacheConfig Cfg) : Cfg(std::move(Cfg)) {
     std::error_code EC;
     fs::create_directories(fs::path(this->Cfg.Dir) / "objects", EC);
     fs::create_directories(fs::path(this->Cfg.Dir) / "tmp", EC);
+    recover();
   }
+}
+
+RecoveryStats ResultCache::recover() {
+  RecoveryStats R;
+  if (Cfg.Dir.empty())
+    return R;
+  std::error_code EC;
+  fs::path Root(Cfg.Dir);
+
+  // 1. Temp files are in-flight publishes that never renamed (kill -9 or an
+  //    injected cache.rename fault). Their entries were re-computable by
+  //    definition; reclaim the space.
+  for (fs::directory_iterator It(Root / "tmp", EC), End; It != End && !EC;
+       It.increment(EC))
+    if (It->is_regular_file(EC) && fs::remove(It->path(), EC))
+      ++R.TmpReclaimed;
+
+  // 2. Validate every object structurally (header magic + exact lengths).
+  //    Invalid files — torn writes that beat the rename discipline, foreign
+  //    droppings, superseded formats — are quarantined, not deleted:
+  //    they're evidence for a post-mortem, and leaving them in objects/
+  //    would cost a failed parse on every lookup.
+  fs::create_directories(Root / "quarantine", EC);
+  std::vector<fs::path> Bad;
+  for (fs::recursive_directory_iterator It(Root / "objects", EC), End;
+       It != End && !EC; It.increment(EC)) {
+    if (!It->is_regular_file(EC))
+      continue;
+    std::string All;
+    size_t MA, ML, BA, BL;
+    if (readWholeFile(It->path(), All) && parseEntry(All, &MA, &ML, &BA, &BL))
+      ++R.ValidEntries;
+    else
+      Bad.push_back(It->path());
+  }
+  for (const fs::path &P : Bad) {
+    fs::rename(P, Root / "quarantine" / P.filename(), EC);
+    if (EC)
+      fs::remove(P, EC); // cross-device fallback: drop it
+    ++R.Quarantined;
+    cntQuarantined().add();
+  }
+
+  // 3. index.json is advisory, but a truncated one (crash mid-flush) should
+  //    not greet the operator as garbage: rebuild it when unreadable.
+  fs::path Index = Root / "index.json";
+  bool NeedsRebuild = !fs::exists(Index, EC);
+  if (!NeedsRebuild) {
+    std::string Text;
+    NeedsRebuild =
+        !readWholeFile(Index, Text) || !json::parse(Text).has_value();
+  }
+  {
+    std::lock_guard<std::mutex> L(M);
+    S.Quarantined += R.Quarantined;
+    S.TmpReclaimed += R.TmpReclaimed;
+    if (NeedsRebuild)
+      S.IndexRebuilt = 1;
+  }
+  if (NeedsRebuild) {
+    R.IndexRebuilt = true;
+    flushIndex();
+  }
+  return R;
 }
 
 std::string ResultCache::objectPath(uint64_t Hash) const {
@@ -127,24 +250,27 @@ void ResultCache::memoryPutLocked(uint64_t Hash,
 
 std::optional<std::string> ResultCache::diskGet(const std::string &KeyMaterial,
                                                 uint64_t Hash) {
-  std::ifstream In(objectPath(Hash), std::ios::binary);
-  if (!In)
+  if (fault::shouldFail("cache.disk_read"))
+    return std::nullopt; // unreadable disk degrades to a miss
+  std::string All;
+  if (!readWholeFile(objectPath(Hash), All))
     return std::nullopt;
-  std::ostringstream Buf;
-  Buf << In.rdbuf();
-  if (In.bad())
+  // Structural check (exact lengths) + key verification. Anything that
+  // does not match — torn write survivor, truncation, hash collision,
+  // foreign file — is a miss, never wrong bytes.
+  size_t MA, ML, BA, BL;
+  if (!parseEntry(All, &MA, &ML, &BA, &BL))
     return std::nullopt;
-  std::string All = Buf.str();
-  // Header line: magic + key material. Anything that does not match — torn
-  // write survivor, hash collision, foreign file — is a miss.
-  std::string Expect = std::string(EntryMagic) + KeyMaterial + "\n";
-  if (All.size() < Expect.size() || All.compare(0, Expect.size(), Expect) != 0)
+  if (ML != KeyMaterial.size() ||
+      All.compare(MA, ML, KeyMaterial) != 0)
     return std::nullopt;
-  return All.substr(Expect.size());
+  return All.substr(BA, BL);
 }
 
 void ResultCache::diskPut(const std::string &KeyMaterial, uint64_t Hash,
                           const std::string &Body) {
+  if (fault::shouldFail("cache.disk_write"))
+    return; // ENOSPC et al.: disk tier is best-effort, memory tier has it
   std::string Path = objectPath(Hash);
   std::error_code EC;
   fs::create_directories(fs::path(Path).parent_path(), EC);
@@ -155,17 +281,26 @@ void ResultCache::diskPut(const std::string &KeyMaterial, uint64_t Hash,
                     std::to_string(static_cast<unsigned long long>(
                         reinterpret_cast<uintptr_t>(this) & 0xFFFF)) +
                     "-" + std::to_string(TmpId.fetch_add(1));
+  std::string Record =
+      entryHeader(KeyMaterial.size(), Body.size()) + KeyMaterial + "\n" + Body;
+  // cache.torn publishes a half-written record — what a torn write on a
+  // non-atomic filesystem would leave. The length header makes every
+  // reader (and the recovery scan) reject it.
+  if (fault::shouldFail("cache.torn"))
+    Record.resize(Record.size() / 2);
   {
     std::ofstream Out(Tmp, std::ios::binary | std::ios::trunc);
     if (!Out)
       return; // disk tier is best-effort; memory tier already holds it
-    Out << EntryMagic << KeyMaterial << "\n" << Body;
+    Out << Record;
     Out.flush();
     if (!Out) {
       fs::remove(Tmp, EC);
       return;
     }
   }
+  if (fault::shouldFail("cache.rename"))
+    return; // kill -9 between write and rename: tmp file left for recovery
   fs::rename(Tmp, Path, EC);
   if (EC)
     fs::remove(Tmp, EC);
@@ -192,7 +327,10 @@ bool ResultCache::flushIndex() {
   J += "  \"disk_hits\": " + std::to_string(Snap.DiskHits) + ",\n";
   J += "  \"misses\": " + std::to_string(Snap.Misses) + ",\n";
   J += "  \"evictions\": " + std::to_string(Snap.Evictions) + ",\n";
-  J += "  \"stores\": " + std::to_string(Snap.Stores) + "\n";
+  J += "  \"stores\": " + std::to_string(Snap.Stores) + ",\n";
+  J += "  \"quarantined\": " + std::to_string(Snap.Quarantined) + ",\n";
+  J += "  \"tmp_reclaimed\": " + std::to_string(Snap.TmpReclaimed) + ",\n";
+  J += "  \"index_rebuilt\": " + std::to_string(Snap.IndexRebuilt) + "\n";
   J += "}\n";
   return oracle::writeTextFile(Cfg.Dir + "/index.json", J);
 }

@@ -11,10 +11,25 @@
 /// content-addressed on-disk store: one file per key at
 /// `<dir>/objects/<hh>/<16-hex-digits>`, written atomically
 /// (temp file + rename) so a killed daemon can never leave a torn entry,
-/// and carrying the full key material in a header line so a 64-bit hash
-/// collision degrades to a miss, never to a wrong replay. A second daemon
-/// pointed at the same directory — or the same daemon after a restart —
-/// serves repeat queries from here in microseconds.
+/// and carrying the full key material *and exact material/body lengths* in
+/// a header line so a 64-bit hash collision, a truncated file, or a torn
+/// write on a non-atomic filesystem degrades to a miss, never to a wrong
+/// replay. A second daemon pointed at the same directory — or the same
+/// daemon after a restart — serves repeat queries from here in
+/// microseconds.
+///
+/// Crash recovery: construction scans the store and repairs what a
+/// `kill -9` can leave behind — temp files from an interrupted publish are
+/// reclaimed, structurally invalid object files are quarantined under
+/// `<dir>/quarantine/` (kept for post-mortems, never served), and a
+/// missing or corrupt `index.json` is rebuilt. Valid entries always
+/// survive; everything else degrades to a miss and self-heals on the next
+/// write.
+///
+/// Fault points (support/FaultInjector): `cache.disk_read` (read treated
+/// as a miss), `cache.disk_write` (ENOSPC-style store skip), `cache.torn`
+/// (a torn file is published), `cache.rename` (publish dies between temp
+/// write and rename, as kill -9 would).
 ///
 /// All methods are thread-safe; hit/miss/eviction totals are mirrored into
 /// the `serve.cache.*` trace counters.
@@ -46,11 +61,30 @@ struct CacheStats {
   uint64_t Evictions = 0; ///< memory-tier LRU drops
   uint64_t Stores = 0;
   uint64_t MemoryEntries = 0;
+  // Crash-recovery totals (set by the constructor scan / recover()).
+  uint64_t Quarantined = 0;  ///< invalid object files moved aside
+  uint64_t TmpReclaimed = 0; ///< interrupted-publish temp files removed
+  uint64_t IndexRebuilt = 0; ///< 1 when index.json was missing/corrupt
+};
+
+/// What one recovery pass found and fixed.
+struct RecoveryStats {
+  uint64_t ValidEntries = 0;
+  uint64_t Quarantined = 0;
+  uint64_t TmpReclaimed = 0;
+  bool IndexRebuilt = false;
 };
 
 class ResultCache {
 public:
+  /// Opens (and, for a persistent cache, crash-recovers) the store.
   explicit ResultCache(CacheConfig Cfg);
+
+  /// Re-runs the crash-recovery scan: reclaims temp files, quarantines
+  /// structurally invalid object files, rebuilds a missing/corrupt
+  /// `index.json`. The constructor runs this once; exposed for tests and
+  /// for an operator `salvage` pass against a live directory.
+  RecoveryStats recover();
 
   /// Looks \p KeyMaterial up: memory first, then disk (verifying the
   /// stored material — a hash collision or torn file is a miss).

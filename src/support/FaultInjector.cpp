@@ -1,0 +1,298 @@
+//===-- support/FaultInjector.cpp -----------------------------------------===//
+
+#include "support/FaultInjector.h"
+
+#include "trace/Trace.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <unordered_map>
+
+using namespace cerb;
+using namespace cerb::fault;
+
+std::atomic<bool> cerb::fault::detail::Armed{false};
+
+namespace {
+
+trace::Counter &cntShots() {
+  static trace::Counter C("fault.shots");
+  return C;
+}
+
+uint64_t splitmix64(uint64_t X) {
+  X += 0x9e3779b97f4a7c15ull;
+  X = (X ^ (X >> 30)) * 0xbf58476d1ce4e5b9ull;
+  X = (X ^ (X >> 27)) * 0x94d049bb133111ebull;
+  return X ^ (X >> 31);
+}
+
+uint64_t fnv1a(std::string_view S) {
+  uint64_t H = 0xcbf29ce484222325ull;
+  for (char C : S) {
+    H ^= static_cast<unsigned char>(C);
+    H *= 0x100000001b3ull;
+  }
+  return H;
+}
+
+struct ErrnoNames {
+  const char *Name;
+  int Value;
+};
+
+// The errnos fault schedules actually want to deliver; anything else can be
+// given numerically.
+constexpr ErrnoNames KnownErrnos[] = {
+    {"EIO", EIO},         {"EINTR", EINTR},   {"ECONNRESET", ECONNRESET},
+    {"EPIPE", EPIPE},     {"ENOSPC", ENOSPC}, {"EAGAIN", EAGAIN},
+    {"ETIMEDOUT", ETIMEDOUT}, {"ENOMEM", ENOMEM}, {"EBADF", EBADF},
+};
+
+std::string formatDouble(double P) {
+  // Shortest representation that round-trips through strtod, so
+  // describe() prints `p=0.05` for 0.05 rather than its 17-digit binary
+  // expansion (and re-arming from the string reproduces the schedule).
+  char Buf[40];
+  for (int Prec = 1; Prec <= 17; ++Prec) {
+    std::snprintf(Buf, sizeof Buf, "%.*g", Prec, P);
+    if (std::strtod(Buf, nullptr) == P)
+      break;
+  }
+  return Buf;
+}
+
+} // namespace
+
+struct Injector::Impl {
+  mutable std::mutex Mu;
+  uint64_t Seed = 0;
+  std::vector<FaultSpec> Specs;
+
+  struct SiteState {
+    uint64_t Hits = 0;
+    uint64_t Shots = 0;
+  };
+  std::unordered_map<std::string, SiteState> Sites;
+  /// Per-spec firing totals (for MaxShots), parallel to Specs.
+  std::vector<uint64_t> SpecShots;
+};
+
+Injector &Injector::instance() {
+  static Injector I;
+  return I;
+}
+
+Injector::Impl &Injector::impl() const {
+  static Impl I;
+  return I;
+}
+
+void Injector::arm(uint64_t Seed, std::vector<FaultSpec> Specs) {
+  Impl &I = impl();
+  std::lock_guard<std::mutex> L(I.Mu);
+  I.Seed = Seed;
+  I.Specs = std::move(Specs);
+  I.Sites.clear();
+  I.SpecShots.assign(I.Specs.size(), 0);
+  detail::Armed.store(true, std::memory_order_relaxed);
+}
+
+void Injector::disarm() {
+  Impl &I = impl();
+  std::lock_guard<std::mutex> L(I.Mu);
+  detail::Armed.store(false, std::memory_order_relaxed);
+  I.Specs.clear();
+  I.Sites.clear();
+  I.SpecShots.clear();
+}
+
+bool Injector::shouldFailSlow(std::string_view Site, int *OutErrno) {
+  Impl &I = impl();
+  std::lock_guard<std::mutex> L(I.Mu);
+  if (I.Specs.empty())
+    return false;
+  Impl::SiteState &St = I.Sites[std::string(Site)];
+  uint64_t Idx = ++St.Hits; // 1-based hit index at this site
+  for (size_t SI = 0; SI < I.Specs.size(); ++SI) {
+    const FaultSpec &Sp = I.Specs[SI];
+    if (Sp.Site != Site || I.SpecShots[SI] >= Sp.MaxShots)
+      continue;
+    bool Fire = false;
+    if (Sp.Nth && Idx == Sp.Nth)
+      Fire = true;
+    if (!Fire && Sp.Every && Idx % Sp.Every == 0)
+      Fire = true;
+    if (!Fire && Sp.Probability > 0) {
+      // Pure function of (seed, site, hit index): reproducible from the
+      // seed no matter how threads interleave between sites.
+      uint64_t U = splitmix64(I.Seed ^ fnv1a(Site) ^ (Idx * 0x9e3779b9ull));
+      double Unit = static_cast<double>(U >> 11) * (1.0 / 9007199254740992.0);
+      Fire = Unit < Sp.Probability;
+    }
+    if (Fire) {
+      ++I.SpecShots[SI];
+      ++St.Shots;
+      cntShots().add();
+      if (OutErrno)
+        *OutErrno = Sp.Err;
+      return true;
+    }
+  }
+  return false;
+}
+
+uint64_t Injector::hits(std::string_view Site) const {
+  Impl &I = impl();
+  std::lock_guard<std::mutex> L(I.Mu);
+  auto It = I.Sites.find(std::string(Site));
+  return It == I.Sites.end() ? 0 : It->second.Hits;
+}
+
+uint64_t Injector::shots(std::string_view Site) const {
+  Impl &I = impl();
+  std::lock_guard<std::mutex> L(I.Mu);
+  auto It = I.Sites.find(std::string(Site));
+  return It == I.Sites.end() ? 0 : It->second.Shots;
+}
+
+uint64_t Injector::totalShots() const {
+  Impl &I = impl();
+  std::lock_guard<std::mutex> L(I.Mu);
+  uint64_t N = 0;
+  for (const auto &[Site, St] : I.Sites)
+    N += St.Shots;
+  return N;
+}
+
+uint64_t Injector::seed() const {
+  Impl &I = impl();
+  std::lock_guard<std::mutex> L(I.Mu);
+  return I.Seed;
+}
+
+int Injector::errnoByName(std::string_view Name) {
+  for (const ErrnoNames &E : KnownErrnos)
+    if (Name == E.Name)
+      return E.Value;
+  if (!Name.empty() && Name.find_first_not_of("0123456789") ==
+                           std::string_view::npos)
+    return std::atoi(std::string(Name).c_str());
+  return -1;
+}
+
+const char *Injector::errnoName(int Err) {
+  for (const ErrnoNames &E : KnownErrnos)
+    if (Err == E.Value)
+      return E.Name;
+  return "";
+}
+
+std::string Injector::describe() const {
+  Impl &I = impl();
+  std::lock_guard<std::mutex> L(I.Mu);
+  if (I.Specs.empty())
+    return "";
+  std::string Out = "seed=" + std::to_string(I.Seed);
+  for (const FaultSpec &Sp : I.Specs) {
+    Out += ";" + Sp.Site;
+    if (Sp.Probability > 0)
+      Out += ",p=" + formatDouble(Sp.Probability);
+    if (Sp.Nth)
+      Out += ",nth=" + std::to_string(Sp.Nth);
+    if (Sp.Every)
+      Out += ",every=" + std::to_string(Sp.Every);
+    if (Sp.MaxShots != UINT64_MAX)
+      Out += ",max=" + std::to_string(Sp.MaxShots);
+    const char *EN = errnoName(Sp.Err);
+    Out += std::string(",errno=") +
+           (*EN ? std::string(EN) : std::to_string(Sp.Err));
+  }
+  return Out;
+}
+
+ExpectedVoid Injector::armFromSpec(const std::string &Spec) {
+  uint64_t Seed = 1;
+  std::vector<FaultSpec> Specs;
+
+  size_t Pos = 0;
+  while (Pos <= Spec.size()) {
+    size_t Semi = Spec.find(';', Pos);
+    if (Semi == std::string::npos)
+      Semi = Spec.size();
+    std::string Clause = Spec.substr(Pos, Semi - Pos);
+    Pos = Semi + 1;
+    if (Clause.empty())
+      continue;
+
+    if (Clause.rfind("seed=", 0) == 0) {
+      char *End = nullptr;
+      Seed = std::strtoull(Clause.c_str() + 5, &End, 0);
+      if (!End || *End != '\0' || Clause.size() == 5)
+        return err("faults: bad seed '" + Clause.substr(5) + "'");
+      continue;
+    }
+
+    // site[,k=v]* — the site name is the first comma field.
+    FaultSpec Sp;
+    size_t Comma = Clause.find(',');
+    Sp.Site = Clause.substr(0, Comma);
+    if (Sp.Site.empty() || Sp.Site.find('=') != std::string::npos)
+      return err("faults: clause '" + Clause +
+                 "' does not start with a site name");
+    bool AnyTrigger = false;
+    while (Comma != std::string::npos) {
+      size_t Next = Clause.find(',', Comma + 1);
+      std::string KV = Clause.substr(
+          Comma + 1, (Next == std::string::npos ? Clause.size() : Next) -
+                         Comma - 1);
+      Comma = Next;
+      size_t Eq = KV.find('=');
+      if (Eq == std::string::npos)
+        return err("faults: expected key=value, got '" + KV + "'");
+      std::string K = KV.substr(0, Eq), V = KV.substr(Eq + 1);
+      if (K == "p") {
+        Sp.Probability = std::strtod(V.c_str(), nullptr);
+        if (Sp.Probability < 0 || Sp.Probability > 1)
+          return err("faults: p=" + V + " out of [0,1]");
+        AnyTrigger = true;
+      } else if (K == "nth") {
+        Sp.Nth = std::strtoull(V.c_str(), nullptr, 0);
+        AnyTrigger = true;
+      } else if (K == "every") {
+        Sp.Every = std::strtoull(V.c_str(), nullptr, 0);
+        AnyTrigger = true;
+      } else if (K == "max") {
+        Sp.MaxShots = std::strtoull(V.c_str(), nullptr, 0);
+      } else if (K == "errno") {
+        int E = errnoByName(V);
+        if (E < 0)
+          return err("faults: unknown errno '" + V + "'");
+        Sp.Err = E;
+      } else {
+        return err("faults: unknown key '" + K + "' (p|nth|every|max|errno)");
+      }
+    }
+    if (!AnyTrigger)
+      Sp.Probability = 1.0; // bare site name: fire on every hit
+    Specs.push_back(std::move(Sp));
+  }
+  if (Specs.empty())
+    return err("faults: spec names no fault site");
+  arm(Seed, std::move(Specs));
+  return ExpectedVoid();
+}
+
+bool Injector::armFromEnv() {
+  const char *Env = std::getenv("CERB_FAULTS");
+  if (!Env || !*Env)
+    return false;
+  auto R = armFromSpec(Env);
+  if (!R) {
+    std::fprintf(stderr, "CERB_FAULTS ignored: %s\n", R.error().Message.c_str());
+    return false;
+  }
+  return true;
+}

@@ -74,6 +74,12 @@ private:
   std::string_view S;
   size_t Pos = 0;
   std::string Error;
+  unsigned Depth = 0;
+  /// Recursion bound: a recursive-descent parser fed a hostile frame like
+  /// "[[[[..." would otherwise turn 2 bytes of input per level into a call
+  /// frame and overflow the daemon's reader stack. Deeper documents are a
+  /// parse error, not a crash; every document we emit is < 10 levels.
+  static constexpr unsigned MaxDepth = 96;
 
   void fail(const std::string &Msg) {
     if (Error.empty())
@@ -110,10 +116,16 @@ private:
       return std::nullopt;
     }
     char C = S[Pos];
-    if (C == '{')
-      return object();
-    if (C == '[')
-      return array();
+    if (C == '{' || C == '[') {
+      if (Depth >= MaxDepth) {
+        fail("nesting deeper than " + std::to_string(MaxDepth) + " levels");
+        return std::nullopt;
+      }
+      ++Depth;
+      std::optional<Value> V = C == '{' ? object() : array();
+      --Depth;
+      return V;
+    }
     if (C == '"')
       return string();
     if (literal("true")) {

@@ -2,11 +2,16 @@
 
 #include "support/Socket.h"
 
+#include "support/FaultInjector.h"
+
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <netinet/in.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <sys/stat.h>
+#include <sys/time.h>
 #include <sys/un.h>
 #include <unistd.h>
 
@@ -33,6 +38,44 @@ void armNoSigpipe(int Raw) {
   ::setsockopt(Raw, SOL_SOCKET, SO_NOSIGPIPE, &One, sizeof One);
 #else
   (void)Raw; // Linux: writeAll uses MSG_NOSIGNAL instead
+#endif
+}
+
+/// One fault-aware read: `socket.read` injects a failing errno (EINTR here
+/// exercises the caller's retry loop), `socket.read.short` truncates the
+/// request to a single byte so partial-read handling is explored on demand.
+ssize_t faultyRead(int FdRaw, void *Buf, size_t Len) {
+  if (fault::active()) {
+    int E = 0;
+    if (fault::shouldFail("socket.read", &E)) {
+      errno = E;
+      return -1;
+    }
+    if (Len > 1 && fault::shouldFail("socket.read.short"))
+      Len = 1;
+  }
+  return ::read(FdRaw, Buf, Len);
+}
+
+/// Fault-aware send/write mirror of faultyRead (`socket.write`,
+/// `socket.write.short`).
+ssize_t faultyWrite(int FdRaw, const char *Buf, size_t Len) {
+  if (fault::active()) {
+    int E = 0;
+    if (fault::shouldFail("socket.write", &E)) {
+      errno = E;
+      return -1;
+    }
+    if (Len > 1 && fault::shouldFail("socket.write.short"))
+      Len = 1;
+  }
+#ifdef MSG_NOSIGNAL
+  ssize_t N = ::send(FdRaw, Buf, Len, MSG_NOSIGNAL);
+  if (N < 0 && errno == ENOTSOCK) // pipes in tests
+    N = ::write(FdRaw, Buf, Len);
+  return N;
+#else
+  return ::write(FdRaw, Buf, Len);
 #endif
 }
 
@@ -88,6 +131,8 @@ Expected<Fd> cerb::net::listenTcp(uint16_t Port, uint16_t *OutPort,
 }
 
 Expected<Fd> cerb::net::connectUnix(const std::string &Path) {
+  if (int E = 0; fault::shouldFail("socket.connect", &E))
+    return err("connect " + Path + ": " + std::strerror(E) + " (injected)");
   sockaddr_un Addr{};
   if (Path.size() >= sizeof(Addr.sun_path))
     return err("socket path too long: " + Path);
@@ -108,6 +153,9 @@ Expected<Fd> cerb::net::connectUnix(const std::string &Path) {
 }
 
 Expected<Fd> cerb::net::connectTcp(uint16_t Port) {
+  if (int E = 0; fault::shouldFail("socket.connect", &E))
+    return err("connect 127.0.0.1:" + std::to_string(Port) + ": " +
+               std::strerror(E) + " (injected)");
   Fd Sock(::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0));
   if (!Sock.valid())
     return sysErr("socket");
@@ -128,6 +176,8 @@ Expected<Fd> cerb::net::connectTcp(uint16_t Port) {
 
 Fd cerb::net::acceptOn(int ListenFd) {
   while (true) {
+    if (fault::shouldFail("socket.accept"))
+      return Fd();
     int Raw = ::accept(ListenFd, nullptr, nullptr);
     if (Raw >= 0)
       return Fd(Raw);
@@ -139,13 +189,7 @@ Fd cerb::net::acceptOn(int ListenFd) {
 bool cerb::net::writeAll(int FdRaw, const void *Data, size_t Len) {
   const char *P = static_cast<const char *>(Data);
   while (Len > 0) {
-#ifdef MSG_NOSIGNAL
-    ssize_t N = ::send(FdRaw, P, Len, MSG_NOSIGNAL);
-    if (N < 0 && errno == ENOTSOCK) // pipes in tests
-      N = ::write(FdRaw, P, Len);
-#else
-    ssize_t N = ::write(FdRaw, P, Len);
-#endif
+    ssize_t N = faultyWrite(FdRaw, P, Len);
     if (N < 0) {
       if (errno == EINTR)
         continue;
@@ -161,7 +205,7 @@ int cerb::net::readExact(int FdRaw, void *Data, size_t Len) {
   char *P = static_cast<char *>(Data);
   size_t Got = 0;
   while (Got < Len) {
-    ssize_t N = ::read(FdRaw, P + Got, Len - Got);
+    ssize_t N = faultyRead(FdRaw, P + Got, Len - Got);
     if (N < 0) {
       if (errno == EINTR)
         continue;
@@ -199,6 +243,111 @@ int cerb::net::readFrame(int FdRaw, std::string &Out, uint32_t MaxLen) {
   if (Len == 0)
     return 1;
   return readExact(FdRaw, Out.data(), Len) == 1 ? 1 : -1;
+}
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// poll() for POLLIN with EINTR retry. 1 = readable/hup, 0 = timed out,
+/// -1 = error.
+int waitReadable(int FdRaw, int TimeoutMs) {
+  struct pollfd P = {FdRaw, POLLIN, 0};
+  while (true) {
+    int R = ::poll(&P, 1, TimeoutMs);
+    if (R >= 0)
+      return R > 0 ? 1 : 0;
+    if (errno != EINTR)
+      return -1;
+  }
+}
+
+/// Remaining milliseconds until \p Deadline (clamped at 0); -1 when no
+/// deadline is set.
+int remainingMs(bool HasDeadline, Clock::time_point Deadline) {
+  if (!HasDeadline)
+    return -1;
+  auto Left = std::chrono::duration_cast<std::chrono::milliseconds>(
+                  Deadline - Clock::now())
+                  .count();
+  return Left > 0 ? static_cast<int>(Left) : 0;
+}
+
+/// readExact under a deadline: 1 ok, 0 clean EOF at boundary, -1 error or
+/// mid-buffer EOF, -2 deadline expired.
+int readExactDeadline(int FdRaw, void *Data, size_t Len, bool HasDeadline,
+                      Clock::time_point Deadline) {
+  char *P = static_cast<char *>(Data);
+  size_t Got = 0;
+  while (Got < Len) {
+    int Left = remainingMs(HasDeadline, Deadline);
+    if (HasDeadline && Left == 0)
+      return -2;
+    int W = waitReadable(FdRaw, Left);
+    if (W < 0)
+      return -1;
+    if (W == 0)
+      return -2;
+    ssize_t N = faultyRead(FdRaw, P + Got, Len - Got);
+    if (N < 0) {
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK)
+        continue;
+      return -1;
+    }
+    if (N == 0)
+      return Got == 0 ? 0 : -1;
+    Got += static_cast<size_t>(N);
+  }
+  return 1;
+}
+
+} // namespace
+
+RecvStatus cerb::net::readFrameTimed(int FdRaw, std::string &Out,
+                                     uint32_t MaxLen, int IdleMs,
+                                     int FrameMs) {
+  // Phase 1: wait for the first byte of a frame (the idle window).
+  int W = waitReadable(FdRaw, IdleMs);
+  if (W < 0)
+    return RecvStatus::Error;
+  if (W == 0)
+    return RecvStatus::Idle;
+
+  // Phase 2: once a frame has started, the whole of it must arrive within
+  // FrameMs — a peer that sends half a header and stalls is cut off.
+  bool HasDeadline = FrameMs >= 0;
+  Clock::time_point Deadline =
+      HasDeadline ? Clock::now() + std::chrono::milliseconds(FrameMs)
+                  : Clock::time_point();
+
+  unsigned char Hdr[4];
+  int RC = readExactDeadline(FdRaw, Hdr, 4, HasDeadline, Deadline);
+  if (RC == 0)
+    return RecvStatus::Eof;
+  if (RC == -2)
+    return RecvStatus::Timeout;
+  if (RC != 1)
+    return RecvStatus::Error;
+  uint32_t Len = (uint32_t(Hdr[0]) << 24) | (uint32_t(Hdr[1]) << 16) |
+                 (uint32_t(Hdr[2]) << 8) | uint32_t(Hdr[3]);
+  if (Len > MaxLen)
+    return RecvStatus::Oversize; // reject before allocating anything
+  Out.resize(Len);
+  if (Len == 0)
+    return RecvStatus::Frame;
+  RC = readExactDeadline(FdRaw, Out.data(), Len, HasDeadline, Deadline);
+  if (RC == -2)
+    return RecvStatus::Timeout;
+  return RC == 1 ? RecvStatus::Frame : RecvStatus::Error;
+}
+
+bool cerb::net::setIoTimeout(int FdRaw, uint64_t Millis) {
+  struct timeval TV;
+  TV.tv_sec = static_cast<time_t>(Millis / 1000);
+  TV.tv_usec = static_cast<suseconds_t>((Millis % 1000) * 1000);
+  bool Ok = ::setsockopt(FdRaw, SOL_SOCKET, SO_RCVTIMEO, &TV, sizeof TV) == 0;
+  Ok = ::setsockopt(FdRaw, SOL_SOCKET, SO_SNDTIMEO, &TV, sizeof TV) == 0 && Ok;
+  return Ok;
 }
 
 void cerb::net::shutdownBoth(int FdRaw) { ::shutdown(FdRaw, SHUT_RDWR); }

@@ -15,6 +15,13 @@
 /// worker thread (drain is coordinated through a self-pipe, not through
 /// interrupted syscalls).
 ///
+/// Robustness testing: every syscall wrapper here carries a
+/// support/FaultInjector fault point (`socket.read`, `socket.write`,
+/// `socket.read.short`, `socket.write.short`, `socket.accept`,
+/// `socket.connect`), so short reads, EINTR storms, ECONNRESET, and accept
+/// failure are deterministically explorable. Disarmed cost is one relaxed
+/// atomic load per call.
+///
 //===----------------------------------------------------------------------===//
 #ifndef CERB_SUPPORT_SOCKET_H
 #define CERB_SUPPORT_SOCKET_H
@@ -100,6 +107,29 @@ bool writeFrame(int FdRaw, std::string_view Payload,
 /// before any length byte (peer finished), -1 on error, truncation, or an
 /// oversized frame.
 int readFrame(int FdRaw, std::string &Out, uint32_t MaxLen = DefaultMaxFrame);
+
+/// Outcome of a deadline-aware frame read (the daemon's reader loop).
+enum class RecvStatus {
+  Frame,    ///< one complete frame in Out
+  Eof,      ///< clean EOF at a frame boundary (peer finished)
+  Idle,     ///< no first byte within IdleMs (reap the connection)
+  Timeout,  ///< frame started but stalled past FrameMs (slow/torn peer)
+  Oversize, ///< length prefix exceeds MaxLen (hostile/garbage frame)
+  Error,    ///< I/O error or EOF mid-frame
+};
+
+/// readFrame with timeouts: waits up to \p IdleMs for the first byte
+/// (negative = forever), then requires the rest of the frame within
+/// \p FrameMs (negative = forever). A partial or garbage frame can stall a
+/// reader for at most Idle+Frame — never hang it.
+RecvStatus readFrameTimed(int FdRaw, std::string &Out,
+                          uint32_t MaxLen = DefaultMaxFrame, int IdleMs = -1,
+                          int FrameMs = -1);
+
+/// Arms SO_RCVTIMEO/SO_SNDTIMEO so a blocked call() on a dead or stalled
+/// peer fails with EAGAIN instead of hanging (0 disables). Client-side
+/// counterpart of the daemon's readFrameTimed.
+bool setIoTimeout(int FdRaw, uint64_t Millis);
 
 /// Half-closes the read side (unblocks a peer's blocked readFrame) without
 /// closing the descriptor; used by the daemon's drain to retire idle

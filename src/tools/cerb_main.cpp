@@ -19,6 +19,7 @@
 #include "oracle/Report.h"
 #include "serve/Client.h"
 #include "serve/Daemon.h"
+#include "support/FaultInjector.h"
 #include "trace/Trace.h"
 
 #include <csignal>
@@ -116,6 +117,21 @@ int usage(const char *Prog) {
                "  --mem-cache N          in-memory result-cache entries "
                "(serve;\n"
                "                         default 1024)\n"
+               "  --max-conns N          serve: cap concurrent connections\n"
+               "                         (0 = unlimited, the default)\n"
+               "  --idle-timeout-ms N    serve: reap connections idle this "
+               "long\n"
+               "                         (0 = never, the default)\n"
+               "  --read-timeout-ms N    serve: a started frame must finish\n"
+               "                         within N ms (0 = forever, default)\n"
+               "  --retries N            query: total attempts with backoff\n"
+               "                         on transient failure (default 1)\n"
+               "  --retry-deadline-ms N  query: give up retrying after N ms\n"
+               "  --call-timeout-ms N    query: per-call socket timeout\n"
+               "  --faults SPEC          arm the fault injector (testing);\n"
+               "                         same grammar as CERB_FAULTS, e.g.\n"
+               "                         seed=42;socket.read,p=0.05,"
+               "errno=ECONNRESET\n"
                "  --op NAME              query op: eval | ping | stats | "
                "shutdown\n"
                "                         (default: eval)\n"
@@ -157,9 +173,16 @@ struct Options {
   std::string CacheDir;
   uint64_t MaxQueue = 256;
   uint64_t MemCache = 1024;
+  uint64_t MaxConns = 0;
+  uint64_t IdleTimeoutMs = 0;
+  uint64_t ReadTimeoutMs = 0;
   std::string QueryOp = "eval";
   std::string QueryName;
   bool NoCache = false;
+  unsigned QueryRetries = 1;
+  uint64_t RetryDeadlineMs = 0;
+  uint64_t CallTimeoutMs = 0;
+  std::string FaultsSpec;
 };
 
 void splitCommas(const std::string &S, std::vector<std::string> &Out) {
@@ -330,6 +353,42 @@ std::optional<std::vector<std::string>> parseArgs(int Argc, char **Argv,
       if (!V)
         return std::nullopt;
       O.MemCache = std::strtoull(V->c_str(), nullptr, 0);
+    } else if (A == "--max-conns") {
+      auto V = Value("--max-conns");
+      if (!V)
+        return std::nullopt;
+      O.MaxConns = std::strtoull(V->c_str(), nullptr, 0);
+    } else if (A == "--idle-timeout-ms") {
+      auto V = Value("--idle-timeout-ms");
+      if (!V)
+        return std::nullopt;
+      O.IdleTimeoutMs = std::strtoull(V->c_str(), nullptr, 0);
+    } else if (A == "--read-timeout-ms") {
+      auto V = Value("--read-timeout-ms");
+      if (!V)
+        return std::nullopt;
+      O.ReadTimeoutMs = std::strtoull(V->c_str(), nullptr, 0);
+    } else if (A == "--retries") {
+      auto V = Value("--retries");
+      if (!V)
+        return std::nullopt;
+      O.QueryRetries = static_cast<unsigned>(
+          std::strtoul(V->c_str(), nullptr, 0));
+    } else if (A == "--retry-deadline-ms") {
+      auto V = Value("--retry-deadline-ms");
+      if (!V)
+        return std::nullopt;
+      O.RetryDeadlineMs = std::strtoull(V->c_str(), nullptr, 0);
+    } else if (A == "--call-timeout-ms") {
+      auto V = Value("--call-timeout-ms");
+      if (!V)
+        return std::nullopt;
+      O.CallTimeoutMs = std::strtoull(V->c_str(), nullptr, 0);
+    } else if (A == "--faults") {
+      auto V = Value("--faults");
+      if (!V)
+        return std::nullopt;
+      O.FaultsSpec = *V;
     } else if (A == "--op") {
       auto V = Value("--op");
       if (!V)
@@ -722,6 +781,9 @@ int cmdServe(const Options &O) {
   DC.MaxQueue = O.MaxQueue;
   DC.Cache.Dir = O.CacheDir;
   DC.Cache.MaxMemoryEntries = static_cast<size_t>(O.MemCache);
+  DC.MaxConns = O.MaxConns;
+  DC.IdleTimeoutMs = O.IdleTimeoutMs;
+  DC.ReadTimeoutMs = O.ReadTimeoutMs;
   DC.Quiet = O.Quiet;
 
   serve::Daemon D(std::move(DC));
@@ -751,7 +813,12 @@ int cmdQuery(const std::vector<std::string> &Files, const Options &O) {
     std::fprintf(stderr, "cerb: query needs --socket PATH or --tcp-port N\n");
     return 2;
   }
-  auto Conn = serve::Client::connect(O.SocketPath, O.TcpPort);
+  serve::RetryPolicy RP;
+  RP.MaxAttempts = std::max(1u, O.QueryRetries);
+  RP.TotalDeadlineMs = O.RetryDeadlineMs;
+  RP.CallTimeoutMs = O.CallTimeoutMs;
+  RP.Seed = O.Seed;
+  auto Conn = serve::Client::connect(O.SocketPath, O.TcpPort, RP);
   if (!Conn) {
     std::fprintf(stderr, "cerb: %s\n", Conn.error().str().c_str());
     return 1;
@@ -771,7 +838,7 @@ int cmdQuery(const std::vector<std::string> &Files, const Options &O) {
                    O.QueryOp.c_str());
       return 2;
     }
-    auto Raw = Conn->call(serve::serializeSimpleRequest(K, "cli"));
+    auto Raw = Conn->callRetry(serve::serializeSimpleRequest(K, "cli"));
     if (!Raw) {
       std::fprintf(stderr, "cerb: %s\n", Raw.error().str().c_str());
       return 1;
@@ -810,7 +877,7 @@ int cmdQuery(const std::vector<std::string> &Files, const Options &O) {
   Q.Limits.FallbackSamples = O.Budget.FallbackSamples;
   Q.NoCache = O.NoCache;
 
-  auto R = Conn->callParsed(serve::serializeEvalRequest(Q));
+  auto R = Conn->callRetryParsed(serve::serializeEvalRequest(Q));
   if (!R) {
     std::fprintf(stderr, "cerb: %s\n", R.error().str().c_str());
     return 1;
@@ -864,6 +931,20 @@ int main(int Argc, char **Argv) {
   auto Positional = parseArgs(Argc, Argv, 2, O);
   if (!Positional)
     return 2;
+
+  // Fault injection (testing): --faults wins over the CERB_FAULTS env var.
+  // A bad spec on the flag is a hard usage error; armFromEnv reports its
+  // own warning and continues disarmed.
+  if (!O.FaultsSpec.empty()) {
+    auto Armed = fault::Injector::instance().armFromSpec(O.FaultsSpec);
+    if (!Armed) {
+      std::fprintf(stderr, "cerb: --faults: %s\n",
+                   Armed.error().str().c_str());
+      return 2;
+    }
+  } else {
+    fault::Injector::instance().armFromEnv();
+  }
 
   // Arm tracing around the whole command so compile, exploration, and
   // report emission all land on the profile. Event recording only changes

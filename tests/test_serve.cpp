@@ -18,11 +18,14 @@
 
 #include <gtest/gtest.h>
 
+#include <cerrno>
+#include <cstdlib>
 #include <unistd.h>
 
 #include <atomic>
 #include <filesystem>
 #include <fstream>
+#include <random>
 #include <thread>
 
 using namespace cerb;
@@ -32,15 +35,19 @@ namespace fs = std::filesystem;
 
 namespace {
 
-/// A unique fresh directory per test (removed on destruction).
+/// A unique fresh directory per test (removed on destruction). mkdtemp
+/// hands out a kernel-guaranteed-unique path, so concurrent test binaries
+/// (ctest -j) can never collide the way pid+counter schemes do after a
+/// pid wrap or a stale leftover directory.
 struct TempDir {
   fs::path Path;
   TempDir() {
-    static std::atomic<unsigned> Id{0};
-    Path = fs::temp_directory_path() /
-           ("cerb-serve-test-" + std::to_string(::getpid()) + "-" +
-            std::to_string(Id.fetch_add(1)));
-    fs::create_directories(Path);
+    std::string Tmpl =
+        (fs::temp_directory_path() / "cerb-serve-test-XXXXXX").string();
+    char *P = ::mkdtemp(Tmpl.data());
+    if (!P)
+      std::abort();
+    Path = P;
   }
   ~TempDir() {
     std::error_code EC;
@@ -378,6 +385,26 @@ struct DaemonFixture {
     D = std::make_unique<Daemon>(std::move(Cfg));
   }
 
+  explicit DaemonFixture(DaemonConfig Cfg) {
+    if (Cfg.SocketPath.empty() && Cfg.TcpPort < 0)
+      Cfg.SocketPath = T.str("d.sock");
+    D = std::make_unique<Daemon>(std::move(Cfg));
+  }
+
+  /// start() with retry: the mkdtemp socket path cannot collide, but a
+  /// TCP bind (even port 0 setup) can transiently fail on a loaded CI
+  /// host — retry instead of flaking.
+  ExpectedVoid start() {
+    ExpectedVoid R = err("never started");
+    for (int Attempt = 0; Attempt < 5; ++Attempt) {
+      R = D->start();
+      if (R)
+        return R;
+      std::this_thread::sleep_for(std::chrono::milliseconds(20 << Attempt));
+    }
+    return R;
+  }
+
   Client client() {
     auto C = Client::connect(T.str("d.sock"));
     EXPECT_TRUE(static_cast<bool>(C));
@@ -591,4 +618,580 @@ TEST(ServeEval, ReportBytesAreAPureFunctionOfTheRequest) {
   EXPECT_EQ(A, B1);
   EXPECT_EQ(B1, B2);
   EXPECT_GT(CacheB.hits(), 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Crash recovery for the disk cache
+//===----------------------------------------------------------------------===//
+
+#include "support/FaultInjector.h"
+
+#include <sys/socket.h>
+
+namespace {
+
+/// The single object file under <dir>/objects (the tests store one entry).
+fs::path soleObjectFile(const std::string &Dir) {
+  fs::path Obj;
+  for (const auto &E : fs::recursive_directory_iterator(Dir + "/objects"))
+    if (E.is_regular_file())
+      Obj = E.path();
+  return Obj;
+}
+
+size_t countFiles(const fs::path &Dir) {
+  std::error_code EC;
+  size_t N = 0;
+  for (fs::recursive_directory_iterator It(Dir, EC), End; It != End && !EC;
+       It.increment(EC))
+    if (It->is_regular_file(EC))
+      ++N;
+  return N;
+}
+
+} // namespace
+
+TEST(ServeCacheRecovery, TruncatedIndexIsRebuilt) {
+  TempDir T;
+  CacheConfig Cfg;
+  Cfg.Dir = T.str("cache");
+  {
+    ResultCache C(Cfg);
+    C.put("k", "v");
+    ASSERT_TRUE(C.flushIndex());
+  }
+  { // Crash mid-flush: the index is half a JSON document.
+    std::ofstream Out(Cfg.Dir + "/index.json", std::ios::trunc);
+    Out << "{\"schema\": \"cerb-serve-in";
+  }
+  ResultCache C2(Cfg);
+  EXPECT_EQ(C2.stats().IndexRebuilt, 1u);
+  std::ifstream In(Cfg.Dir + "/index.json");
+  std::string Text((std::istreambuf_iterator<char>(In)),
+                   std::istreambuf_iterator<char>());
+  EXPECT_TRUE(json::parse(Text).has_value()) << Text;
+  // The entry itself was never at risk.
+  auto Hit = C2.get("k");
+  ASSERT_TRUE(Hit.has_value());
+  EXPECT_EQ(*Hit, "v");
+}
+
+TEST(ServeCacheRecovery, EntryDeletedUnderTheIndexIsAMiss) {
+  TempDir T;
+  CacheConfig Cfg;
+  Cfg.Dir = T.str("cache");
+  {
+    ResultCache C(Cfg);
+    C.put("k", "v");
+    ASSERT_TRUE(C.flushIndex());
+  }
+  fs::remove(soleObjectFile(Cfg.Dir));
+  ResultCache C2(Cfg);
+  EXPECT_FALSE(C2.get("k").has_value()) << "deleted entry degrades to a miss";
+  C2.put("k", "v"); // self-heals on the next write
+  ResultCache C3(Cfg);
+  EXPECT_TRUE(C3.get("k").has_value());
+}
+
+TEST(ServeCacheRecovery, InterruptedPublishTempFileIsReclaimed) {
+  TempDir T;
+  CacheConfig Cfg;
+  Cfg.Dir = T.str("cache");
+  { ResultCache C(Cfg); } // create the layout
+  { // Simulate kill -9 between temp write and rename.
+    std::ofstream Out(Cfg.Dir + "/tmp/put-dead-0", std::ios::binary);
+    Out << "half a record";
+  }
+  ResultCache C2(Cfg);
+  EXPECT_EQ(C2.stats().TmpReclaimed, 1u);
+  EXPECT_EQ(countFiles(fs::path(Cfg.Dir) / "tmp"), 0u);
+}
+
+TEST(ServeCacheRecovery, TornObjectIsQuarantinedNotServed) {
+  TempDir T;
+  CacheConfig Cfg;
+  Cfg.Dir = T.str("cache");
+  {
+    ResultCache C(Cfg);
+    C.put("k", std::string(4096, 'x'));
+  }
+  // Tear the published file in half: the v2 length header makes this
+  // structurally detectable.
+  fs::path Obj = soleObjectFile(Cfg.Dir);
+  ASSERT_FALSE(Obj.empty());
+  fs::resize_file(Obj, fs::file_size(Obj) / 2);
+
+  ResultCache C2(Cfg);
+  EXPECT_EQ(C2.stats().Quarantined, 1u);
+  EXPECT_FALSE(C2.get("k").has_value()) << "torn entry must never be served";
+  EXPECT_EQ(countFiles(fs::path(Cfg.Dir) / "objects"), 0u);
+  EXPECT_EQ(countFiles(fs::path(Cfg.Dir) / "quarantine"), 1u)
+      << "the torn file is kept for post-mortem, out of the lookup path";
+}
+
+TEST(ServeCacheRecovery, RecoverIsIdempotentOnAHealthyStore) {
+  TempDir T;
+  CacheConfig Cfg;
+  Cfg.Dir = T.str("cache");
+  ResultCache C(Cfg);
+  C.put("a", "1");
+  C.put("b", std::string(100, 'z'));
+  RecoveryStats R = C.recover();
+  EXPECT_EQ(R.ValidEntries, 2u);
+  EXPECT_EQ(R.Quarantined, 0u);
+  EXPECT_EQ(R.TmpReclaimed, 0u);
+  EXPECT_TRUE(C.get("a").has_value());
+  EXPECT_TRUE(C.get("b").has_value());
+}
+
+//===----------------------------------------------------------------------===//
+// Fault injection through the cache's disk tier
+//===----------------------------------------------------------------------===//
+
+TEST(ServeCacheFaults, TornWriteFaultNeverReplaysWrongBytes) {
+  TempDir T;
+  CacheConfig Cfg;
+  Cfg.Dir = T.str("cache");
+  {
+    ResultCache C(Cfg);
+    fault::FaultSpec S;
+    S.Site = "cache.torn";
+    S.Nth = 1;
+    fault::ScopedFaults F(1, {S});
+    C.put("k", std::string(2048, 'y')); // publishes a torn file
+  }
+  ResultCache C2(Cfg); // recovery quarantines it
+  EXPECT_EQ(C2.stats().Quarantined, 1u);
+  EXPECT_FALSE(C2.get("k").has_value());
+}
+
+TEST(ServeCacheFaults, RenameFaultLeavesTmpForRecovery) {
+  TempDir T;
+  CacheConfig Cfg;
+  Cfg.Dir = T.str("cache");
+  {
+    ResultCache C(Cfg);
+    fault::FaultSpec S;
+    S.Site = "cache.rename";
+    S.Nth = 1;
+    fault::ScopedFaults F(1, {S});
+    C.put("k", "v"); // dies between temp write and rename
+    EXPECT_EQ(countFiles(fs::path(Cfg.Dir) / "objects"), 0u);
+    EXPECT_EQ(countFiles(fs::path(Cfg.Dir) / "tmp"), 1u);
+  }
+  ResultCache C2(Cfg);
+  EXPECT_EQ(C2.stats().TmpReclaimed, 1u);
+  EXPECT_FALSE(C2.get("k").has_value());
+}
+
+TEST(ServeCacheFaults, DiskFaultsDegradeToMissesNotErrors) {
+  TempDir T;
+  CacheConfig Cfg;
+  Cfg.Dir = T.str("cache");
+  Cfg.MaxMemoryEntries = 0; // force every get to the disk tier
+  ResultCache C(Cfg);
+
+  { // ENOSPC-style write failure: the store is skipped entirely.
+    fault::FaultSpec S;
+    S.Site = "cache.disk_write";
+    S.Nth = 1;
+    fault::ScopedFaults F(1, {S});
+    C.put("k", "v");
+    EXPECT_EQ(countFiles(fs::path(Cfg.Dir) / "objects"), 0u);
+  }
+  C.put("k", "v"); // healthy retry stores it
+  ASSERT_TRUE(C.get("k").has_value());
+
+  { // Read-side fault: a hit-able entry reads as a miss while armed.
+    fault::FaultSpec S;
+    S.Site = "cache.disk_read";
+    S.Probability = 1.0;
+    fault::ScopedFaults F(1, {S});
+    EXPECT_FALSE(C.get("k").has_value());
+  }
+  EXPECT_TRUE(C.get("k").has_value()) << "disarmed: the entry is intact";
+}
+
+//===----------------------------------------------------------------------===//
+// Deadline-aware frame reads (the daemon's no-hang guarantee)
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+struct SocketPair {
+  int A = -1, B = -1;
+  SocketPair() {
+    int Fds[2];
+    if (::socketpair(AF_UNIX, SOCK_STREAM, 0, Fds) != 0)
+      std::abort();
+    A = Fds[0];
+    B = Fds[1];
+  }
+  ~SocketPair() {
+    if (A >= 0)
+      ::close(A);
+    if (B >= 0)
+      ::close(B);
+  }
+  void closeA() {
+    ::close(A);
+    A = -1;
+  }
+};
+
+} // namespace
+
+TEST(ServeTimedRead, IdleConnectionTimesOutQuickly) {
+  SocketPair SP;
+  std::string Out;
+  auto T0 = std::chrono::steady_clock::now();
+  EXPECT_EQ(net::readFrameTimed(SP.B, Out, net::DefaultMaxFrame, 50, 50),
+            net::RecvStatus::Idle);
+  auto Ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                std::chrono::steady_clock::now() - T0)
+                .count();
+  EXPECT_LT(Ms, 5000) << "must not block anywhere near forever";
+}
+
+TEST(ServeTimedRead, PartialFrameTimesOutInsteadOfHanging) {
+  SocketPair SP;
+  // Two bytes of a length prefix, then silence.
+  ASSERT_EQ(::write(SP.A, "\x00\x00", 2), 2);
+  std::string Out;
+  EXPECT_EQ(net::readFrameTimed(SP.B, Out, net::DefaultMaxFrame, 1000, 50),
+            net::RecvStatus::Timeout);
+
+  // A declared body that never arrives times out too.
+  SocketPair SP2;
+  ASSERT_EQ(::write(SP2.A, "\x00\x00\x00\x40" "partial", 11), 11);
+  EXPECT_EQ(net::readFrameTimed(SP2.B, Out, net::DefaultMaxFrame, 1000, 50),
+            net::RecvStatus::Timeout);
+}
+
+TEST(ServeTimedRead, OversizeFrameRejectedBeforeAllocation) {
+  SocketPair SP;
+  ASSERT_EQ(::write(SP.A, "\xff\xff\xff\xff", 4), 4); // claims ~4 GiB
+  std::string Out;
+  EXPECT_EQ(net::readFrameTimed(SP.B, Out, /*MaxLen=*/1 << 20, 1000, 1000),
+            net::RecvStatus::Oversize);
+}
+
+TEST(ServeTimedRead, WholeFramesAndEofStillWork) {
+  SocketPair SP;
+  ASSERT_TRUE(net::writeFrame(SP.A, "hello"));
+  std::string Out;
+  EXPECT_EQ(net::readFrameTimed(SP.B, Out, net::DefaultMaxFrame, 1000, 1000),
+            net::RecvStatus::Frame);
+  EXPECT_EQ(Out, "hello");
+  SP.closeA();
+  EXPECT_EQ(net::readFrameTimed(SP.B, Out, net::DefaultMaxFrame, 1000, 1000),
+            net::RecvStatus::Eof);
+}
+
+//===----------------------------------------------------------------------===//
+// Daemon robustness: reaping, caps, garbage frames
+//===----------------------------------------------------------------------===//
+
+TEST(ServeDaemonRobust, IdleConnectionsAreReaped) {
+  DaemonConfig Cfg;
+  Cfg.Threads = 2;
+  Cfg.IdleTimeoutMs = 50;
+  DaemonFixture F(std::move(Cfg));
+  ASSERT_TRUE(static_cast<bool>(F.start()));
+  Client C = F.client();
+  auto Pong = C.callParsed(serializeSimpleRequest(Op::Ping, "p"));
+  ASSERT_TRUE(static_cast<bool>(Pong));
+  // Go silent; the daemon reaps us.
+  for (int I = 0; I < 200 && F.D->snapshot().IdleReaped == 0; ++I)
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  EXPECT_GE(F.D->snapshot().IdleReaped, 1u);
+  EXPECT_EQ(F.D->snapshot().LiveConns, 0u)
+      << "the reaped reader released its descriptor";
+  F.D->requestDrain();
+  EXPECT_EQ(F.D->waitUntilDrained(), 0);
+}
+
+TEST(ServeDaemonRobust, ConnectionCapRejectsWithExplicitStatus) {
+  DaemonConfig Cfg;
+  Cfg.Threads = 2;
+  Cfg.MaxConns = 1;
+  DaemonFixture F(std::move(Cfg));
+  ASSERT_TRUE(static_cast<bool>(F.start()));
+  Client C1 = F.client();
+  auto Pong = C1.callParsed(serializeSimpleRequest(Op::Ping, "p"));
+  ASSERT_TRUE(static_cast<bool>(Pong));
+
+  // Second connection: accepted at the TCP level, rejected by the daemon
+  // with a conn_limit frame before close.
+  auto Raw = net::connectUnix(F.T.str("d.sock"));
+  ASSERT_TRUE(static_cast<bool>(Raw));
+  std::string Frame;
+  ASSERT_EQ(net::readFrame(Raw->get(), Frame), 1);
+  auto R = parseResponse(Frame);
+  ASSERT_TRUE(static_cast<bool>(R));
+  EXPECT_EQ(R->Status, "conn_limit");
+  EXPECT_EQ(F.D->snapshot().RejectedConnLimit, 1u);
+
+  // The first client keeps working; capacity frees when it leaves.
+  ASSERT_TRUE(static_cast<bool>(
+      C1.callParsed(serializeSimpleRequest(Op::Ping, "p2"))));
+  F.D->requestDrain();
+  EXPECT_EQ(F.D->waitUntilDrained(), 0);
+}
+
+TEST(ServeDaemonRobust, GarbageAndOversizeFramesNeverHangAReader) {
+  DaemonConfig Cfg;
+  Cfg.Threads = 2;
+  Cfg.ReadTimeoutMs = 100;
+  DaemonFixture F(std::move(Cfg));
+  ASSERT_TRUE(static_cast<bool>(F.start()));
+
+  { // Oversize length prefix: explicit bad_request, then close.
+    auto Raw = net::connectUnix(F.T.str("d.sock"));
+    ASSERT_TRUE(static_cast<bool>(Raw));
+    ASSERT_EQ(::write(Raw->get(), "\xff\xff\xff\xff", 4), 4);
+    std::string Frame;
+    ASSERT_EQ(net::readFrame(Raw->get(), Frame), 1);
+    auto R = parseResponse(Frame);
+    ASSERT_TRUE(static_cast<bool>(R));
+    EXPECT_EQ(R->Status, "bad_request");
+    EXPECT_EQ(net::readFrame(Raw->get(), Frame), 0) << "connection closed";
+  }
+
+  { // Partial frame then silence: timed out, never hangs the reader.
+    auto Raw = net::connectUnix(F.T.str("d.sock"));
+    ASSERT_TRUE(static_cast<bool>(Raw));
+    ASSERT_EQ(::write(Raw->get(), "\x00\x00\x00\x10" "abc", 7), 7);
+    std::string Frame;
+    ASSERT_EQ(net::readFrame(Raw->get(), Frame), 1);
+    auto R = parseResponse(Frame);
+    ASSERT_TRUE(static_cast<bool>(R));
+    EXPECT_EQ(R->Status, "timeout");
+  }
+
+  for (int I = 0; I < 200 && F.D->snapshot().LiveConns != 0; ++I)
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  DaemonSnapshot S = F.D->snapshot();
+  EXPECT_GE(S.BadFrames, 1u);
+  EXPECT_GE(S.ReadTimeouts, 1u);
+  EXPECT_EQ(S.LiveConns, 0u) << "no reader thread is stuck";
+
+  F.D->requestDrain();
+  EXPECT_EQ(F.D->waitUntilDrained(), 0);
+}
+
+//===----------------------------------------------------------------------===//
+// Client retry under injected faults
+//===----------------------------------------------------------------------===//
+
+TEST(ServeRetry, SurvivesAnInjectedWriteFailure) {
+  DaemonFixture F;
+  ASSERT_TRUE(static_cast<bool>(F.D->start()));
+  RetryPolicy RP;
+  RP.MaxAttempts = 4;
+  RP.BaseDelayMs = 1;
+  RP.Seed = 7;
+  auto C = Client::connect(F.T.str("d.sock"), -1, RP);
+  ASSERT_TRUE(static_cast<bool>(C));
+
+  fault::FaultSpec S;
+  S.Site = "socket.write";
+  S.Nth = 1; // the client's first frame write in this process
+  S.Err = EPIPE;
+  fault::ScopedFaults Faults(7, {S});
+
+  auto R = C->callRetryParsed(serializeSimpleRequest(Op::Ping, "p"));
+  ASSERT_TRUE(static_cast<bool>(R)) << R.error().Message;
+  EXPECT_EQ(R->Status, "ok");
+  EXPECT_GE(fault::Injector::instance().totalShots(), 1u)
+      << "the fault actually fired; the retry recovered";
+
+  F.D->requestDrain();
+  EXPECT_EQ(F.D->waitUntilDrained(), 0);
+}
+
+TEST(ServeRetry, ReconnectsThroughAConnectFault) {
+  DaemonFixture F;
+  ASSERT_TRUE(static_cast<bool>(F.D->start()));
+  RetryPolicy RP;
+  RP.MaxAttempts = 4;
+  RP.BaseDelayMs = 1;
+  RP.Seed = 7;
+  auto C = Client::connect(F.T.str("d.sock"), -1, RP);
+  ASSERT_TRUE(static_cast<bool>(C));
+
+  // Kill the first call AND the first reconnect; attempt 3 gets through.
+  fault::FaultSpec Write;
+  Write.Site = "socket.write";
+  Write.Nth = 1;
+  Write.Err = ECONNRESET;
+  fault::FaultSpec Conn;
+  Conn.Site = "socket.connect";
+  Conn.Nth = 1;
+  fault::ScopedFaults Faults(7, {Write, Conn});
+
+  auto R = C->callRetryParsed(serializeSimpleRequest(Op::Ping, "p"));
+  ASSERT_TRUE(static_cast<bool>(R)) << R.error().Message;
+  EXPECT_EQ(R->Status, "ok");
+  EXPECT_EQ(fault::Injector::instance().shots("socket.connect"), 1u);
+
+  F.D->requestDrain();
+  EXPECT_EQ(F.D->waitUntilDrained(), 0);
+}
+
+TEST(ServeRetry, GivesUpAfterMaxAttempts) {
+  DaemonFixture F;
+  ASSERT_TRUE(static_cast<bool>(F.D->start()));
+  RetryPolicy RP;
+  RP.MaxAttempts = 3;
+  RP.BaseDelayMs = 1;
+  RP.Seed = 7;
+  auto C = Client::connect(F.T.str("d.sock"), -1, RP);
+  ASSERT_TRUE(static_cast<bool>(C));
+
+  fault::FaultSpec S;
+  S.Site = "socket.write";
+  S.Probability = 1.0; // every write dies
+  S.Err = EPIPE;
+  fault::ScopedFaults Faults(7, {S});
+
+  auto R = C->callRetry(serializeSimpleRequest(Op::Ping, "p"));
+  ASSERT_FALSE(static_cast<bool>(R));
+  EXPECT_NE(R.error().Message.find("3 attempts"), std::string::npos)
+      << R.error().Message;
+
+  F.D->requestDrain();
+  EXPECT_EQ(F.D->waitUntilDrained(), 0);
+}
+
+TEST(ServeRetry, HonoursTheTotalDeadline) {
+  RetryPolicy RP;
+  RP.MaxAttempts = 1000;
+  RP.BaseDelayMs = 20;
+  RP.MaxDelayMs = 50;
+  RP.TotalDeadlineMs = 150;
+  RP.Seed = 7;
+  TempDir T;
+  // Nothing is listening: every attempt fails at connect.
+  auto C = Client::connect(T.str("nothing.sock"), -1, RP);
+  ASSERT_FALSE(static_cast<bool>(C)); // connect itself fails
+
+  // callRetry against a vanished daemon: bounded by the deadline, not by
+  // the 1000 attempts.
+  DaemonFixture F;
+  ASSERT_TRUE(static_cast<bool>(F.D->start()));
+  auto C2 = Client::connect(F.T.str("d.sock"), -1, RP);
+  ASSERT_TRUE(static_cast<bool>(C2));
+  F.D->requestDrain();
+  ASSERT_EQ(F.D->waitUntilDrained(), 0); // daemon gone, socket unlinked
+  auto T0 = std::chrono::steady_clock::now();
+  auto R = C2->callRetry(serializeSimpleRequest(Op::Ping, "p"));
+  auto Ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                std::chrono::steady_clock::now() - T0)
+                .count();
+  EXPECT_FALSE(static_cast<bool>(R));
+  EXPECT_LT(Ms, 5000) << "deadline must bound the whole retry loop";
+}
+
+TEST(ServeRetry, TerminalRejectionsAreNotRetried) {
+  DaemonFixture F;
+  ASSERT_TRUE(static_cast<bool>(F.D->start()));
+  RetryPolicy RP;
+  RP.MaxAttempts = 5;
+  RP.BaseDelayMs = 1;
+  auto C = Client::connect(F.T.str("d.sock"), -1, RP);
+  ASSERT_TRUE(static_cast<bool>(C));
+  // A malformed eval is rejected deterministically — exactly one request
+  // reaches the daemon, not five.
+  auto R = C->callRetryParsed(
+      "{\"schema\": \"cerb-serve/1\", \"op\": \"eval\"}");
+  ASSERT_TRUE(static_cast<bool>(R));
+  EXPECT_EQ(R->Status, "error");
+  EXPECT_EQ(F.D->snapshot().Requests, 1u);
+  F.D->requestDrain();
+  EXPECT_EQ(F.D->waitUntilDrained(), 0);
+}
+
+//===----------------------------------------------------------------------===//
+// Protocol decode fuzz (satellite: seeded random + mutated valid frames)
+//===----------------------------------------------------------------------===//
+
+TEST(ServeFuzz, RandomByteStreamsNeverCrashTheDecoder) {
+  std::mt19937_64 Rng(0xC0FFEE);
+  for (int I = 0; I < 500; ++I) {
+    size_t Len = Rng() % 300;
+    std::string Payload(Len, '\0');
+    for (char &C : Payload)
+      C = static_cast<char>(Rng() & 0xFF);
+    auto Req = parseRequest(Payload);   // must return, not crash/hang
+    auto Resp = parseResponse(Payload); // ditto
+    (void)Req;
+    (void)Resp;
+  }
+}
+
+TEST(ServeFuzz, MutatedValidFramesNeverCrashTheDecoder) {
+  EvalRequest Q = basicRequest();
+  Q.Policies = {mem::MemoryPolicy::defacto(), mem::MemoryPolicy::cheri()};
+  const std::string Valid = serializeEvalRequest(Q);
+  std::mt19937_64 Rng(0xDECAF);
+  for (int I = 0; I < 500; ++I) {
+    std::string M = Valid;
+    switch (Rng() % 4) {
+    case 0: // flip one byte
+      M[Rng() % M.size()] = static_cast<char>(Rng() & 0xFF);
+      break;
+    case 1: // truncate
+      M.resize(Rng() % M.size());
+      break;
+    case 2: // duplicate a chunk
+      M += M.substr(Rng() % M.size());
+      break;
+    case 3: { // splice random garbage into the middle
+      size_t At = Rng() % M.size();
+      std::string Junk(Rng() % 16, '\0');
+      for (char &C : Junk)
+        C = static_cast<char>(Rng() & 0xFF);
+      M.insert(At, Junk);
+      break;
+    }
+    }
+    auto Req = parseRequest(M);
+    (void)Req;
+  }
+}
+
+TEST(ServeFuzz, DeeplyNestedDocumentsAreErrorsNotStackOverflows) {
+  // 100k levels would previously recurse the parser off the stack.
+  std::string Deep(100000, '[');
+  EXPECT_FALSE(json::parse(Deep).has_value());
+  std::string DeepObj;
+  for (int I = 0; I < 50000; ++I)
+    DeepObj += "{\"a\":";
+  EXPECT_FALSE(json::parse(DeepObj).has_value());
+  // The bound is generous for real documents: 64 levels still parse.
+  std::string Ok(64, '[');
+  Ok += std::string(64, ']');
+  EXPECT_TRUE(json::parse(Ok).has_value());
+}
+
+TEST(ServeFuzz, CheckedInCorpusReplays) {
+  // Regression corpus of once-interesting decoder inputs. Every file must
+  // decode without crashing; none may be accepted as a valid request
+  // (they are all malformed by construction).
+  fs::path Dir = fs::path(CERB_SOURCE_DIR) / "tests" / "corpus" / "serve";
+  ASSERT_TRUE(fs::exists(Dir)) << Dir;
+  size_t N = 0;
+  for (const auto &E : fs::directory_iterator(Dir)) {
+    if (!E.is_regular_file())
+      continue;
+    ++N;
+    std::ifstream In(E.path(), std::ios::binary);
+    std::string Bytes((std::istreambuf_iterator<char>(In)),
+                      std::istreambuf_iterator<char>());
+    auto Req = parseRequest(Bytes);
+    EXPECT_FALSE(static_cast<bool>(Req))
+        << E.path() << " unexpectedly parsed as a valid request";
+  }
+  EXPECT_GE(N, 6u) << "corpus went missing";
 }

@@ -154,3 +154,134 @@ TEST(Scheduler, TraceClampsStalePrefix) {
   TraceScheduler S({5});
   EXPECT_EQ(S.choose(3, "a"), 2u); // clamped to N-1
 }
+
+//===----------------------------------------------------------------------===//
+// FaultInjector
+//===----------------------------------------------------------------------===//
+
+#include "support/FaultInjector.h"
+
+namespace {
+
+TEST(FaultInjector, DisarmedNeverFails) {
+  fault::Injector::instance().disarm();
+  EXPECT_FALSE(fault::active());
+  for (int I = 0; I < 100; ++I)
+    EXPECT_FALSE(fault::shouldFail("socket.read"));
+}
+
+TEST(FaultInjector, BareSiteFiresAlways) {
+  fault::ScopedFaults F(1, {{"socket.read", 1.0, 0, 0, UINT64_MAX, ECONNRESET}});
+  EXPECT_TRUE(fault::active());
+  int E = 0;
+  EXPECT_TRUE(fault::shouldFail("socket.read", &E));
+  EXPECT_EQ(E, ECONNRESET);
+  EXPECT_FALSE(fault::shouldFail("socket.write"));
+  EXPECT_EQ(fault::Injector::instance().hits("socket.read"), 1u);
+  EXPECT_EQ(fault::Injector::instance().shots("socket.read"), 1u);
+  EXPECT_EQ(fault::Injector::instance().hits("socket.write"), 1u);
+  EXPECT_EQ(fault::Injector::instance().shots("socket.write"), 0u);
+}
+
+TEST(FaultInjector, NthFiresExactlyOnce) {
+  fault::FaultSpec S;
+  S.Site = "cache.rename";
+  S.Nth = 3;
+  fault::ScopedFaults F(7, {S});
+  std::vector<bool> Fired;
+  for (int I = 0; I < 6; ++I)
+    Fired.push_back(fault::shouldFail("cache.rename"));
+  EXPECT_EQ(Fired, (std::vector<bool>{false, false, true, false, false, false}));
+}
+
+TEST(FaultInjector, EveryKthHit) {
+  fault::FaultSpec S;
+  S.Site = "x";
+  S.Every = 3;
+  fault::ScopedFaults F(7, {S});
+  int Shots = 0;
+  for (int I = 0; I < 9; ++I)
+    Shots += fault::shouldFail("x") ? 1 : 0;
+  EXPECT_EQ(Shots, 3); // hits 3, 6, 9
+}
+
+TEST(FaultInjector, MaxShotsStopsFiring) {
+  fault::FaultSpec S;
+  S.Site = "x";
+  S.Every = 1; // would fire every hit
+  S.MaxShots = 2;
+  fault::ScopedFaults F(7, {S});
+  int Shots = 0;
+  for (int I = 0; I < 10; ++I)
+    Shots += fault::shouldFail("x") ? 1 : 0;
+  EXPECT_EQ(Shots, 2);
+}
+
+TEST(FaultInjector, ProbabilityIsDeterministicPerSeed) {
+  auto Run = [](uint64_t Seed) {
+    fault::FaultSpec S;
+    S.Site = "socket.read";
+    S.Probability = 0.3;
+    fault::ScopedFaults F(Seed, {S});
+    std::vector<bool> Out;
+    for (int I = 0; I < 64; ++I)
+      Out.push_back(fault::shouldFail("socket.read"));
+    return Out;
+  };
+  EXPECT_EQ(Run(42), Run(42));      // same seed, same schedule
+  EXPECT_NE(Run(42), Run(43));      // different seed, different schedule
+  int Shots = 0;
+  for (bool B : Run(42))
+    Shots += B ? 1 : 0;
+  EXPECT_GT(Shots, 0);  // p=0.3 over 64 hits: statistically certain
+  EXPECT_LT(Shots, 64);
+}
+
+TEST(FaultInjector, SpecStringRoundTrip) {
+  fault::ScopedFaults F(
+      "seed=42;socket.read,p=0.05,errno=ECONNRESET;cache.rename,nth=3;"
+      "socket.write,every=7,max=2,errno=EPIPE");
+  ASSERT_TRUE(F.Ok) << F.Error;
+  auto &I = fault::Injector::instance();
+  EXPECT_EQ(I.seed(), 42u);
+  std::string Canon = I.describe();
+  EXPECT_NE(Canon.find("seed=42"), std::string::npos);
+  EXPECT_NE(Canon.find("socket.read,p=0.05,errno=ECONNRESET"),
+            std::string::npos);
+  EXPECT_NE(Canon.find("cache.rename,nth=3"), std::string::npos);
+  // Re-arming from describe() reproduces the schedule.
+  std::string Spec = Canon;
+  auto R = I.armFromSpec(Spec);
+  ASSERT_TRUE(static_cast<bool>(R)) << R.error().Message;
+  EXPECT_EQ(I.describe(), Spec);
+}
+
+TEST(FaultInjector, BadSpecsRejected) {
+  auto &I = fault::Injector::instance();
+  EXPECT_FALSE(static_cast<bool>(I.armFromSpec("seed=nope")));
+  EXPECT_FALSE(static_cast<bool>(I.armFromSpec("site,p=2.0")));
+  EXPECT_FALSE(static_cast<bool>(I.armFromSpec("site,errno=EWHATEVER")));
+  EXPECT_FALSE(static_cast<bool>(I.armFromSpec("site,frob=1")));
+  EXPECT_FALSE(static_cast<bool>(I.armFromSpec(",p=0.5")));
+  I.disarm();
+}
+
+TEST(FaultInjector, ErrnoNames) {
+  EXPECT_EQ(fault::Injector::errnoByName("ECONNRESET"), ECONNRESET);
+  EXPECT_EQ(fault::Injector::errnoByName("EINTR"), EINTR);
+  EXPECT_EQ(fault::Injector::errnoByName("ENOSPC"), ENOSPC);
+  EXPECT_EQ(fault::Injector::errnoByName("17"), 17);
+  EXPECT_EQ(fault::Injector::errnoByName("EBOGUS"), -1);
+  EXPECT_STREQ(fault::Injector::errnoName(ECONNRESET), "ECONNRESET");
+}
+
+TEST(FaultInjector, TotalShotsAggregates) {
+  fault::ScopedFaults F(1, {{"a", 1.0, 0, 0, UINT64_MAX, 5},
+                            {"b", 1.0, 0, 0, UINT64_MAX, 5}});
+  fault::shouldFail("a");
+  fault::shouldFail("a");
+  fault::shouldFail("b");
+  EXPECT_EQ(fault::Injector::instance().totalShots(), 3u);
+}
+
+} // namespace
