@@ -258,9 +258,92 @@ int serveSummary() {
                  : 0;
   bool FaultHookCheap = DisarmedOverheadPct < 2.0;
 
+  // Batch row: a 64-test shared-source suite against the same (warm)
+  // daemon, three ways. The pre-batch workflow is one `cerb query` per
+  // test — dial, eval, hang up — so that is the sequential baseline the
+  // >= 5x bound is against: the batch replaces 64 dials (each spawning a
+  // daemon reader thread) and 64 request frames carrying the same source
+  // with one connection and one frame. The persistent-connection
+  // sequential loop (keep one socket, 64 round trips) is reported too:
+  // it isolates how much of the win is pipelining vs connection setup.
+  constexpr int SuiteN = 64;
+  double SeqMs = 1e100, SeqKeepMs = 1e100, BatchMs = 1e100;
+  bool BatchIdentical = true;
+  {
+    DaemonConfig Cfg3;
+    Cfg3.SocketPath = T.str("d3.sock");
+    Daemon D3(std::move(Cfg3));
+    if (!D3.start()) {
+      std::fprintf(stderr, "perf_serve: batch daemon failed\n");
+      return 1;
+    }
+    auto C3 = Client::connect(T.str("d3.sock"));
+    if (!C3) {
+      std::fprintf(stderr, "perf_serve: batch connect failed\n");
+      return 1;
+    }
+    std::vector<EvalRequest> Suite;
+    std::vector<std::string> Frames;
+    for (int I = 0; I < SuiteN; ++I) {
+      EvalRequest Q;
+      Q.Id = "s" + std::to_string(I);
+      Q.Name = "suite-" + std::to_string(I);
+      Q.Source = coldWorkSource(); // shared across the whole suite
+      Q.Policies = {mem::MemoryPolicy::defacto()};
+      Q.ExecMode = oracle::Mode::Random;
+      Q.Seed = 1 + I;
+      Q.Limits.MaxPaths = 4;
+      Frames.push_back(serializeEvalRequest(Q));
+      Suite.push_back(std::move(Q));
+    }
+    // Cold pass to fill the result cache; the row compares warm suites
+    // (the steady state of re-running a suite against a daemon).
+    auto Cold3 = C3->callBatch(Suite);
+    if (!Cold3) {
+      std::fprintf(stderr, "perf_serve: cold batch failed: %s\n",
+                   Cold3.error().str().c_str());
+      return 1;
+    }
+    constexpr int Reps = 5;
+    for (int Rep = 0; Rep < Reps; ++Rep) {
+      // Row 1: the pre-batch workflow — a fresh dial per request.
+      auto TS = std::chrono::steady_clock::now();
+      for (int I = 0; I < SuiteN; ++I) {
+        auto Q = Client::connect(T.str("d3.sock"));
+        bool OkOne = false;
+        if (Q) {
+          auto R = Q->call(Frames[I]);
+          OkOne = R && *R == Cold3->Raw[I];
+        }
+        BatchIdentical = BatchIdentical && OkOne;
+      }
+      SeqMs = std::min(SeqMs, msSince(TS));
+      // Row 2: sequential round trips on one kept connection.
+      TS = std::chrono::steady_clock::now();
+      for (int I = 0; I < SuiteN; ++I) {
+        auto R = C3->call(Frames[I]);
+        BatchIdentical = BatchIdentical && R && *R == Cold3->Raw[I];
+      }
+      SeqKeepMs = std::min(SeqKeepMs, msSince(TS));
+      // Row 3: the whole suite as one pipelined batch frame.
+      TS = std::chrono::steady_clock::now();
+      auto B = C3->callBatch(Suite);
+      BatchMs = std::min(BatchMs, msSince(TS));
+      BatchIdentical = BatchIdentical && B && B->Raw == Cold3->Raw;
+    }
+    D3.requestDrain();
+    D3.waitUntilDrained();
+  }
+  double SeqQps = SeqMs > 0 ? SuiteN / (SeqMs / 1000.0) : 0;
+  double SeqKeepQps = SeqKeepMs > 0 ? SuiteN / (SeqKeepMs / 1000.0) : 0;
+  double BatchQps = BatchMs > 0 ? SuiteN / (BatchMs / 1000.0) : 0;
+  double BatchSpeedup = BatchMs > 0 ? SeqMs / BatchMs : 0;
+  bool BatchFast = BatchSpeedup >= 5.0;
+
   double Speedup = WarmMs > 0 ? ColdMs / WarmMs : 0;
   bool Pass = WarmIdentical && DiskIdentical && QpsOk.load() &&
-              Speedup >= 50.0 && FaultHookCheap;
+              Speedup >= 50.0 && FaultHookCheap && BatchIdentical &&
+              BatchFast;
 
   std::printf("  cold evaluation:   %8.2f ms\n", ColdMs);
   std::printf("  warm repeat:       %8.4f ms (best of %d)  %.0fx\n", WarmMs,
@@ -278,6 +361,16 @@ int serveSummary() {
               Speedup >= 50.0 ? "PASS" : "FAIL");
   std::printf("  disarmed fault overhead bound (< 2%%): %s\n",
               FaultHookCheap ? "PASS" : "FAIL");
+  std::printf("  suite of %d (warm): eval-per-dial %8.2f ms (%7.0f q/s)  "
+              "eval-per-call %8.2f ms (%7.0f q/s)\n",
+              SuiteN, SeqMs, SeqQps, SeqKeepMs, SeqKeepQps);
+  std::printf("  suite of %d (warm): one batch     %8.2f ms (%7.0f q/s)  "
+              "%.1fx vs eval-per-dial\n",
+              SuiteN, BatchMs, BatchQps, BatchSpeedup);
+  std::printf("  batch byte-identical to sequential: %s\n",
+              BatchIdentical ? "yes" : "NO");
+  std::printf("  batch suite speedup bound (>= 5x): %s\n",
+              BatchFast ? "PASS" : "FAIL");
 
   benchjson::Emitter E("serve");
   E.metric("cold_ms", ColdMs);
@@ -290,6 +383,15 @@ int serveSummary() {
   E.metric("warm_byte_identical", WarmIdentical);
   E.metric("disk_byte_identical", DiskIdentical);
   E.metric("concurrent_byte_identical", QpsOk.load());
+  E.metric("batch_suite_n", double(SuiteN));
+  E.metric("batch_seq_ms", SeqMs);
+  E.metric("batch_seq_keepalive_ms", SeqKeepMs);
+  E.metric("batch_ms", BatchMs);
+  E.metric("batch_seq_qps", SeqQps);
+  E.metric("batch_seq_keepalive_qps", SeqKeepQps);
+  E.metric("batch_qps", BatchQps);
+  E.metric("batch_speedup", BatchSpeedup);
+  E.metric("batch_byte_identical", BatchIdentical);
   E.metric("pass", Pass);
   E.write("BENCH_serve.json");
 

@@ -2,10 +2,14 @@
 # Full CI gate: tier-1 unit suite, the slow golden-outcome regression
 # sweep (tests/test_golden_defacto.cpp), a fixed-seed-range fuzz
 # campaign smoke stage (label `fuzz`, excluded from tier-1), the
-# evaluation-daemon lifecycle smoke (label `serve_smoke`,
-# scripts/serve_smoke.sh through the real CLI), and the fault-injection
-# chaos soak of the serve stack (label `chaos`, tests/test_chaos.cpp;
-# replay a failure with CERB_CHAOS_SEED=<seed from the log>). Use
+# batch-protocol determinism matrix (label `serve_batch`,
+# tests/test_serve_batch.cpp — also part of tier-1, re-run by label so a
+# registration slip cannot silently drop it), the evaluation-daemon
+# lifecycle smoke (label `serve_smoke`, scripts/serve_smoke.sh through
+# the real CLI, including the `cerb suite --server` batch rounds), and
+# the fault-injection chaos soak of the serve stack (label `chaos`,
+# tests/test_chaos.cpp; replay a failure with
+# CERB_CHAOS_SEED=<seed from the log>). Use
 # scripts/tier1.sh alone for the fast inner loop; this script is what a
 # merge gate should run.
 #
@@ -41,5 +45,6 @@ run_label() {
 run_label tier1
 run_label slow
 run_label fuzz
+run_label serve_batch
 run_label serve_smoke
 run_label chaos

@@ -3,6 +3,9 @@
 #   - start `cerb serve` with a persistent cache,
 #   - issue concurrent cold queries, then warm repeats,
 #   - assert warm bytes are identical to cold bytes,
+#   - ship the whole directory as one `cerb suite --server` batch, repeat
+#     it warm at a different pipeline depth and under a torn-read fault,
+#     and assert all three combined reports are byte-identical,
 #   - SIGTERM with a request in flight and assert a clean, zero-drop drain.
 # Usage: serve_smoke.sh /path/to/cerb
 set -u
@@ -106,6 +109,37 @@ fi
 STATS=$("$CERB" query --socket "$SOCK" --op stats) || fail "stats op failed"
 case "$STATS" in
 *'"memory_hits": 0'*) fail "expected memory hits after warm queries: $STATS" ;;
+esac
+
+# Batch rounds: the whole directory as one `cerb suite --server` batch.
+# Round 1 populates the combined report; round 2 repeats it warm at a
+# deliberately different pipeline depth (chunked frames instead of one);
+# round 3 arms a deterministic torn read (the client's first reply read
+# dies with ECONNRESET) so the idempotent resend path runs end to end.
+# All three combined reports must be byte-identical.
+"$CERB" suite "$WORK" --server "$SOCK" \
+  --report "$WORK/batch1.json" --quiet || fail "batch suite round failed"
+[ -s "$WORK/batch1.json" ] || fail "batch1.json missing or empty"
+"$CERB" suite "$WORK" --server "$SOCK" --pipeline-depth 2 \
+  --report "$WORK/batch2.json" --quiet || fail "chunked batch round failed"
+cmp -s "$WORK/batch1.json" "$WORK/batch2.json" ||
+  fail "batch2.json differs from batch1.json (pipeline depth leaked into bytes)"
+"$CERB" suite "$WORK" --server "$SOCK" \
+  --faults 'seed=5;socket.read,nth=1,errno=ECONNRESET' --retries 3 \
+  --report "$WORK/batch3.json" --quiet ||
+  fail "fault-injected batch did not recover via resend"
+cmp -s "$WORK/batch1.json" "$WORK/batch3.json" ||
+  fail "batch3.json differs from batch1.json (resend corrupted the stream)"
+
+# The daemon-resident compile cache must be visible in stats and must
+# have absorbed the repeats (hits, not just misses).
+STATS=$("$CERB" query --socket "$SOCK" --op stats) || fail "stats op failed"
+case "$STATS" in
+*'"compile_cache"'*) : ;;
+*) fail "stats does not expose compile_cache counters: $STATS" ;;
+esac
+case "$STATS" in
+*'"hits": 0,'*) fail "expected compile-cache hits after batch repeats: $STATS" ;;
 esac
 
 # SIGTERM with a request in flight: the drain must finish it (zero drops).

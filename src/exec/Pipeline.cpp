@@ -29,7 +29,26 @@ auto timed(double &Ms, const char *SpanName, Fn &&F) {
 }
 } // namespace
 
+uint64_t cerb::exec::FrontendOptions::fingerprint() const {
+  // FNV-1a over a version tag plus one byte per knob; bump the tag whenever
+  // a knob is added so old fingerprints cannot alias new option vectors.
+  static constexpr const char kFrontendVersion[] = "cerb-frontend/1";
+  uint64_t H = 0xcbf29ce484222325ull;
+  for (const char *P = kFrontendVersion; *P; ++P) {
+    H ^= static_cast<unsigned char>(*P);
+    H *= 0x100000001b3ull;
+  }
+  H ^= static_cast<unsigned char>(CoreSimplify ? 1 : 0);
+  H *= 0x100000001b3ull;
+  return H;
+}
+
 Expected<CompileResult> cerb::exec::compileWithStats(std::string_view Src) {
+  return compileWithStats(Src, FrontendOptions());
+}
+
+Expected<CompileResult>
+cerb::exec::compileWithStats(std::string_view Src, const FrontendOptions &FE) {
   static trace::Counter CntCompiles("pipeline.compiles");
   CntCompiles.add();
   trace::Span Whole("pipeline.compile", "pipeline");
@@ -47,7 +66,8 @@ Expected<CompileResult> cerb::exec::compileWithStats(std::string_view Src) {
   CompileResult Result{std::move(Prog), {}, {}};
   trace::Span Core("pipeline.core-prep", "pipeline");
   auto T0 = std::chrono::steady_clock::now();
-  Result.Rewrites = core::rewrite(Result.Prog);
+  if (FE.CoreSimplify)
+    Result.Rewrites = core::rewrite(Result.Prog);
   if (auto Err = core::typeCheck(Result.Prog))
     return err("Core type checking failed: " + *Err);
   // Pre-warm the per-node dynamics caches: after this, evaluation never

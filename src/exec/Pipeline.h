@@ -46,6 +46,26 @@ struct CompileResult {
   StageTimings Timings;
 };
 
+/// Knobs that change the *compiled artifact* (not the dynamics). Two
+/// compilations of the same source under different FrontendOptions produce
+/// distinct Core programs, so every compile cache keys on the fingerprint.
+struct FrontendOptions {
+  /// Run the Core-to-Core simplification pass (§5.1's "600" transformation:
+  /// pure-let inlining, constant-if folding, unseq/skip cleanup). Turning
+  /// it off keeps the raw elaboration — slower to evaluate but structurally
+  /// 1:1 with the elaboration rules, which is what debugging wants.
+  bool CoreSimplify = true;
+
+  bool operator==(const FrontendOptions &O) const {
+    return CoreSimplify == O.CoreSimplify;
+  }
+  bool operator!=(const FrontendOptions &O) const { return !(*this == O); }
+
+  /// Stable identity for cache keys and the serve wire format. Bump the
+  /// version tag in Pipeline.cpp when adding a knob.
+  uint64_t fingerprint() const;
+};
+
 /// Runs the full front end + elaboration on \p Source. The returned program
 /// has its dynamics caches pre-warmed (core::warmDynamicsCaches), so it may
 /// be evaluated concurrently from many threads without further preparation.
@@ -54,6 +74,8 @@ Expected<core::CoreProgram> compile(std::string_view Source);
 /// Like compile(), also reporting the Core-to-Core rewrite statistics and
 /// per-stage timings.
 Expected<CompileResult> compileWithStats(std::string_view Source);
+Expected<CompileResult> compileWithStats(std::string_view Source,
+                                         const FrontendOptions &FE);
 
 /// Reads \p Path from disk and compiles it. An unreadable file is reported
 /// as a StaticError (not an exception), like any other front-end failure.

@@ -1,71 +1,23 @@
 //===-- oracle/CompileCache.h - Compile-once/run-many cache -----*- C++ -*-===//
 ///
 /// \file
-/// A batch sweeps each test across 4+ memory-model policies, but the front
-/// half of the pipeline (parse -> desugar -> typecheck -> elaborate) is
-/// policy-independent: the policy only parameterises the *dynamics*. This
-/// cache keys compiled units by source text so one elaboration is shared
-/// across every policy instantiation of the same test, including across
-/// threads: concurrent requests for an in-flight source block until the
-/// winning thread publishes the unit, so each distinct source is compiled
-/// exactly once per batch (misses() == number of distinct sources).
-///
-/// Safety: compile() pre-warms the program's dynamics caches
-/// (core::warmDynamicsCaches), so the shared CoreProgram is never written
-/// after publication and may be evaluated from any number of threads.
+/// Compatibility surface: the compile cache started life here (one per
+/// oracle batch), then the serve daemon needed the same single-flight
+/// semantics with an LRU byte budget and frontend-options keying, so the
+/// implementation was promoted to exec::CompileCache (exec owns
+/// compilation; both oracle and serve sit above it). The oracle names are
+/// aliases — oracle::runJob and every existing caller keep compiling.
 ///
 //===----------------------------------------------------------------------===//
 #ifndef CERB_ORACLE_COMPILECACHE_H
 #define CERB_ORACLE_COMPILECACHE_H
 
-#include "exec/Pipeline.h"
-
-#include <condition_variable>
-#include <memory>
-#include <mutex>
-#include <string>
-#include <unordered_map>
+#include "exec/CompileCache.h"
 
 namespace cerb::oracle {
 
-/// The immutable product of compiling one source, shared across jobs.
-struct CompiledUnit {
-  /// Null when compilation failed (see Error).
-  std::shared_ptr<const core::CoreProgram> Prog;
-  std::string Error; ///< static error message when !ok()
-  core::RewriteStats Rewrites;
-  exec::StageTimings Timings;
-  uint64_t SourceHash = 0; ///< FNV-1a of the source text (stable job key)
-
-  bool ok() const { return Prog != nullptr; }
-};
-
-class CompileCache {
-public:
-  /// Returns the compiled unit for \p Source, compiling at most once per
-  /// distinct source across all threads. \p OutHit (optional) reports
-  /// whether this call reused an existing or in-flight entry.
-  std::shared_ptr<const CompiledUnit> get(const std::string &Source,
-                                          bool *OutHit = nullptr);
-
-  uint64_t hits() const;
-  uint64_t misses() const;
-
-  /// FNV-1a 64-bit hash of source text (the report's stable job key).
-  static uint64_t hashSource(std::string_view Src);
-
-private:
-  struct Slot {
-    bool Ready = false;
-    std::shared_ptr<const CompiledUnit> Unit;
-  };
-
-  mutable std::mutex M;
-  std::condition_variable CV;
-  std::unordered_map<std::string, Slot> Map;
-  uint64_t Hits = 0;
-  uint64_t Misses = 0;
-};
+using CompiledUnit = exec::CompiledUnit;
+using CompileCache = exec::CompileCache;
 
 } // namespace cerb::oracle
 

@@ -91,7 +91,8 @@ JobResult cerb::oracle::runJob(const Job &J, CompileCache &Cache,
   auto T0 = Clock::now();
 
   bool Hit = false;
-  std::shared_ptr<const CompiledUnit> Unit = Cache.get(J.Source, &Hit);
+  std::shared_ptr<const CompiledUnit> Unit =
+      Cache.get(J.Source, J.Frontend, &Hit);
   R.CacheHit = Hit;
   R.SourceHash = Unit->SourceHash;
   R.Compile = Unit->Timings;

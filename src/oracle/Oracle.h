@@ -69,6 +69,9 @@ struct JobBudget {
 struct Job {
   std::string Name;       ///< display name (file path or test name)
   std::string Source;     ///< C source text
+  /// Frontend knobs: part of the compile-cache key, so the same source
+  /// under different options gets a distinct elaboration.
+  exec::FrontendOptions Frontend;
   mem::MemoryPolicy Policy;
   Mode ExecMode = Mode::Exhaustive;
   uint64_t Seed = 1;      ///< Random mode / degraded-sampling base seed

@@ -5,6 +5,7 @@
 #include <algorithm>
 #include <chrono>
 #include <thread>
+#include <unordered_map>
 
 using namespace cerb;
 using namespace cerb::serve;
@@ -148,4 +149,143 @@ Client::callRetryParsed(std::string_view RequestFrame) {
   if (!Raw)
     return Raw.takeError();
   return parseResponse(*Raw);
+}
+
+Expected<BatchCallResult>
+Client::callBatch(const std::vector<EvalRequest> &Requests,
+                  const BatchOptions &Opts) {
+  if (Requests.empty())
+    return err("callBatch needs at least one request");
+  // Validate ids up front: the receive loop reassembles by id, and the
+  // daemon would reject the whole frame anyway.
+  std::unordered_map<std::string, size_t> Index;
+  for (size_t I = 0; I < Requests.size(); ++I) {
+    if (Requests[I].Id.empty())
+      return err("batch request " + std::to_string(I) + " has an empty id");
+    if (!Index.emplace(Requests[I].Id, I).second)
+      return err("duplicate batch request id '" + Requests[I].Id + "'");
+  }
+
+  const unsigned Attempts = std::max(1u, Policy.MaxAttempts);
+  const uint64_t Deadline =
+      Opts.DeadlineMs ? Opts.DeadlineMs : Policy.TotalDeadlineMs;
+  const Clock::time_point Start = Clock::now();
+
+  BatchCallResult Out;
+  Out.Raw.resize(Requests.size());
+  Out.Responses.resize(Requests.size());
+  std::vector<bool> Done(Requests.size(), false);
+  size_t Missing = Requests.size();
+  std::string LastError = "batch never attempted";
+
+  for (unsigned Attempt = 0; Attempt < Attempts && Missing; ++Attempt) {
+    Out.Attempts = Attempt + 1;
+    if (Attempt) {
+      uint64_t Delay = backoffMs(Attempt - 1);
+      if (Deadline && elapsedMs(Start) + Delay >= Deadline)
+        return err("batch deadline exceeded after " +
+                   std::to_string(Attempt) + " attempts (" +
+                   std::to_string(Missing) +
+                   " replies missing): " + LastError);
+      std::this_thread::sleep_for(std::chrono::milliseconds(Delay));
+      if (auto R = reconnect(); !R) {
+        LastError = R.error().Message;
+        continue;
+      }
+    } else if (!Sock.valid()) {
+      if (auto R = reconnect(); !R) {
+        LastError = R.error().Message;
+        continue;
+      }
+    }
+
+    // Idempotent resend of only the ids still missing.
+    std::vector<EvalRequest> Pending;
+    Pending.reserve(Missing);
+    for (size_t I = 0; I < Requests.size(); ++I)
+      if (!Done[I])
+        Pending.push_back(Requests[I]);
+
+    // Chunk by pipeline depth and write *every* frame before reading any
+    // reply — the client overlaps its own I/O with the daemon's
+    // evaluation instead of round-tripping per request.
+    const size_t Depth =
+        Opts.PipelineDepth
+            ? std::min<size_t>(Opts.PipelineDepth, MaxBatchRequests)
+            : std::min(Pending.size(), MaxBatchRequests);
+    const size_t NumChunks = (Pending.size() + Depth - 1) / Depth;
+    bool Failed = false;
+    for (size_t CI = 0; CI < NumChunks && !Failed; ++CI) {
+      const size_t Lo = CI * Depth;
+      const size_t Hi = std::min(Lo + Depth, Pending.size());
+      std::vector<EvalRequest> Chunk(Pending.begin() + Lo,
+                                     Pending.begin() + Hi);
+      std::string Frame = serializeBatchRequest(
+          "b" + std::to_string(Attempt) + "-" + std::to_string(CI), Chunk);
+      if (!net::writeFrame(Sock.get(), Frame)) {
+        LastError = "failed to send batch frame (daemon gone?)";
+        Failed = true;
+      }
+    }
+
+    // Drain the reply stream until every chunk's batch_done arrived (even
+    // after the last eval reply — the stream must end clean). The daemon
+    // coalesces warm replies into one write, so the buffered reader slices
+    // many frames out of a single read() instead of two syscalls a frame.
+    size_t DonesExpected = Failed ? 0 : NumChunks;
+    net::FrameReader Reader(Sock.get());
+    while (DonesExpected) {
+      if (Deadline && elapsedMs(Start) >= Deadline)
+        return err("batch deadline exceeded (" + std::to_string(Missing) +
+                   " replies missing)");
+      std::string FrameIn;
+      int R = Reader.next(FrameIn);
+      if (R != 1) {
+        LastError = R == 0 ? "daemon closed the connection mid-batch"
+                           : "failed to read batch response frame";
+        Failed = true;
+        break;
+      }
+      auto P = parseResponse(FrameIn);
+      if (!P) {
+        LastError = P.error().Message;
+        Failed = true;
+        break;
+      }
+      if (P->BatchDone) {
+        --DonesExpected;
+        continue;
+      }
+      auto It = Index.find(P->Id);
+      if (It == Index.end()) {
+        // Not a request id: a whole-chunk rejection (its id is the chunk's
+        // batch id, or empty). Backpressure is retryable; anything else is
+        // deterministic — terminal.
+        if (retryableStatus(P->Status)) {
+          LastError = "daemon rejected with status '" + P->Status + "'";
+          Failed = true;
+          break;
+        }
+        return err("daemon rejected the batch: status '" + P->Status + "'" +
+                   (P->Error.empty() ? "" : ": " + P->Error));
+      }
+      if (!Done[It->second]) {
+        Done[It->second] = true;
+        --Missing;
+        Out.Raw[It->second] = std::move(FrameIn);
+        Out.Responses[It->second] = std::move(*P);
+      }
+      // A duplicate reply for an already-answered id (a retry racing its
+      // predecessor's reply) is dropped: ids complete exactly once.
+    }
+    if (Failed) {
+      Sock.reset(); // poisoned: a half-read reply may be in flight
+      continue;
+    }
+  }
+  if (!Missing)
+    return Out;
+  return err("batch failed after " + std::to_string(Out.Attempts) +
+             " attempts with " + std::to_string(Missing) +
+             " replies missing: " + LastError);
 }

@@ -25,6 +25,7 @@
 #include "support/Socket.h"
 
 #include <string>
+#include <vector>
 
 namespace cerb::serve {
 
@@ -46,6 +47,29 @@ struct RetryPolicy {
   /// Seed for the jitter PRNG — a fixed seed makes a retry schedule
   /// reproducible in tests.
   uint64_t Seed = 1;
+};
+
+/// How callBatch() puts a batch on the wire.
+struct BatchOptions {
+  /// Requests per `batch` frame. 0 = the whole batch in one frame (capped
+  /// at MaxBatchRequests). Smaller depths split the batch into several
+  /// frames, all written back-to-back *before* any reply is awaited —
+  /// reply bytes are identical for any depth; only framing granularity
+  /// changes.
+  unsigned PipelineDepth = 0;
+  /// Whole-batch wall-clock deadline across every attempt (0 = fall back
+  /// to RetryPolicy.TotalDeadlineMs). Like callRetry, a *stalled* read is
+  /// bounded by RetryPolicy.CallTimeoutMs, not by this.
+  uint64_t DeadlineMs = 0;
+};
+
+/// The reassembled outcome of one callBatch(): per-request responses in
+/// *request order* (the wire carries completion order; reassembly is by
+/// id). Raw frames are kept verbatim so callers can pin byte-identity.
+struct BatchCallResult {
+  std::vector<std::string> Raw;          ///< response frames, 1:1 with requests
+  std::vector<ParsedResponse> Responses; ///< parsed, 1:1 with requests
+  unsigned Attempts = 1;                 ///< transport attempts consumed
 };
 
 class Client {
@@ -71,6 +95,16 @@ public:
 
   /// callRetry() + parseResponse.
   Expected<ParsedResponse> callRetryParsed(std::string_view RequestFrame);
+
+  /// Sends \p Requests as pipelined `batch` frames and reassembles the
+  /// reply stream by request id until every chunk's `batch_done` arrives.
+  /// Requests must carry unique non-empty ids. On a transport failure or a
+  /// retryable rejection mid-stream, reconnects under the RetryPolicy and
+  /// resends a batch containing *only the ids still missing* — evals are
+  /// idempotent and cache-keyed, so a reply that raced the failure is
+  /// kept, never re-requested, and duplicates are dropped by id.
+  Expected<BatchCallResult> callBatch(const std::vector<EvalRequest> &Requests,
+                                      const BatchOptions &Opts = BatchOptions());
 
   /// Drops the current socket and dials the daemon again (with connect
   /// retries under the policy). callRetry() does this automatically.

@@ -1,0 +1,31 @@
+//===-- serve/CompileCache.h - Daemon-resident compile cache ----*- C++ -*-===//
+///
+/// \file
+/// The daemon-resident elaboration cache: one exec::CompileCache owned by
+/// the Daemon for its whole lifetime, keyed by source × FrontendOptions
+/// fingerprint and bounded by an LRU byte budget (`--compile-cache-mb`).
+/// It composes with the two-tier ResultCache as the *second* line of
+/// defence: a result-cache hit replays stored report bytes and never
+/// touches this cache at all; a result-cache miss re-evaluates, and only
+/// the policy-independent front half is shared here — so the
+/// N-policies-over-one-file batch shape elaborates once per file instead
+/// of N times, across every request the daemon ever serves.
+///
+/// Hit/miss/evict counters surface in the `stats` op under
+/// `"compile_cache"`. The type is an alias — the implementation (and the
+/// single-flight + pinned-eviction invariants) live in exec/CompileCache.h.
+///
+//===----------------------------------------------------------------------===//
+#ifndef CERB_SERVE_COMPILECACHE_H
+#define CERB_SERVE_COMPILECACHE_H
+
+#include "exec/CompileCache.h"
+
+namespace cerb::serve {
+
+using CompileCache = exec::CompileCache;
+using CompileCacheStats = exec::CompileCacheStats;
+
+} // namespace cerb::serve
+
+#endif // CERB_SERVE_COMPILECACHE_H

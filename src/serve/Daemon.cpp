@@ -55,7 +55,9 @@ trace::Counter &cntBadFrames() {
 
 } // namespace
 
-Daemon::Daemon(DaemonConfig Cfg) : Cfg(std::move(Cfg)), Results(this->Cfg.Cache) {}
+Daemon::Daemon(DaemonConfig Cfg)
+    : Cfg(std::move(Cfg)), Results(this->Cfg.Cache),
+      Compiles(this->Cfg.CompileCacheMb * 1024 * 1024) {}
 
 Daemon::~Daemon() {
   if (Started && !Drained) {
@@ -292,10 +294,15 @@ bool Daemon::handleFrame(const std::shared_ptr<Conn> &C,
     return Ok;
   }
   case Op::Eval:
+  case Op::Batch:
     break;
   }
 
-  // Admission control for evals: bounded queue, explicit rejection.
+  // Admission control for evals: bounded queue, explicit rejection. A
+  // batch is admitted whole — it needs Size free slots or it is rejected
+  // in one frame (partial admission would tangle the reply stream).
+  const uint64_t Size =
+      Req->Kind == Op::Batch ? Req->Batch.Requests.size() : 1;
   const char *Reject = nullptr;
   {
     std::lock_guard<std::mutex> L(StateMu);
@@ -303,14 +310,14 @@ bool Daemon::handleFrame(const std::shared_ptr<Conn> &C,
       ++Stats.RejectedDraining;
       cntRejectedDraining().add();
       Reject = "draining";
-    } else if (InFlight >= Cfg.MaxQueue) {
+    } else if (InFlight + Size > Cfg.MaxQueue) {
       ++Stats.Overloaded;
       cntOverloaded().add();
       Reject = "overloaded";
     } else {
-      ++InFlight;
-      ++Stats.Admitted;
-      cntAdmitted().add();
+      InFlight += Size;
+      Stats.Admitted += Size;
+      cntAdmitted().add(Size);
       Stats.QueueHighWater = std::max(Stats.QueueHighWater, InFlight);
     }
   }
@@ -319,10 +326,95 @@ bool Daemon::handleFrame(const std::shared_ptr<Conn> &C,
                                    std::string("queue limit ") +
                                        std::to_string(Cfg.MaxQueue)));
 
+  if (Req->Kind == Op::Batch) {
+    auto T = std::make_shared<BatchTicket>();
+    T->C = C;
+    T->BatchId = Req->Batch.Id;
+    T->Requested = Size;
+    T->Remaining.store(Size);
+    // Warm fast path: members already in the result cache are answered
+    // right here on the reader thread, their frames coalesced into one
+    // write — no pool hand-off, no per-reply client wakeup. Only genuine
+    // misses (and NoCache members) fan out to the workers. The reply
+    // bytes are identical either way (okEvalResponse over the same stored
+    // body), so the determinism goldens cannot tell the paths apart.
+    std::string Coalesced;
+    uint64_t Inline = 0;
+    std::vector<std::pair<EvalRequest *, std::string>> Misses;
+    for (EvalRequest &Q : Req->Batch.Requests) {
+      std::optional<std::string> Hit;
+      std::string Key;
+      if (!Q.NoCache) {
+        Key = cacheKeyMaterial(Q);
+        Hit = Results.get(Key);
+      }
+      if (!Hit) {
+        // The worker inherits the probed key: no second probe, no
+        // double-counted miss, no re-hash of the source.
+        Misses.emplace_back(&Q, std::move(Key));
+        continue;
+      }
+      std::string Frame = okEvalResponse(Q.Id, *Hit);
+      char Hdr[4] = {static_cast<char>(Frame.size() >> 24),
+                     static_cast<char>(Frame.size() >> 16),
+                     static_cast<char>(Frame.size() >> 8),
+                     static_cast<char>(Frame.size())};
+      Coalesced.append(Hdr, 4);
+      Coalesced += Frame;
+      ++Inline;
+    }
+    if (Inline) {
+      bool Sent;
+      {
+        std::lock_guard<std::mutex> L(C->WriteMu);
+        Sent = net::writeAll(C->Sock.get(), Coalesced.data(),
+                             Coalesced.size());
+      }
+      if (Sent)
+        T->Completed.fetch_add(Inline, std::memory_order_acq_rel);
+    }
+    for (auto &[Q, Key] : Misses)
+      Pool->submit([this, T, Q = std::move(*Q), K = std::move(Key)]() mutable {
+        runBatchEval(T, std::move(Q), std::move(K));
+      });
+    // The inline members retire their ticket share only after the misses
+    // are on the pool, so batch_done cannot fire while frames are still
+    // unsent; when everything was warm this is where it goes out. The
+    // inline InFlight slots are released after that send — a racing drain
+    // must not shut the socket under a batch_done still being written.
+    if (Inline) {
+      if (T->Remaining.fetch_sub(Inline, std::memory_order_acq_rel) ==
+          Inline)
+        send(*C,
+             batchDoneResponse(T->BatchId, T->Requested,
+                               T->Completed.load(std::memory_order_acquire)));
+      {
+        std::lock_guard<std::mutex> L(StateMu);
+        InFlight -= Inline;
+      }
+      DrainCV.notify_all();
+    }
+    return true;
+  }
+
   Pool->submit([this, C, Q = std::move(Req->Eval)]() mutable {
     runEval(C, std::move(Q));
   });
   return true;
+}
+
+std::string Daemon::evalBody(const EvalRequest &Q, std::string ProbedKey) {
+  const bool AlreadyMissed = !ProbedKey.empty();
+  std::string Key = AlreadyMissed ? std::move(ProbedKey)
+                                  : cacheKeyMaterial(Q);
+  std::optional<std::string> Body;
+  if (!Q.NoCache && !AlreadyMissed)
+    Body = Results.get(Key);
+  if (!Body) {
+    Body = evaluateToReport(Q, Compiles);
+    Results.put(Key, *Body);
+  }
+  return std::move(*Body);
 }
 
 void Daemon::runEval(std::shared_ptr<Conn> C, EvalRequest Q) {
@@ -330,16 +422,30 @@ void Daemon::runEval(std::shared_ptr<Conn> C, EvalRequest Q) {
     trace::Span ReqSpan("serve.request", "serve");
     if (ReqSpan.active())
       ReqSpan.detail(Q.Name);
+    send(*C, okEvalResponse(Q.Id, evalBody(Q)));
+  }
+  {
+    std::lock_guard<std::mutex> L(StateMu);
+    --InFlight;
+  }
+  DrainCV.notify_all();
+}
 
-    std::string Key = cacheKeyMaterial(Q);
-    std::optional<std::string> Body;
-    if (!Q.NoCache)
-      Body = Results.get(Key);
-    if (!Body) {
-      Body = evaluateToReport(Q, Compiles);
-      Results.put(Key, *Body);
-    }
-    send(*C, okEvalResponse(Q.Id, *Body));
+void Daemon::runBatchEval(std::shared_ptr<BatchTicket> T, EvalRequest Q,
+                          std::string Key) {
+  {
+    trace::Span ReqSpan("serve.request", "serve");
+    if (ReqSpan.active())
+      ReqSpan.detail(Q.Name);
+    // The per-request reply is a plain eval response: byte-identical to
+    // what a sequential `eval` of the same request would have produced,
+    // which is exactly what the batch determinism goldens pin.
+    if (send(*T->C, okEvalResponse(Q.Id, evalBody(Q, std::move(Key)))))
+      T->Completed.fetch_add(1, std::memory_order_acq_rel);
+    if (T->Remaining.fetch_sub(1, std::memory_order_acq_rel) == 1)
+      send(*T->C, batchDoneResponse(
+                      T->BatchId, T->Requested,
+                      T->Completed.load(std::memory_order_acquire)));
   }
   {
     std::lock_guard<std::mutex> L(StateMu);
@@ -429,9 +535,14 @@ std::string Daemon::statsJson() const {
   J += ", \"tmp_reclaimed\": " + N(CS.TmpReclaimed);
   J += ", \"index_rebuilt\": " + N(CS.IndexRebuilt);
   J += ", \"persistent\": " + std::string(Results.persistent() ? "true" : "false");
+  CompileCacheStats CC = Compiles.stats();
   J += "}, \"compile_cache\": {";
-  J += "\"hits\": " + N(Compiles.hits());
-  J += ", \"misses\": " + N(Compiles.misses());
+  J += "\"hits\": " + N(CC.Hits);
+  J += ", \"misses\": " + N(CC.Misses);
+  J += ", \"evictions\": " + N(CC.Evictions);
+  J += ", \"bytes\": " + N(CC.Bytes);
+  J += ", \"entries\": " + N(CC.Entries);
+  J += ", \"budget_bytes\": " + N(Compiles.byteBudget());
   J += "}}";
   return J;
 }

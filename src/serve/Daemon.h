@@ -21,10 +21,16 @@
 ///    at accept time;
 ///  - admitted requests run on the shared support::ThreadPool. Each task
 ///    consults the two-tier cache (ResultCache over the report bytes;
-///    oracle::CompileCache underneath for elaborations), evaluates on a
-///    miss, stores, and writes the response under the connection's write
-///    mutex (concurrent requests on one connection interleave safely;
-///    responses carry ids, order is not guaranteed).
+///    the daemon-resident serve::CompileCache underneath for elaborations,
+///    LRU-bounded by `--compile-cache-mb`), evaluates on a miss, stores,
+///    and writes the response under the connection's write mutex
+///    (concurrent requests on one connection interleave safely; responses
+///    carry ids, order is not guaranteed);
+///  - a `batch` frame is admitted as a whole (it needs N free queue slots
+///    or it is rejected `overloaded` in one frame) and fans its requests
+///    out across the same pool; each member streams its ordinary eval
+///    response back as it completes, and the last one emits the
+///    `batch_done` terminator.
 ///
 /// Graceful drain (SIGTERM via requestDrain(), or the `shutdown` op):
 /// stop accepting, reject new evals, *finish every admitted request* (zero
@@ -40,7 +46,7 @@
 #ifndef CERB_SERVE_DAEMON_H
 #define CERB_SERVE_DAEMON_H
 
-#include "oracle/CompileCache.h"
+#include "serve/CompileCache.h"
 #include "serve/Eval.h"
 #include "serve/Protocol.h"
 #include "serve/ResultCache.h"
@@ -78,6 +84,10 @@ struct DaemonConfig {
   /// frame: the reader closes the connection instead of hanging.
   uint64_t ReadTimeoutMs = 0;
   CacheConfig Cache;
+  /// LRU byte budget of the daemon-resident compile cache, in MiB
+  /// (`--compile-cache-mb`; 0 = unbounded). Charges are deterministic
+  /// (source bytes + fixed overhead, see exec::CompileCache::entryCharge).
+  uint64_t CompileCacheMb = 256;
   /// Honour the `shutdown` op (tests and the CLI default); a deployment
   /// that only trusts signals can turn it off.
   bool EnableShutdownOp = true;
@@ -129,6 +139,7 @@ public:
 
   DaemonSnapshot snapshot() const;
   const ResultCache &cache() const { return Results; }
+  const CompileCache &compileCache() const { return Compiles; }
   unsigned threadCount() const { return Pool ? Pool->threadCount() : 0; }
 
 private:
@@ -137,17 +148,40 @@ private:
     std::mutex WriteMu;
   };
 
+  /// Shared fan-out state of one admitted batch: the last request to
+  /// finish (Remaining hits zero) sends the terminating batch_done frame.
+  /// Completed counts replies actually written — every worker increments
+  /// it *before* decrementing Remaining, so the terminator's summary sees
+  /// all of them.
+  struct BatchTicket {
+    std::shared_ptr<Conn> C;
+    std::string BatchId;
+    uint64_t Requested = 0;
+    std::atomic<uint64_t> Remaining{0};
+    std::atomic<uint64_t> Completed{0};
+  };
+
   void acceptLoop();
   void connLoop(std::shared_ptr<Conn> C);
   /// Dispatches one frame; false ends the connection.
   bool handleFrame(const std::shared_ptr<Conn> &C, const std::string &Frame);
   void runEval(std::shared_ptr<Conn> C, EvalRequest Q);
+  /// One batch member on the pool: evaluate, reply, retire one InFlight
+  /// slot; the last member emits the batch_done terminator. \p Key is the
+  /// cache key the reader thread already computed (and probed, missing) on
+  /// the inline fast path — empty when that probe did not happen.
+  void runBatchEval(std::shared_ptr<BatchTicket> T, EvalRequest Q,
+                    std::string Key);
+  /// The shared eval core: result-cache probe, evaluate on miss, store.
+  /// A non-empty \p ProbedKey means the caller already probed that key and
+  /// missed — the probe (and its stats counting) is not repeated.
+  std::string evalBody(const EvalRequest &Q, std::string ProbedKey = {});
   bool send(Conn &C, std::string_view Payload);
   std::string statsJson() const;
 
   DaemonConfig Cfg;
   ResultCache Results;
-  oracle::CompileCache Compiles; ///< daemon-lifetime elaboration sharing
+  CompileCache Compiles; ///< daemon-lifetime elaboration sharing
   std::unique_ptr<ThreadPool> Pool;
 
   net::Fd ListenUnix, ListenTcp;

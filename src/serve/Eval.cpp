@@ -14,13 +14,24 @@ using oracle::JobResult;
 using oracle::JobStatus;
 
 std::vector<Job> cerb::serve::requestJobs(const EvalRequest &Q) {
+  // check_expect: the daemon attaches the built-in suite's expectations by
+  // display name — deterministic (the suite is compiled in) and exactly
+  // the lookup `cerb suite` does locally, so remote verdicts match.
+  const defacto::TestCase *Known =
+      Q.CheckExpect ? defacto::findTest(Q.Name) : nullptr;
   std::vector<Job> Jobs;
   Jobs.reserve(Q.Policies.size());
   for (const mem::MemoryPolicy &P : Q.Policies) {
     Job J;
     J.Name = Q.Name;
     J.Source = Q.Source;
+    J.Frontend = Q.Frontend;
     J.Policy = P;
+    if (Known) {
+      auto It = Known->Expected.find(P.Name);
+      if (It != Known->Expected.end())
+        J.Expected = It->second;
+    }
     J.ExecMode = Q.ExecMode;
     J.Seed = Q.Seed;
     J.Budget.MaxPaths = Q.Limits.MaxPaths;

@@ -8,6 +8,14 @@
 /// Requests carry an `"op"`:
 ///  - `eval`: source + policy set + execution mode/limits; the daemon
 ///    answers with an embedded `cerb-oracle-report/1` document.
+///  - `batch`: one frame carrying N eval requests (a shared source and/or
+///    shared defaults on the envelope, per-request overrides inside
+///    `"requests"`). Every request needs a unique non-empty `"id"`; the
+///    daemon streams back one ordinary eval response frame per request
+///    (byte-identical to what a sequential `eval` of the same request
+///    would produce, in completion order — reassemble by id) and
+///    terminates the stream with a `batch_done` summary frame carrying the
+///    batch id.
 ///  - `ping`: liveness probe.
 ///  - `stats`: operational snapshot (queue depth, cache hit rates).
 ///  - `shutdown`: trigger a graceful drain (same path as SIGTERM).
@@ -41,6 +49,11 @@ namespace cerb::serve {
 /// Protocol identifier, sent in every frame.
 inline constexpr const char *SchemaName = "cerb-serve/1";
 
+/// Hard cap on requests per batch frame: enforced during decode, before
+/// any per-request state is materialized, so an oversize batch cannot make
+/// the daemon allocate proportionally to a number the client chose.
+inline constexpr size_t MaxBatchRequests = 256;
+
 /// Per-request execution budgets (the wire mirror of oracle::JobBudget;
 /// zero means "server default" for the step/depth knobs).
 struct EvalLimits {
@@ -61,14 +74,32 @@ struct EvalRequest {
   uint64_t Seed = 1;
   EvalLimits Limits;
   bool NoCache = false; ///< bypass cache *reads* (still populates)
+  /// Frontend knobs: part of the compile-cache key and the result-cache
+  /// key material (same source under different options must miss both).
+  exec::FrontendOptions Frontend;
+  /// Check the built-in semantic suite's expectations: when the display
+  /// name matches a built-in test (defacto::findTest), each job gains that
+  /// test's per-policy expectation and the report carries pass/fail
+  /// verdicts. Deterministic — the suite is compiled into the daemon — but
+  /// it changes the report bytes, so it is part of the cache key.
+  bool CheckExpect = false;
 };
 
-enum class Op { Eval, Ping, Stats, Shutdown };
+/// One decoded `batch` frame: N fully-resolved eval requests (shared
+/// envelope defaults already merged in) plus the batch's own id for the
+/// terminating `batch_done` frame.
+struct BatchRequest {
+  std::string Id; ///< batch id, echoed on the batch_done frame
+  std::vector<EvalRequest> Requests;
+};
+
+enum class Op { Eval, Batch, Ping, Stats, Shutdown };
 
 struct Request {
   Op Kind = Op::Ping;
   std::string Id;
-  EvalRequest Eval; ///< meaningful when Kind == Op::Eval
+  EvalRequest Eval;   ///< meaningful when Kind == Op::Eval
+  BatchRequest Batch; ///< meaningful when Kind == Op::Batch
 };
 
 /// Parses one request frame. Unknown policy names, bad modes, and missing
@@ -77,6 +108,11 @@ Expected<Request> parseRequest(std::string_view Frame);
 
 /// Client-side serializers.
 std::string serializeEvalRequest(const EvalRequest &Q);
+/// One batch frame for \p Requests under batch id \p Id. When every
+/// request carries the same source text it is hoisted onto the envelope
+/// once (the shared-suite shape the op exists for) instead of N times.
+std::string serializeBatchRequest(const std::string &Id,
+                                  const std::vector<EvalRequest> &Requests);
 std::string serializeSimpleRequest(Op Kind, const std::string &Id);
 
 /// Server-side response builders. \p ReportBody is a complete
@@ -85,6 +121,9 @@ std::string serializeSimpleRequest(Op Kind, const std::string &Id);
 std::string okEvalResponse(const std::string &Id, std::string_view ReportBody);
 std::string okSimpleResponse(const std::string &Id, const char *Extra,
                              const std::string &ExtraJson);
+/// The terminating frame of a batch reply stream.
+std::string batchDoneResponse(const std::string &Id, uint64_t Requested,
+                              uint64_t Completed);
 std::string rejectResponse(const std::string &Id, const char *Status,
                            std::string_view Message);
 
@@ -96,6 +135,10 @@ struct ParsedResponse {
   /// Raw bytes of the embedded report document (eval responses), extracted
   /// verbatim so clients can persist exactly what the daemon serialized.
   std::string Report;
+  /// Set when the frame is a `batch_done` summary.
+  bool BatchDone = false;
+  uint64_t BatchRequested = 0;
+  uint64_t BatchCompleted = 0;
 };
 Expected<ParsedResponse> parseResponse(std::string_view Frame);
 
@@ -104,8 +147,8 @@ Expected<ParsedResponse> parseResponse(std::string_view Frame);
 //===----------------------------------------------------------------------===//
 
 /// The full, unambiguous identity of an eval result:
-/// hash(source) × policy set × mode/seed/limits × semantics version × the
-/// report format version. Equal key material <=> the daemon may legally
+/// hash(source) × frontend options × policy set × mode/seed/limits × the
+/// semantics version × the report format version. Equal key material <=> the daemon may legally
 /// replay stored bytes. The free-form display name sits at the end of the
 /// string so no crafted name can collide two distinct keys.
 std::string cacheKeyMaterial(const EvalRequest &Q);

@@ -245,6 +245,42 @@ int cerb::net::readFrame(int FdRaw, std::string &Out, uint32_t MaxLen) {
   return readExact(FdRaw, Out.data(), Len) == 1 ? 1 : -1;
 }
 
+int cerb::net::FrameReader::next(std::string &Out, uint32_t MaxLen) {
+  for (;;) {
+    const size_t Avail = Buf.size() - Pos;
+    if (Avail >= 4) {
+      const auto *H = reinterpret_cast<const unsigned char *>(Buf.data() + Pos);
+      const uint32_t Len = (uint32_t(H[0]) << 24) | (uint32_t(H[1]) << 16) |
+                           (uint32_t(H[2]) << 8) | uint32_t(H[3]);
+      if (Len > MaxLen)
+        return -1;
+      if (Avail - 4 >= Len) {
+        Out.assign(Buf, Pos + 4, Len);
+        Pos += 4 + size_t(Len);
+        if (Pos == Buf.size()) {
+          Buf.clear();
+          Pos = 0;
+        }
+        return 1;
+      }
+    }
+    if (Pos) { // compact the consumed prefix before growing
+      Buf.erase(0, Pos);
+      Pos = 0;
+    }
+    char Tmp[64 * 1024];
+    const ssize_t N = faultyRead(FdRaw, Tmp, sizeof Tmp);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      return -1;
+    }
+    if (N == 0)
+      return Buf.empty() ? 0 : -1; // EOF: clean only at a frame boundary
+    Buf.append(Tmp, static_cast<size_t>(N));
+  }
+}
+
 namespace {
 
 using Clock = std::chrono::steady_clock;

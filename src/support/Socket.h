@@ -118,6 +118,26 @@ enum class RecvStatus {
   Error,    ///< I/O error or EOF mid-frame
 };
 
+/// Buffered frame reader for streamed reply stretches (the batch op):
+/// drains whatever the kernel already has in one read() and slices
+/// length-prefixed frames out of the buffer, so a coalesced reply stream
+/// costs ~one syscall for many frames instead of two syscalls per frame.
+/// Same framing and fault sites (`socket.read`, `socket.read.short`) as
+/// readFrame. Over-read bytes stay in this object — use one reader per
+/// contiguous reply stream and discard it with the stream.
+class FrameReader {
+public:
+  explicit FrameReader(int FdRaw) : FdRaw(FdRaw) {}
+  /// readFrame's contract: 1 = one frame in \p Out, 0 = clean EOF at a
+  /// frame boundary with nothing buffered, -1 = error/truncation/oversize.
+  int next(std::string &Out, uint32_t MaxLen = DefaultMaxFrame);
+
+private:
+  int FdRaw;
+  std::string Buf;
+  size_t Pos = 0;
+};
+
 /// readFrame with timeouts: waits up to \p IdleMs for the first byte
 /// (negative = forever), then requires the rest of the frame within
 /// \p FrameMs (negative = forever). A partial or garbage frame can stall a

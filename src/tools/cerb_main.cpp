@@ -117,6 +117,20 @@ int usage(const char *Prog) {
                "  --mem-cache N          in-memory result-cache entries "
                "(serve;\n"
                "                         default 1024)\n"
+               "  --compile-cache-mb N   serve: LRU byte budget of the "
+               "daemon-\n"
+               "                         resident compile cache (default "
+               "256,\n"
+               "                         0 = unbounded)\n"
+               "  --server ADDR          suite: evaluate on a running "
+               "daemon\n"
+               "                         over one pipelined batch (unix "
+               "socket\n"
+               "                         path, or tcp:PORT for loopback "
+               "TCP)\n"
+               "  --pipeline-depth N     suite --server: requests per batch\n"
+               "                         frame (0 = whole batch, the "
+               "default)\n"
                "  --max-conns N          serve: cap concurrent connections\n"
                "                         (0 = unlimited, the default)\n"
                "  --idle-timeout-ms N    serve: reap connections idle this "
@@ -176,6 +190,9 @@ struct Options {
   uint64_t MaxConns = 0;
   uint64_t IdleTimeoutMs = 0;
   uint64_t ReadTimeoutMs = 0;
+  uint64_t CompileCacheMb = 256;
+  std::string ServerAddr;        ///< suite: run on this daemon instead
+  unsigned PipelineDepth = 0;    ///< suite --server: requests per frame
   std::string QueryOp = "eval";
   std::string QueryName;
   bool NoCache = false;
@@ -348,6 +365,22 @@ std::optional<std::vector<std::string>> parseArgs(int Argc, char **Argv,
       if (!V)
         return std::nullopt;
       O.MaxQueue = std::strtoull(V->c_str(), nullptr, 0);
+    } else if (A == "--compile-cache-mb") {
+      auto V = Value("--compile-cache-mb");
+      if (!V)
+        return std::nullopt;
+      O.CompileCacheMb = std::strtoull(V->c_str(), nullptr, 0);
+    } else if (A == "--server") {
+      auto V = Value("--server");
+      if (!V)
+        return std::nullopt;
+      O.ServerAddr = *V;
+    } else if (A == "--pipeline-depth") {
+      auto V = Value("--pipeline-depth");
+      if (!V)
+        return std::nullopt;
+      O.PipelineDepth =
+          static_cast<unsigned>(std::strtoul(V->c_str(), nullptr, 0));
     } else if (A == "--mem-cache") {
       auto V = Value("--mem-cache");
       if (!V)
@@ -530,7 +563,204 @@ int cmdRun(const std::vector<std::string> &Files, Options O) {
   return runBatch(std::move(Jobs), O, /*Verbose=*/true);
 }
 
+/// The suite's unit of remote work: one EvalRequest per test carrying the
+/// whole policy set, so the daemon's per-request job fan-out mirrors the
+/// local per-test job grouping (and one compile serves every policy).
+std::optional<std::vector<serve::EvalRequest>>
+suiteRequests(const std::string &Target,
+              const std::vector<mem::MemoryPolicy> &Policies,
+              const Options &O) {
+  std::vector<serve::EvalRequest> Reqs;
+  auto Push = [&](std::string Name, std::string Source) {
+    serve::EvalRequest Q;
+    Q.Id = "s" + std::to_string(Reqs.size());
+    Q.Name = std::move(Name);
+    Q.Source = std::move(Source);
+    Q.Policies = Policies;
+    Q.ExecMode = O.ExecMode;
+    Q.Seed = O.Seed;
+    Q.Limits.MaxPaths = O.Budget.MaxPaths;
+    Q.Limits.MaxSteps = O.Budget.Limits.MaxSteps;
+    Q.Limits.MaxCallDepth = O.Budget.Limits.MaxCallDepth;
+    Q.Limits.DeadlineMs = O.Budget.DeadlineMs;
+    Q.Limits.FallbackSamples = O.Budget.FallbackSamples;
+    Q.NoCache = O.NoCache;
+    // The daemon attaches built-in expectations by name — the same
+    // defacto::findTest lookup the local path does.
+    Q.CheckExpect = true;
+    Reqs.push_back(std::move(Q));
+  };
+  if (Target == "defacto") {
+    for (const defacto::TestCase &T : defacto::testSuite())
+      Push(T.Name, T.Source);
+    return Reqs;
+  }
+  namespace fs = std::filesystem;
+  std::error_code EC;
+  if (!fs::is_directory(Target, EC)) {
+    std::fprintf(stderr,
+                 "cerb: '%s' is not a directory (or 'defacto' for the "
+                 "built-in suite)\n",
+                 Target.c_str());
+    return std::nullopt;
+  }
+  std::vector<std::string> Paths;
+  for (const fs::directory_entry &E : fs::directory_iterator(Target, EC))
+    if (E.is_regular_file() && E.path().extension() == ".c")
+      Paths.push_back(E.path().string());
+  std::sort(Paths.begin(), Paths.end()); // deterministic request order
+  if (Paths.empty()) {
+    std::fprintf(stderr, "cerb: no .c files in '%s'\n", Target.c_str());
+    return std::nullopt;
+  }
+  for (const std::string &Path : Paths) {
+    auto Src = exec::readSourceFile(Path);
+    if (!Src) {
+      std::fprintf(stderr, "cerb: %s\n", Src.error().str().c_str());
+      return std::nullopt;
+    }
+    Push(fs::path(Path).stem().string(), *Src);
+  }
+  return Reqs;
+}
+
+/// `cerb suite --server ADDR`: ship the whole suite to a running daemon as
+/// one pipelined batch and aggregate the streamed per-test reports.
+int cmdSuiteServer(const std::string &Target, const Options &O) {
+  std::string SocketPath = O.ServerAddr;
+  int Port = -1;
+  if (O.ServerAddr.rfind("tcp:", 0) == 0) {
+    SocketPath.clear();
+    Port = static_cast<int>(
+        std::strtol(O.ServerAddr.c_str() + 4, nullptr, 0));
+  }
+  auto Policies = resolvePolicies(O.PolicyNames, /*DefaultAll=*/true);
+  if (!Policies)
+    return 2;
+  auto Reqs = suiteRequests(Target, *Policies, O);
+  if (!Reqs)
+    return 2;
+
+  serve::RetryPolicy RP;
+  RP.MaxAttempts = std::max(1u, O.QueryRetries);
+  RP.TotalDeadlineMs = O.RetryDeadlineMs;
+  RP.CallTimeoutMs = O.CallTimeoutMs;
+  RP.Seed = O.Seed;
+  auto Conn = serve::Client::connect(SocketPath, Port, RP);
+  if (!Conn) {
+    std::fprintf(stderr, "cerb: %s\n", Conn.error().str().c_str());
+    return 1;
+  }
+
+  if (!O.Quiet)
+    std::printf("sending %zu tests (%zu policies) to %s...\n", Reqs->size(),
+                Policies->size(), O.ServerAddr.c_str());
+  serve::BatchOptions BO;
+  BO.PipelineDepth = O.PipelineDepth;
+  auto Batch = Conn->callBatch(*Reqs, BO);
+  if (!Batch) {
+    std::fprintf(stderr, "cerb: %s\n", Batch.error().str().c_str());
+    return 1;
+  }
+
+  // Aggregate the per-test reports: sum the stats blocks, echo failing
+  // job lines, and (with --report) keep every report verbatim.
+  uint64_t Jobs = 0, Ok = 0, Degraded = 0, TimedOut = 0, CompileErrors = 0,
+           Errors = 0, ChecksPassed = 0, ChecksFailed = 0, Paths = 0;
+  unsigned BadReplies = 0;
+  bool FirstReport = true;
+  std::string Combined = "{\n  \"schema\": \"cerb-suite-server/1\",\n"
+                         "  \"reports\": [\n";
+  for (size_t I = 0; I < Batch->Responses.size(); ++I) {
+    const serve::ParsedResponse &R = Batch->Responses[I];
+    if (R.Status != "ok") {
+      std::fprintf(stderr, "cerb: %s: daemon answered '%s'%s%s\n",
+                   (*Reqs)[I].Name.c_str(), R.Status.c_str(),
+                   R.Error.empty() ? "" : ": ", R.Error.c_str());
+      ++BadReplies;
+      continue;
+    }
+    auto Doc = json::parse(R.Report);
+    const json::Value *S = Doc ? Doc->get("stats") : nullptr;
+    if (!S) {
+      std::fprintf(stderr, "cerb: %s: unparseable report\n",
+                   (*Reqs)[I].Name.c_str());
+      ++BadReplies;
+      continue;
+    }
+    auto N = [&](const char *K) {
+      const json::Value *V = S->get(K);
+      return V ? V->asU64() : 0;
+    };
+    Jobs += N("jobs");
+    Ok += N("ok");
+    Degraded += N("degraded");
+    TimedOut += N("timed_out");
+    CompileErrors += N("compile_errors");
+    Errors += N("errors");
+    ChecksPassed += N("checks_passed");
+    ChecksFailed += N("checks_failed");
+    Paths += N("paths_explored");
+    if (!O.Quiet)
+      if (const json::Value *JA = Doc->get("jobs");
+          JA && JA->K == json::Value::Kind::Array)
+        for (const json::Value &JV : JA->Arr) {
+          const json::Value *St = JV.get("status");
+          const json::Value *Ck = JV.get("check");
+          bool Failed = Ck && Ck->K == json::Value::Kind::String &&
+                        Ck->asString() == "fail";
+          if ((St && St->asString() != "ok") || Failed) {
+            const json::Value *Nm = JV.get("name");
+            const json::Value *Pl = JV.get("policy");
+            std::printf("  [%s] %s: %s%s\n",
+                        Pl ? Pl->asString().c_str() : "?",
+                        Nm ? Nm->asString().c_str() : "?",
+                        St ? St->asString().c_str() : "?",
+                        Failed ? " (expectation: FAIL)" : "");
+          }
+        }
+    if (!O.ReportPath.empty()) {
+      if (!FirstReport)
+        Combined += ",\n";
+      FirstReport = false;
+      Combined += R.Report;
+    }
+  }
+
+  std::printf("suite over %s: %zu tests, %llu jobs (ok %llu, degraded "
+              "%llu, timed-out %llu, compile-error %llu, error %llu)\n",
+              O.ServerAddr.c_str(), Reqs->size(),
+              static_cast<unsigned long long>(Jobs),
+              static_cast<unsigned long long>(Ok),
+              static_cast<unsigned long long>(Degraded),
+              static_cast<unsigned long long>(TimedOut),
+              static_cast<unsigned long long>(CompileErrors),
+              static_cast<unsigned long long>(Errors));
+  if (ChecksPassed || ChecksFailed)
+    std::printf("expectations:  %llu passed, %llu failed\n",
+                static_cast<unsigned long long>(ChecksPassed),
+                static_cast<unsigned long long>(ChecksFailed));
+  std::printf("paths:         %llu explored; %u attempt(s)\n",
+              static_cast<unsigned long long>(Paths), Batch->Attempts);
+  if (BadReplies)
+    std::fprintf(stderr, "cerb: %u request(s) answered non-ok\n", BadReplies);
+
+  if (!O.ReportPath.empty()) {
+    Combined += "\n  ]\n}\n";
+    std::string Err;
+    if (!writeTextFile(O.ReportPath, Combined, &Err)) {
+      std::fprintf(stderr, "cerb: %s\n", Err.c_str());
+      return 1;
+    }
+    if (!O.Quiet)
+      std::printf("wrote JSON report: %s\n", O.ReportPath.c_str());
+  }
+  return (BadReplies || ChecksFailed || CompileErrors || Errors) ? 1 : 0;
+}
+
 int cmdSuite(const std::string &Target, Options O) {
+  if (!O.ServerAddr.empty())
+    return cmdSuiteServer(Target, O);
   auto Policies = resolvePolicies(O.PolicyNames, /*DefaultAll=*/true);
   if (!Policies)
     return 2;
@@ -784,6 +1014,7 @@ int cmdServe(const Options &O) {
   DC.MaxConns = O.MaxConns;
   DC.IdleTimeoutMs = O.IdleTimeoutMs;
   DC.ReadTimeoutMs = O.ReadTimeoutMs;
+  DC.CompileCacheMb = O.CompileCacheMb;
   DC.Quiet = O.Quiet;
 
   serve::Daemon D(std::move(DC));

@@ -223,6 +223,100 @@ SoakResult runFleet(const std::string &SocketPath, uint64_t Seed,
   return R;
 }
 
+/// One batch-round request: same content as chaosRequest (so its report
+/// bytes are comparable against the same golden), batch-unique id.
+EvalRequest batchChaosRequest(unsigned SrcIdx, std::string Id) {
+  EvalRequest Q = chaosRequest(SrcIdx);
+  Q.Id = std::move(Id);
+  return Q;
+}
+
+struct BatchSoakResult {
+  uint64_t OkBatches = 0;
+  uint64_t FailedBatches = 0;
+  uint64_t Mismatched = 0; ///< completed reply with non-golden report bytes
+  uint64_t IdErrors = 0;   ///< reply slot carrying the wrong request id
+};
+
+constexpr unsigned BatchRounds = 8;   ///< callBatch rounds per client
+constexpr unsigned BatchSize = 8;     ///< requests per batch
+
+/// The batch analogue of runFleet: NumClients clients, each issuing
+/// BatchRounds pipelined 8-request batches. Pipeline depth rotates per
+/// round so chunked and single-frame batches both meet the faults.
+BatchSoakResult runBatchFleet(const std::string &SocketPath, uint64_t Seed,
+                              const std::map<unsigned, std::string> *Golden,
+                              std::map<unsigned, std::string> *CollectInto) {
+  BatchSoakResult R;
+  std::mutex Mu; // guards R and CollectInto
+  std::vector<std::thread> Fleet;
+  for (unsigned Tid = 0; Tid < NumClients; ++Tid) {
+    Fleet.emplace_back([&, Tid] {
+      RetryPolicy RP;
+      RP.MaxAttempts = 6;
+      RP.BaseDelayMs = 2;
+      RP.MaxDelayMs = 40;
+      RP.TotalDeadlineMs = 10000;
+      RP.CallTimeoutMs = 5000;
+      RP.Seed = Seed ^ (Tid * 0x9e3779b97f4a7c15ull);
+      auto C = Client::connect(SocketPath, -1, RP);
+      for (unsigned Round = 0; Round < BatchRounds; ++Round) {
+        if (!C) { // even the initial connect may be fault-injected
+          C = Client::connect(SocketPath, -1, RP);
+          if (!C) {
+            std::lock_guard<std::mutex> L(Mu);
+            ++R.FailedBatches;
+            continue;
+          }
+        }
+        std::vector<EvalRequest> Reqs;
+        std::vector<unsigned> SrcIdx;
+        for (unsigned K = 0; K < BatchSize; ++K) {
+          unsigned S = (Tid * BatchRounds * BatchSize + Round * BatchSize +
+                        K) % NumSources;
+          SrcIdx.push_back(S);
+          Reqs.push_back(batchChaosRequest(
+              S, "c" + std::to_string(Tid) + "-r" + std::to_string(Round) +
+                     "-q" + std::to_string(K)));
+        }
+        BatchOptions BO;
+        const unsigned Depths[] = {0, 1, 3, BatchSize};
+        BO.PipelineDepth = Depths[Round % 4];
+        auto Resp = C->callBatch(Reqs, BO);
+        std::lock_guard<std::mutex> L(Mu);
+        if (!Resp) {
+          ++R.FailedBatches;
+          // callBatch poisons its socket on a failed last attempt; make
+          // the next round dial fresh.
+          C = Client::connect(SocketPath, -1, RP);
+          continue;
+        }
+        ++R.OkBatches;
+        // A successful batch is complete by contract: every slot answered
+        // exactly once, in request order, after any number of retries.
+        for (unsigned K = 0; K < BatchSize; ++K) {
+          if (Resp->Responses[K].Id != Reqs[K].Id ||
+              Resp->Responses[K].Status != "ok") {
+            ++R.IdErrors;
+            continue;
+          }
+          if (Golden) {
+            auto It = Golden->find(SrcIdx[K]);
+            if (It == Golden->end() ||
+                It->second != Resp->Responses[K].Report)
+              ++R.Mismatched;
+          }
+          if (CollectInto && !CollectInto->count(SrcIdx[K]))
+            (*CollectInto)[SrcIdx[K]] = Resp->Responses[K].Report;
+        }
+      }
+    });
+  }
+  for (std::thread &T : Fleet)
+    T.join();
+  return R;
+}
+
 } // namespace
 
 TEST(ServeChaos, SoakUnderSeededFaultSchedule) {
@@ -292,6 +386,83 @@ TEST(ServeChaos, SoakUnderSeededFaultSchedule) {
 
   // Descriptor accounting: the daemon, every client, and every torn
   // connection are gone — the fd table is exactly as we found it.
+  const size_t FdsAfter = openFdCount();
+  EXPECT_EQ(FdsBefore, FdsAfter)
+      << "fd leak under faults (before=" << FdsBefore
+      << " after=" << FdsAfter << " seed=" << Seed << ")";
+}
+
+TEST(ServeChaos, BatchRoundUnderSeededFaultSchedule) {
+  // The batch op under the same 9-site schedule as the request soak: 8
+  // clients, each firing 8-request pipelined batches. The extra surface
+  // under test is the callBatch retry contract — a mid-stream tear must
+  // resend only the missing ids, so a batch that completes has every id
+  // answered exactly once (no duplicates, no drops) with fault-free bytes.
+  const uint64_t Seed = envU64("CERB_CHAOS_SEED", 1);
+  const uint64_t DeadlineMs = envU64("CERB_CHAOS_DEADLINE_MS", 75000);
+  Watchdog Dog(DeadlineMs, Seed);
+
+  const size_t FdsBefore = openFdCount();
+
+  // Phase 1 — golden batches, no faults.
+  std::map<unsigned, std::string> Golden;
+  {
+    TempDir T;
+    DaemonConfig Cfg;
+    Cfg.SocketPath = T.str("golden.sock");
+    Cfg.Threads = 4;
+    Cfg.MaxQueue = 64;
+    Cfg.Cache.Dir.clear();
+    Daemon D(std::move(Cfg));
+    ASSERT_TRUE(static_cast<bool>(D.start()));
+    BatchSoakResult G = runBatchFleet(T.str("golden.sock"), Seed, nullptr,
+                                      &Golden);
+    D.requestDrain();
+    ASSERT_EQ(D.waitUntilDrained(), 0);
+    ASSERT_EQ(G.FailedBatches, 0u) << "fault-free phase must not drop";
+    ASSERT_EQ(G.IdErrors, 0u);
+    ASSERT_EQ(Golden.size(), NumSources);
+  }
+
+  // Phase 2 — same batch stream, faults armed everywhere.
+  BatchSoakResult R;
+  DaemonSnapshot Snap;
+  {
+    TempDir T;
+    DaemonConfig Cfg;
+    Cfg.SocketPath = T.str("chaos.sock");
+    Cfg.Threads = 4;
+    Cfg.MaxQueue = 64;
+    Cfg.MaxConns = 32;
+    Cfg.IdleTimeoutMs = 2000;
+    Cfg.ReadTimeoutMs = 2000;
+    Cfg.Cache.Dir = T.str("cache");
+    Cfg.Cache.MaxMemoryEntries = 4; // force disk-tier traffic under faults
+    Daemon D(std::move(Cfg));
+    ASSERT_TRUE(static_cast<bool>(D.start()));
+    {
+      fault::ScopedFaults Faults(Seed, chaosSchedule());
+      R = runBatchFleet(T.str("chaos.sock"), Seed, &Golden, nullptr);
+      D.requestDrain();
+      ASSERT_EQ(D.waitUntilDrained(), 0)
+          << "drain timed out with faults armed";
+    }
+    Snap = D.snapshot();
+  }
+
+  const uint64_t Total = uint64_t(NumClients) * BatchRounds;
+  EXPECT_EQ(R.OkBatches + R.FailedBatches, Total);
+  EXPECT_EQ(R.IdErrors, 0u)
+      << "a completed batch must answer every id exactly once";
+  EXPECT_EQ(R.Mismatched, 0u)
+      << "faults may cost batches, never corrupt completed replies";
+  // Batches retry as a unit (only missing ids resent), so completion
+  // stays high under the same fault rates as the request soak.
+  EXPECT_GE(R.OkBatches * 10, Total * 9)
+      << "ok=" << R.OkBatches << " failed=" << R.FailedBatches
+      << " seed=" << Seed;
+  EXPECT_EQ(Snap.LiveConns, 0u);
+
   const size_t FdsAfter = openFdCount();
   EXPECT_EQ(FdsBefore, FdsAfter)
       << "fd leak under faults (before=" << FdsBefore
