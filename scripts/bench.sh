@@ -9,6 +9,7 @@
 #   BUILD_DIR   build tree (default: <repo>/build-bench, Release)
 #   JOBS        compile parallelism (default: nproc)
 #   BENCH_OUT   where the BENCH_*.json land (default: current directory)
+#   CMAKE_ARGS  extra cmake configure arguments (e.g. a ccache launcher)
 set -eu
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
@@ -16,7 +17,8 @@ BUILD="${BUILD_DIR:-$ROOT/build-bench}"
 JOBS="${JOBS:-$(nproc 2>/dev/null || echo 2)}"
 OUT="${BENCH_OUT:-$(pwd)}"
 
-cmake -B "$BUILD" -S "$ROOT" -DCMAKE_BUILD_TYPE=Release
+# shellcheck disable=SC2086  # CMAKE_ARGS is intentionally word-split
+cmake -B "$BUILD" -S "$ROOT" -DCMAKE_BUILD_TYPE=Release ${CMAKE_ARGS:-}
 cmake --build "$BUILD" -j "$JOBS" \
     --target perf_oracle_batch perf_trace_overhead perf_serve
 

@@ -1,0 +1,161 @@
+#!/usr/bin/env python3
+"""Compare BENCH_*.json results against committed baselines.
+
+Usage:
+    bench_compare.py --baselines bench/baselines --current . \
+        [--threshold 0.10] [--report bench_compare.md]
+
+Reads every cerb-bench/1 document in the baseline directory, pairs it with
+the same-named file in the current directory, and compares metric by
+metric. Direction semantics are inferred from the metric name:
+
+  lower is better   *_ms, *_ns_per_check, *_overhead_pct
+  higher is better  *_qps, *_speedup, *_scaling, *_qps_1, *_qps_4
+  must hold         booleans that are true in the baseline (byte-identity,
+                    pass flags)
+  informational     everything else (counts, configuration echoes)
+
+A gated metric that moves more than --threshold (default 10%) in the bad
+direction is a regression: it is listed in the report and the script exits
+1 so the (non-gating) CI job surfaces a warning annotation. Missing
+current files or metrics are regressions too — a bench that silently
+stops emitting a number is how perf losses hide.
+
+Hardware-sensitive gates: scaling/QPS metrics move with runner core
+counts. The committed baselines are regenerated with scripts/bench.sh on
+the CI runner class; local runs on different hardware should compare
+against their own baselines (BENCH_OUT=... scripts/bench.sh).
+"""
+
+import argparse
+import json
+import math
+import os
+import sys
+
+LOWER_IS_BETTER = ("_ms", "_ns_per_check", "_overhead_pct")
+HIGHER_IS_BETTER = ("_qps", "_speedup", "_scaling", "_qps_1", "_qps_4")
+
+
+def direction(name: str) -> str:
+    """'lower', 'higher', or 'info' for a metric name."""
+    if name.endswith(LOWER_IS_BETTER):
+        return "lower"
+    if name.endswith(HIGHER_IS_BETTER):
+        return "higher"
+    return "info"
+
+
+def load(path: str) -> dict:
+    with open(path, "r", encoding="utf-8") as f:
+        doc = json.load(f)
+    if doc.get("schema") != "cerb-bench/1":
+        raise ValueError(f"{path}: unexpected schema {doc.get('schema')!r}")
+    return doc
+
+
+def compare_doc(name, base, cur, threshold, rows, regressions):
+    base_metrics = base["metrics"]
+    cur_metrics = cur["metrics"] if cur else {}
+    for metric, bval in base_metrics.items():
+        cval = cur_metrics.get(metric)
+        if cval is None:
+            regressions.append(f"{name}:{metric} missing from current run")
+            rows.append((name, metric, bval, "MISSING", "", "regression"))
+            continue
+        if isinstance(bval, bool):
+            # A boolean gate that held in the baseline must keep holding.
+            if bval and not cval:
+                regressions.append(f"{name}:{metric} flipped true -> false")
+                rows.append((name, metric, bval, cval, "", "regression"))
+            else:
+                rows.append((name, metric, bval, cval, "", "ok"))
+            continue
+        d = direction(metric)
+        try:
+            bnum, cnum = float(bval), float(cval)
+        except (TypeError, ValueError):
+            rows.append((name, metric, bval, cval, "", "info"))
+            continue
+        if d == "info" or bnum == 0 or not math.isfinite(bnum):
+            rows.append((name, metric, bval, cval, "", "info"))
+            continue
+        delta = (cnum - bnum) / abs(bnum)
+        shown = f"{delta:+.1%}"
+        worse = delta > threshold if d == "lower" else delta < -threshold
+        if worse:
+            regressions.append(
+                f"{name}:{metric} {bnum:g} -> {cnum:g} ({shown}, "
+                f"{d} is better)"
+            )
+            rows.append((name, metric, bval, cval, shown, "regression"))
+        else:
+            rows.append((name, metric, bval, cval, shown, "ok"))
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--baselines", required=True,
+                    help="directory of committed BENCH_*.json baselines")
+    ap.add_argument("--current", required=True,
+                    help="directory holding this run's BENCH_*.json")
+    ap.add_argument("--threshold", type=float, default=0.10,
+                    help="relative regression threshold (default 0.10)")
+    ap.add_argument("--report", default=None,
+                    help="also write a markdown report here (CI artifact)")
+    args = ap.parse_args()
+
+    baselines = sorted(
+        f for f in os.listdir(args.baselines)
+        if f.startswith("BENCH_") and f.endswith(".json")
+    )
+    if not baselines:
+        print(f"bench_compare: no baselines in {args.baselines}",
+              file=sys.stderr)
+        return 2
+
+    rows, regressions = [], []
+    for fname in baselines:
+        name = fname[len("BENCH_"):-len(".json")]
+        base = load(os.path.join(args.baselines, fname))
+        cur_path = os.path.join(args.current, fname)
+        if not os.path.exists(cur_path):
+            regressions.append(f"{name}: {fname} not produced by this run")
+            rows.append((name, "<file>", "present", "MISSING", "",
+                         "regression"))
+            continue
+        compare_doc(name, base, load(cur_path), args.threshold, rows,
+                    regressions)
+
+    lines = ["# Benchmark comparison", "",
+             f"Threshold: ±{args.threshold:.0%} on gated metrics "
+             f"(`*_ms` lower, `*_qps`/`*_speedup`/`*_scaling` higher, "
+             "true booleans must hold).", "",
+             "| bench | metric | baseline | current | delta | status |",
+             "|---|---|---|---|---|---|"]
+    for name, metric, bval, cval, delta, status in rows:
+        flag = {"ok": "", "info": "·", "regression": "**REGRESSION**"}[status]
+        lines.append(f"| {name} | {metric} | {bval} | {cval} | {delta} "
+                     f"| {flag} |")
+    lines.append("")
+    if regressions:
+        lines.append(f"## {len(regressions)} regression(s)")
+        lines.extend(f"- {r}" for r in regressions)
+    else:
+        lines.append("No regressions beyond the threshold.")
+    report = "\n".join(lines) + "\n"
+
+    print(report)
+    if args.report:
+        with open(args.report, "w", encoding="utf-8") as f:
+            f.write(report)
+
+    if regressions:
+        print(f"bench_compare: {len(regressions)} regression(s) beyond "
+              f"{args.threshold:.0%}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -2,6 +2,7 @@
 
 #include "serve/Daemon.h"
 
+#include "support/FaultInjector.h"
 #include "trace/Trace.h"
 
 #include <poll.h>
@@ -10,6 +11,7 @@
 #include <algorithm>
 #include <cerrno>
 #include <cstdio>
+#include <cstdlib>
 
 using namespace cerb;
 using namespace cerb::serve;
@@ -69,17 +71,25 @@ Daemon::~Daemon() {
 ExpectedVoid Daemon::start() {
   if (Started)
     return err("daemon already started");
-  if (Cfg.SocketPath.empty() && Cfg.TcpPort < 0)
+  if (Cfg.SocketPath.empty() && Cfg.TcpPort < 0 && Cfg.InheritedUnixFd < 0)
     return err("daemon has no listener (need a socket path or a TCP port)");
 
-  if (!Cfg.SocketPath.empty()) {
+  if (Cfg.InheritedUnixFd >= 0) {
+    // Worker mode: adopt the supervisor's canonical listening socket. The
+    // description is shared by every worker, so it must be non-blocking —
+    // poll() wakes all of them per connection and only one accept() wins;
+    // the losers need EAGAIN, not a blocked accept that never sees drain.
+    ListenUnix = net::Fd(Cfg.InheritedUnixFd);
+    net::setNonBlocking(ListenUnix.get());
+  } else if (!Cfg.SocketPath.empty()) {
     auto L = net::listenUnix(Cfg.SocketPath);
     if (!L)
       return L.takeError();
     ListenUnix = std::move(*L);
   }
   if (Cfg.TcpPort >= 0) {
-    auto L = net::listenTcp(static_cast<uint16_t>(Cfg.TcpPort), &BoundTcpPort);
+    auto L = net::listenTcp(static_cast<uint16_t>(Cfg.TcpPort), &BoundTcpPort,
+                            64, Cfg.TcpReuseport);
     if (!L)
       return L.takeError();
     ListenTcp = std::move(*L);
@@ -290,6 +300,10 @@ bool Daemon::handleFrame(const std::shared_ptr<Conn> &C,
       return send(*C, rejectResponse(Req->Id, "error",
                                      "shutdown op disabled on this daemon"));
     bool Ok = send(*C, okSimpleResponse(Req->Id, "stopping", "true"));
+    // Supervised worker: hand the shutdown to the supervisor so the whole
+    // pool drains, not just the worker that happened to read the frame.
+    if (Cfg.ShutdownDelegate && Cfg.ShutdownDelegate())
+      return Ok;
     requestDrain();
     return Ok;
   }
@@ -404,6 +418,12 @@ bool Daemon::handleFrame(const std::shared_ptr<Conn> &C,
 }
 
 std::string Daemon::evalBody(const EvalRequest &Q, std::string ProbedKey) {
+  // The worker-crash drill: a supervised pool must survive a worker dying
+  // mid-eval (restart + client retry = zero drops, replies byte-identical
+  // because re-evaluation is deterministic). _Exit skips every destructor
+  // — as close to kill -9 as an injector can get from inside.
+  if (fault::shouldFail("worker.crash"))
+    std::_Exit(86);
   const bool AlreadyMissed = !ProbedKey.empty();
   std::string Key = AlreadyMissed ? std::move(ProbedKey)
                                   : cacheKeyMaterial(Q);
@@ -505,7 +525,7 @@ DaemonSnapshot Daemon::snapshot() const {
   return Out;
 }
 
-std::string Daemon::statsJson() const {
+std::string Daemon::statsJson(bool IncludeExtra) const {
   DaemonSnapshot D = snapshot();
   CacheStats CS = Results.stats();
   auto N = [](uint64_t V) { return std::to_string(V); };
@@ -543,6 +563,12 @@ std::string Daemon::statsJson() const {
   J += ", \"bytes\": " + N(CC.Bytes);
   J += ", \"entries\": " + N(CC.Entries);
   J += ", \"budget_bytes\": " + N(Compiles.byteBudget());
-  J += "}}";
+  J += "}";
+  if (IncludeExtra && Cfg.StatsExtra) {
+    std::string Extra = Cfg.StatsExtra();
+    if (!Extra.empty())
+      J += ", " + Extra;
+  }
+  J += "}";
   return J;
 }

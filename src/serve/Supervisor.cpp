@@ -1,0 +1,730 @@
+//===-- serve/Supervisor.cpp ----------------------------------------------===//
+
+#include "serve/Supervisor.h"
+
+#include "support/Process.h"
+#include "support/StripedHashSet.h"
+#include "trace/Trace.h"
+
+#include <poll.h>
+#include <signal.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+using namespace cerb;
+using namespace cerb::serve;
+
+namespace {
+
+trace::Counter &cntRestarts() {
+  static trace::Counter C("serve.worker_restarts");
+  return C;
+}
+trace::Counter &cntBreakerTrips() {
+  static trace::Counter C("serve.breaker_trips");
+  return C;
+}
+
+/// poll() one fd for POLLIN with EINTR retry: 1 readable, 0 timeout, -1
+/// error.
+int pollIn(int Fd, int TimeoutMs) {
+  struct pollfd P = {Fd, POLLIN, 0};
+  while (true) {
+    int R = ::poll(&P, 1, TimeoutMs);
+    if (R >= 0)
+      return R > 0 ? 1 : 0;
+    if (errno != EINTR)
+      return -1;
+  }
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// RestartBackoff / FlapBreaker
+//===----------------------------------------------------------------------===//
+
+uint64_t RestartBackoff::nextDelayMs() {
+  // Exponential from BaseMs, saturating at MaxMs.
+  uint64_t D = BaseMs;
+  for (unsigned I = 0; I < Attempt && D < MaxMs; ++I)
+    D = D * 2 > MaxMs ? MaxMs : D * 2;
+  ++Attempt;
+  // Deterministic jitter into [D/2, D]: splitmix64 of seed x attempt.
+  uint64_t H = hashUint64(Seed ^ (uint64_t(Attempt) * 0x9e3779b97f4a7c15ull));
+  uint64_t Half = D / 2;
+  return D - (Half ? H % (Half + 1) : 0);
+}
+
+bool FlapBreaker::allowRestart(uint64_t NowMs) {
+  if (Tripped)
+    return false;
+  while (!Recent.empty() && NowMs - Recent.front() > WindowMs)
+    Recent.pop_front();
+  if (Recent.size() >= Limit) {
+    Tripped = true;
+    return false;
+  }
+  Recent.push_back(NowMs);
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// Supervisor
+//===----------------------------------------------------------------------===//
+
+Supervisor::Supervisor(SupervisorConfig C) : Cfg(std::move(C)) {
+  if (Cfg.Workers == 0)
+    Cfg.Workers = 1;
+  Slots.reserve(Cfg.Workers);
+  for (unsigned I = 0; I < Cfg.Workers; ++I)
+    Slots.emplace_back(Cfg, I);
+}
+
+Supervisor::~Supervisor() {
+  // Last-resort cleanup if run() never completed: kill what we spawned so
+  // tests cannot leak daemons.
+  for (Slot &S : Slots)
+    if (S.Pid > 0) {
+      ::kill(S.Pid, SIGKILL);
+      proc::reapBlocking(S.Pid, nullptr);
+    }
+}
+
+ExpectedVoid Supervisor::start() {
+  if (Started)
+    return err("supervisor already started");
+  if (Cfg.Worker.SocketPath.empty() && Cfg.Worker.TcpPort < 0)
+    return err("supervisor has no listener (need a socket path or TCP port)");
+
+  if (!Cfg.Worker.SocketPath.empty()) {
+    auto L = net::listenUnix(Cfg.Worker.SocketPath);
+    if (!L)
+      return L.takeError();
+    CanonicalUnix = std::move(*L);
+  }
+  if (Cfg.Worker.TcpPort >= 0) {
+    // Resolve the concrete port with a throwaway SO_REUSEPORT bind, then
+    // close it before any worker exists: a listening socket nobody
+    // accepts on would black-hole its share of connections.
+    uint16_t Port = 0;
+    auto Claim = net::listenTcp(static_cast<uint16_t>(Cfg.Worker.TcpPort),
+                                &Port, 1, /*Reuseport=*/true);
+    if (!Claim)
+      return Claim.takeError();
+    BoundTcpPort = Port;
+    TcpOn = true;
+  }
+
+  int Pipe[2];
+  if (::pipe(Pipe) != 0)
+    return err("supervisor self-pipe creation failed");
+  WakeRead = net::Fd(Pipe[0]);
+  WakeWrite = net::Fd(Pipe[1]);
+
+  Started = true;
+  const uint64_t Now = proc::monotonicMs();
+  for (size_t I = 0; I < Slots.size(); ++I)
+    spawnSlot(I, Now);
+
+  if (!Cfg.Quiet) {
+    std::string Where;
+    if (CanonicalUnix.valid())
+      Where += "unix:" + Cfg.Worker.SocketPath;
+    if (TcpOn) {
+      if (!Where.empty())
+        Where += ", ";
+      Where += "tcp:127.0.0.1:" + std::to_string(BoundTcpPort);
+    }
+    std::fprintf(stderr, "cerbd: supervisor listening on %s (%u workers)\n",
+                 Where.c_str(), Cfg.Workers);
+  }
+  return ExpectedVoid();
+}
+
+void Supervisor::spawnSlot(size_t I, uint64_t NowMs) {
+  Slot &S = Slots[I];
+  auto SP = net::socketPair();
+  if (!SP) {
+    // Treated exactly like an instant crash: backoff, breaker, retry.
+    onChildExit(I, 0x7f00, NowMs);
+    return;
+  }
+  pid_t Pid = proc::forkChild();
+  if (Pid < 0) {
+    if (!Cfg.Quiet)
+      std::fprintf(stderr, "cerbd: fork for worker %zu failed: %s\n", I,
+                   std::strerror(errno));
+    onChildExit(I, 0x7f00, NowMs);
+    return;
+  }
+  if (Pid == 0) {
+    // --- child ---
+    if (Cfg.ChildInit)
+      Cfg.ChildInit();
+    net::Fd Control = std::move(SP->second);
+    // Drop every supervisor-held descriptor this worker must not retain:
+    // the sibling control channels (a crashed sibling's EOF must reach
+    // the supervisor, not linger because we hold the write end), the
+    // pidfds, the drain pipe, and the inherited copy of the canonical
+    // listener — the worker adopts the SCM_RIGHTS-passed one instead.
+    SP->first.reset();
+    for (Slot &Other : Slots) {
+      Other.Control.reset();
+      Other.PidFd.reset();
+    }
+    WakeRead.reset();
+    WakeWrite.reset();
+    CanonicalUnix.reset();
+    std::_Exit(
+        runWorkerChild(std::move(Control), Cfg.Worker, BoundTcpPort, TcpOn));
+  }
+  // --- parent ---
+  S.Pid = Pid;
+  S.LastPid = Pid;
+  S.Control = std::move(SP->first);
+  S.PidFd = proc::pidfdOpen(Pid);
+  S.St = SlotState::Running;
+  S.SpawnedAtMs = NowMs;
+  // Hand the shared unix listener over (or an explicit none marker so the
+  // worker does not block waiting for a descriptor that never comes).
+  net::sendFdMsg(S.Control.get(), CanonicalUnix.valid() ? 'L' : 'N',
+                 CanonicalUnix.valid() ? CanonicalUnix.get() : -1);
+}
+
+void Supervisor::onChildExit(size_t I, int Status, uint64_t NowMs) {
+  Slot &S = Slots[I];
+  S.Pid = -1;
+  S.Control.reset();
+  S.PidFd.reset();
+  if (DrainRequested) {
+    S.St = SlotState::Exited;
+    return;
+  }
+  // A worker that outlived the flap window earned its slot a fresh
+  // backoff schedule; chronic crashers keep escalating.
+  if (NowMs - S.SpawnedAtMs > Cfg.RestartWindowMs)
+    S.Backoff.reset();
+  if (!S.Breaker.allowRestart(NowMs)) {
+    S.St = SlotState::Failed;
+    cntBreakerTrips().add();
+    std::fprintf(stderr,
+                 "cerbd: worker %zu (%s) flapping — breaker tripped after "
+                 "%u restarts, slot abandoned\n",
+                 I, proc::describeStatus(Status).c_str(), S.Restarts);
+    return;
+  }
+  ++S.Restarts;
+  ++TotalRestarts;
+  cntRestarts().add();
+  uint64_t Delay = S.Backoff.nextDelayMs();
+  S.St = SlotState::Backoff;
+  S.RestartAtMs = NowMs + Delay;
+  if (!Cfg.Quiet)
+    std::fprintf(stderr,
+                 "cerbd: worker %zu died (%s); restart %u in %llu ms\n", I,
+                 proc::describeStatus(Status).c_str(), S.Restarts,
+                 static_cast<unsigned long long>(Delay));
+}
+
+int Supervisor::run() {
+  if (!Started)
+    return 1;
+  bool AnyPidfdMissing = false;
+  while (!DrainRequested) {
+    // Assemble the poll set: drain pipe + per-slot control fds + pidfds.
+    std::vector<struct pollfd> Fds;
+    std::vector<std::pair<size_t, bool>> Who; // slot, IsPidFd
+    Fds.push_back({WakeRead.get(), POLLIN, 0});
+    Who.emplace_back(SIZE_MAX, false);
+    AnyPidfdMissing = false;
+    for (size_t I = 0; I < Slots.size(); ++I) {
+      Slot &S = Slots[I];
+      if (S.St != SlotState::Running)
+        continue;
+      if (S.Control.valid()) {
+        Fds.push_back({S.Control.get(), POLLIN, 0});
+        Who.emplace_back(I, false);
+      }
+      if (S.PidFd.valid()) {
+        Fds.push_back({S.PidFd.get(), POLLIN, 0});
+        Who.emplace_back(I, true);
+      } else {
+        AnyPidfdMissing = true;
+      }
+    }
+    // Timeout: the nearest scheduled restart, or a reap-sweep tick when
+    // some kernel denied us pidfds.
+    uint64_t Now = proc::monotonicMs();
+    int Timeout = -1;
+    for (Slot &S : Slots)
+      if (S.St == SlotState::Backoff) {
+        uint64_t Left = S.RestartAtMs > Now ? S.RestartAtMs - Now : 0;
+        if (Timeout < 0 || Left < static_cast<uint64_t>(Timeout))
+          Timeout = static_cast<int>(Left);
+      }
+    if (AnyPidfdMissing && (Timeout < 0 || Timeout > 200))
+      Timeout = 200;
+
+    int R = ::poll(Fds.data(), Fds.size(), Timeout);
+    if (R < 0 && errno != EINTR)
+      break;
+    Now = proc::monotonicMs();
+    if (R > 0) {
+      if (Fds[0].revents) {
+        DrainRequested = true;
+        break;
+      }
+      for (size_t K = 1; K < Fds.size(); ++K) {
+        if (!Fds[K].revents)
+          continue;
+        auto [I, IsPidFd] = Who[K];
+        Slot &S = Slots[I];
+        if (S.St != SlotState::Running || S.Pid < 0)
+          continue; // already handled this iteration
+        if (IsPidFd) {
+          int Status = 0;
+          if (proc::reapNoHang(S.Pid, &Status))
+            onChildExit(I, Status, Now);
+        } else {
+          handleControl(I);
+        }
+      }
+    }
+    // pidfd-less fallback: sweep for silently-exited children.
+    if (AnyPidfdMissing)
+      for (size_t I = 0; I < Slots.size(); ++I) {
+        Slot &S = Slots[I];
+        int Status = 0;
+        if (S.St == SlotState::Running && S.Pid > 0 && !S.PidFd.valid() &&
+            proc::reapNoHang(S.Pid, &Status))
+          onChildExit(I, Status, Now);
+      }
+    // Deferred control messages from an aggregation window.
+    while (!Deferred.empty()) {
+      auto [I, Msg] = std::move(Deferred.front());
+      Deferred.pop_front();
+      handleControlMessage(I, Msg);
+      if (DrainRequested)
+        break;
+    }
+    if (DrainRequested)
+      break;
+    // Respawn slots whose backoff expired.
+    for (size_t I = 0; I < Slots.size(); ++I)
+      if (Slots[I].St == SlotState::Backoff && Now >= Slots[I].RestartAtMs)
+        spawnSlot(I, Now);
+    if (allSlotsFailed()) {
+      std::fprintf(stderr,
+                   "cerbd: every worker slot tripped its flap breaker — "
+                   "giving up\n");
+      closeListeners();
+      return 3;
+    }
+  }
+  rollingDrain();
+  closeListeners();
+  if (!Cfg.Quiet)
+    std::fprintf(stderr, "cerbd: supervisor drained cleanly\n");
+  return 0;
+}
+
+void Supervisor::handleControl(size_t I) {
+  Slot &S = Slots[I];
+  std::string Msg;
+  int RC = net::readFrame(S.Control.get(), Msg);
+  if (RC <= 0) {
+    // Control EOF: the worker is dying (or dead); the pidfd/waitpid path
+    // owns the restart decision, we just stop polling a dead channel.
+    S.Control.reset();
+    return;
+  }
+  handleControlMessage(I, Msg);
+}
+
+void Supervisor::handleControlMessage(size_t I, const std::string &Msg) {
+  if (Msg.rfind("ready", 0) == 0)
+    return; // informational; the slot is already Running
+  if (Msg.rfind("stats_req ", 0) == 0) {
+    aggregateStats(I, Msg.substr(10));
+    return;
+  }
+  if (Msg == "shutdown_req") {
+    DrainRequested = true;
+    return;
+  }
+  // snap_reply frames outside an aggregation window (a worker answering
+  // after the 1.5 s collect deadline) are dropped by falling through.
+}
+
+void Supervisor::aggregateStats(size_t ReqSlot, const std::string &Token) {
+  // Fan out "snap" to every live worker (including the requester: its
+  // control thread answers while its reader thread waits on our reply).
+  std::vector<int> Pending; // slot indices with a snap outstanding
+  for (size_t I = 0; I < Slots.size(); ++I) {
+    Slot &S = Slots[I];
+    if (S.St == SlotState::Running && S.Control.valid() &&
+        net::writeFrame(S.Control.get(), "snap"))
+      Pending.push_back(static_cast<int>(I));
+  }
+  std::vector<std::string> Counters(Slots.size());
+  const uint64_t Deadline = proc::monotonicMs() + 1500;
+  while (!Pending.empty()) {
+    uint64_t Now = proc::monotonicMs();
+    if (Now >= Deadline)
+      break;
+    std::vector<struct pollfd> Fds;
+    for (int I : Pending)
+      Fds.push_back({Slots[I].Control.get(), POLLIN, 0});
+    int R = ::poll(Fds.data(), Fds.size(),
+                   static_cast<int>(Deadline - Now));
+    if (R < 0 && errno == EINTR)
+      continue;
+    if (R <= 0)
+      break;
+    for (size_t K = 0; K < Fds.size(); ++K) {
+      if (!Fds[K].revents)
+        continue;
+      size_t I = static_cast<size_t>(Pending[K]);
+      Slot &S = Slots[I];
+      std::string Msg;
+      int RC = net::readFrame(S.Control.get(), Msg);
+      if (RC <= 0) {
+        S.Control.reset(); // dying worker; pidfd path will reap it
+        Pending.erase(std::find(Pending.begin(), Pending.end(),
+                                static_cast<int>(I)));
+        break; // Fds indices are stale; rebuild
+      }
+      if (Msg.rfind("snap_reply\n", 0) == 0) {
+        Counters[I] = Msg.substr(11);
+        Pending.erase(std::find(Pending.begin(), Pending.end(),
+                                static_cast<int>(I)));
+        break; // rebuild Fds without this slot
+      }
+      // Anything else (another stats_req, shutdown_req) replays after the
+      // aggregation so it cannot be lost.
+      Deferred.emplace_back(I, Msg);
+    }
+  }
+  Slot &Req = Slots[ReqSlot];
+  if (Req.Control.valid())
+    net::writeFrame(Req.Control.get(),
+                    "stats_reply " + Token + "\n" + workersSection(Counters));
+}
+
+std::string
+Supervisor::workersSection(const std::vector<std::string> &Counters) const {
+  bool Degraded = false;
+  for (const Slot &S : Slots)
+    if (S.St == SlotState::Failed)
+      Degraded = true;
+  std::string J = "\"supervisor\": {";
+  J += "\"workers\": " + std::to_string(Slots.size());
+  J += ", \"degraded\": " + std::string(Degraded ? "true" : "false");
+  J += ", \"restarts_total\": " + std::to_string(TotalRestarts);
+  J += ", \"aggregated\": true";
+  J += "}, \"workers\": [";
+  for (size_t I = 0; I < Slots.size(); ++I) {
+    const Slot &S = Slots[I];
+    if (I)
+      J += ", ";
+    J += "{\"slot\": " + std::to_string(I);
+    J += ", \"pid\": " + std::to_string(S.Pid > 0 ? S.Pid : S.LastPid);
+    const char *St = "running";
+    switch (S.St) {
+    case SlotState::Running:
+      St = "running";
+      break;
+    case SlotState::Backoff:
+      St = "restarting";
+      break;
+    case SlotState::Failed:
+      St = "failed";
+      break;
+    case SlotState::Exited:
+      St = "exited";
+      break;
+    }
+    J += std::string(", \"state\": \"") + St + "\"";
+    J += ", \"restarts\": " + std::to_string(S.Restarts);
+    J += ", \"counters\": " +
+         (Counters[I].empty() ? std::string("null") : Counters[I]);
+    J += "}";
+  }
+  J += "]";
+  return J;
+}
+
+void Supervisor::rollingDrain() {
+  for (Slot &S : Slots)
+    drainSlot(S);
+}
+
+void Supervisor::drainSlot(Slot &S) {
+  if (S.Pid <= 0) {
+    // Nothing spawned (backoff slot or already failed): cancel any
+    // pending restart.
+    if (S.St == SlotState::Backoff)
+      S.St = SlotState::Exited;
+    return;
+  }
+  // Ask nicely over the control channel; a torn channel falls back to
+  // SIGTERM (the worker drains on either — control EOF and the signal
+  // both route to Daemon::requestDrain).
+  if (!S.Control.valid() || !net::writeFrame(S.Control.get(), "drain"))
+    ::kill(S.Pid, SIGTERM);
+  // Zero drops: wait for the worker to finish every admitted request. The
+  // escalation timeout is a backstop against a truly hung worker, far
+  // above any legitimate drain.
+  bool Exited = false;
+  if (S.PidFd.valid()) {
+    Exited = pollIn(S.PidFd.get(), 120000) == 1;
+  } else {
+    const uint64_t Deadline = proc::monotonicMs() + 120000;
+    while (proc::monotonicMs() < Deadline) {
+      int Status = 0;
+      if (proc::reapNoHang(S.Pid, &Status)) {
+        S.Pid = -1;
+        S.St = SlotState::Exited;
+        S.Control.reset();
+        return;
+      }
+      ::usleep(20 * 1000);
+    }
+  }
+  if (!Exited && S.PidFd.valid())
+    ::kill(S.Pid, SIGKILL);
+  proc::reapBlocking(S.Pid, nullptr);
+  S.Pid = -1;
+  S.St = SlotState::Exited;
+  S.Control.reset();
+  S.PidFd.reset();
+}
+
+bool Supervisor::allSlotsFailed() const {
+  for (const Slot &S : Slots)
+    if (S.St != SlotState::Failed)
+      return false;
+  return !Slots.empty();
+}
+
+void Supervisor::closeListeners() {
+  CanonicalUnix.reset();
+  if (!Cfg.Worker.SocketPath.empty())
+    ::unlink(Cfg.Worker.SocketPath.c_str());
+}
+
+//===----------------------------------------------------------------------===//
+// Worker side
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// The worker's drain pipe for direct SIGTERM/SIGINT delivery (e.g. a
+/// process-group Ctrl-C): the supervisor normally drains workers over the
+/// control channel, but a worker must also drain — not die mid-request —
+/// when signalled directly.
+std::atomic<int> GWorkerDrainFd{-1};
+
+void onWorkerTermSignal(int) {
+  int Fd = GWorkerDrainFd.load(std::memory_order_relaxed);
+  if (Fd >= 0) {
+    char B = 'x';
+    [[maybe_unused]] ssize_t R = ::write(Fd, &B, 1);
+  }
+}
+
+/// The worker end of the control channel: a thread that answers the
+/// supervisor's snap probes, routes drain commands into the daemon, and
+/// correlates stats_req/stats_reply for the StatsExtra hook.
+class WorkerLink {
+public:
+  explicit WorkerLink(net::Fd Control) : Control(std::move(Control)) {}
+
+  void attach(Daemon *Dm) { D = Dm; }
+
+  void startThread() {
+    int Pipe[2];
+    if (::pipe(Pipe) == 0) {
+      StopR = net::Fd(Pipe[0]);
+      StopW = net::Fd(Pipe[1]);
+    }
+    T = std::thread([this] {
+      trace::setCurrentThreadName("cerbd-ctl");
+      loop();
+    });
+  }
+
+  void stop() {
+    if (StopW.valid()) {
+      char B = 'x';
+      [[maybe_unused]] ssize_t R = ::write(StopW.get(), &B, 1);
+    }
+    if (T.joinable())
+      T.join();
+  }
+
+  /// The StatsExtra hook: ask the supervisor for the aggregated workers
+  /// section; local-only fallback if it does not answer in time (e.g. it
+  /// is mid-rolling-drain).
+  std::string aggregatedSection(uint64_t TimeoutMs) {
+    uint64_t Token;
+    {
+      std::lock_guard<std::mutex> L(Mu);
+      Token = NextToken++;
+    }
+    bool Sent;
+    {
+      std::lock_guard<std::mutex> L(WriteMu);
+      Sent = net::writeFrame(Control.get(),
+                             "stats_req " + std::to_string(Token));
+    }
+    if (Sent) {
+      std::unique_lock<std::mutex> L(Mu);
+      Cv.wait_for(L, std::chrono::milliseconds(TimeoutMs), [&] {
+        return Eof || Replies.count(Token) != 0;
+      });
+      auto It = Replies.find(Token);
+      if (It != Replies.end()) {
+        std::string S = std::move(It->second);
+        Replies.erase(It);
+        return S;
+      }
+    }
+    return "\"supervisor\": {\"workers\": 0, \"degraded\": false, "
+           "\"restarts_total\": 0, \"aggregated\": false}, \"workers\": []";
+  }
+
+  /// The ShutdownDelegate hook: true = the supervisor owns the drain now.
+  bool delegateShutdown() {
+    std::lock_guard<std::mutex> L(WriteMu);
+    return net::writeFrame(Control.get(), "shutdown_req");
+  }
+
+private:
+  void loop() {
+    for (;;) {
+      struct pollfd Fds[2] = {{Control.get(), POLLIN, 0},
+                              {StopR.valid() ? StopR.get() : -1, POLLIN, 0}};
+      int R = ::poll(Fds, 2, -1);
+      if (R < 0) {
+        if (errno == EINTR)
+          continue;
+        break;
+      }
+      if (Fds[1].revents)
+        break; // stop() — the daemon already drained
+      if (!Fds[0].revents)
+        continue;
+      std::string Msg;
+      int RC = net::readFrame(Control.get(), Msg);
+      if (RC <= 0) {
+        // Supervisor died: orphaned workers drain and exit rather than
+        // serve unsupervised forever.
+        {
+          std::lock_guard<std::mutex> L(Mu);
+          Eof = true;
+        }
+        Cv.notify_all();
+        if (D)
+          D->requestDrain();
+        break;
+      }
+      if (Msg == "snap") {
+        std::lock_guard<std::mutex> L(WriteMu);
+        net::writeFrame(Control.get(),
+                        "snap_reply\n" +
+                            (D ? D->statsJson(/*IncludeExtra=*/false)
+                               : std::string("null")));
+      } else if (Msg == "drain") {
+        if (D)
+          D->requestDrain();
+      } else if (Msg.rfind("stats_reply ", 0) == 0) {
+        size_t NL = Msg.find('\n');
+        if (NL != std::string::npos) {
+          uint64_t Token = std::strtoull(Msg.c_str() + 12, nullptr, 10);
+          {
+            std::lock_guard<std::mutex> L(Mu);
+            Replies[Token] = Msg.substr(NL + 1);
+          }
+          Cv.notify_all();
+        }
+      }
+    }
+  }
+
+  net::Fd Control;
+  Daemon *D = nullptr;
+  std::thread T;
+  net::Fd StopR, StopW;
+  std::mutex Mu;
+  std::condition_variable Cv;
+  std::mutex WriteMu;
+  uint64_t NextToken = 1;
+  std::map<uint64_t, std::string> Replies;
+  bool Eof = false;
+};
+
+} // namespace
+
+int cerb::serve::runWorkerChild(net::Fd Control, DaemonConfig Template,
+                                uint16_t TcpPort, bool TcpOn) {
+  // First message: the SCM_RIGHTS-passed unix listener (or a none marker).
+  char Tag = 0;
+  net::Fd Listen;
+  if (net::recvFdMsg(Control.get(), &Tag, &Listen) != 1)
+    return 81;
+
+  DaemonConfig DC = std::move(Template);
+  DC.SocketPath.clear(); // the supervisor owns (and unlinks) the path
+  DC.InheritedUnixFd = (Tag == 'L' && Listen.valid()) ? Listen.release() : -1;
+  if (TcpOn) {
+    DC.TcpPort = TcpPort;
+    DC.TcpReuseport = true;
+  } else {
+    DC.TcpPort = -1;
+  }
+
+  auto Link = std::make_unique<WorkerLink>(net::Fd(Control.release()));
+  WorkerLink *L = Link.get();
+  DC.StatsExtra = [L] { return L->aggregatedSection(2500); };
+  DC.ShutdownDelegate = [L] { return L->delegateShutdown(); };
+
+  Daemon D(std::move(DC));
+  auto Started = D.start();
+  if (!Started) {
+    std::fprintf(stderr, "cerbd: worker %d failed to start: %s\n",
+                 static_cast<int>(::getpid()), Started.error().str().c_str());
+    return 82;
+  }
+  Link->attach(&D);
+  Link->startThread();
+
+  // Direct SIGTERM/SIGINT (process-group signals) drain this worker; the
+  // supervisor notices the clean exit and, if it is not draining itself,
+  // restarts the slot.
+  GWorkerDrainFd.store(D.drainFd(), std::memory_order_relaxed);
+  struct sigaction SA;
+  std::memset(&SA, 0, sizeof SA);
+  SA.sa_handler = onWorkerTermSignal;
+  sigemptyset(&SA.sa_mask);
+  sigaction(SIGTERM, &SA, nullptr);
+  sigaction(SIGINT, &SA, nullptr);
+
+  int RC = D.waitUntilDrained();
+  GWorkerDrainFd.store(-1, std::memory_order_relaxed);
+  Link->stop();
+  return RC;
+}

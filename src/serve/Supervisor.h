@@ -1,0 +1,215 @@
+//===-- serve/Supervisor.h - Pre-forked worker pool for cerbd ---*- C++ -*-===//
+///
+/// \file
+/// `cerb serve --workers N`: a supervisor process that pre-forks N worker
+/// processes, each running the ordinary serve::Daemon accept/eval loop,
+/// and keeps the pool alive — one worker crashing (an ASan abort in a
+/// memory-model corner, an injected `worker.crash`, a kill -9) costs one
+/// process, not the service.
+///
+/// Listener sharing:
+///  - unix-domain: the supervisor binds the socket once and passes the
+///    descriptor to every worker over its control socketpair via
+///    SCM_RIGHTS. All workers (and the supervisor) share one open file
+///    description, so the accept queue survives any subset of workers
+///    dying: connections made while every worker is mid-restart simply
+///    wait to be accepted — a retrying client never sees ECONNREFUSED.
+///  - TCP: the supervisor binds a throwaway SO_REUSEPORT socket only to
+///    resolve a kernel-assigned port, then each worker binds its own
+///    SO_REUSEPORT socket on that concrete port and the kernel spreads
+///    accepts across them.
+///
+/// Supervision: children are watched through pidfd_open descriptors in the
+/// supervisor's poll loop (waitpid(WNOHANG) sweeps on kernels without
+/// pidfd). A dead worker is restarted after a seeded exponential backoff
+/// (RestartBackoff); a slot that crashes more than RestartLimit times
+/// within RestartWindowMs trips its FlapBreaker and is abandoned —
+/// `stats` reports the pool `degraded` — and when every slot has tripped
+/// the supervisor gives up and exits nonzero rather than flap forever.
+///
+/// Control channel: one socketpair per worker carrying the same
+/// length-prefixed frames as the wire protocol, with plain-text payloads:
+///   worker -> sup:  "ready <pid>"            after the daemon started
+///                   "stats_req <token>"      a client asked this worker
+///                                            for `stats`
+///                   "shutdown_req"           a client sent `shutdown`
+///   sup -> worker:  "snap"                   reply with local stats
+///                   "stats_reply <token>\n<section>"
+///                   "drain"                  finish in-flight work, exit
+/// plus the one SCM_RIGHTS message (tag 'L'/'N') that hands the unix
+/// listener over right after fork. On `stats` the worker asks the
+/// supervisor, the supervisor snaps every live worker, and the requester
+/// splices the aggregated `workers: [{pid, state, restarts, counters}]`
+/// section into its reply; on `shutdown` (or SIGTERM to the supervisor)
+/// the pool is drained *rolling*: each worker in turn finishes every
+/// admitted request before exiting — the PR 5/6 zero-drop drain guarantee,
+/// extended across processes.
+///
+//===----------------------------------------------------------------------===//
+#ifndef CERB_SERVE_SUPERVISOR_H
+#define CERB_SERVE_SUPERVISOR_H
+
+#include "serve/Daemon.h"
+#include "support/Socket.h"
+
+#include <sys/types.h>
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace cerb::serve {
+
+/// Seeded exponential backoff for worker restarts: delay doubles per
+/// attempt from BaseMs up to MaxMs, jittered deterministically (splitmix64
+/// of seed x attempt) into [delay/2, delay] so a fleet of supervisors
+/// sharing a seed base does not restart in lockstep. reset() after a
+/// worker proves healthy.
+class RestartBackoff {
+public:
+  RestartBackoff(uint64_t BaseMs, uint64_t MaxMs, uint64_t Seed)
+      : BaseMs(BaseMs ? BaseMs : 1), MaxMs(MaxMs < BaseMs ? BaseMs : MaxMs),
+        Seed(Seed) {}
+
+  /// Delay before the next restart; advances the attempt counter.
+  uint64_t nextDelayMs();
+  void reset() { Attempt = 0; }
+  unsigned attempts() const { return Attempt; }
+
+private:
+  uint64_t BaseMs, MaxMs, Seed;
+  unsigned Attempt = 0;
+};
+
+/// Flap detector: allows at most Limit restarts within any WindowMs
+/// stretch; one more trips the breaker for good.
+class FlapBreaker {
+public:
+  FlapBreaker(unsigned Limit, uint64_t WindowMs)
+      : Limit(Limit), WindowMs(WindowMs) {}
+
+  /// Records a restart wish at \p NowMs. False = the slot already used its
+  /// Limit restarts inside the window; the breaker trips and stays
+  /// tripped.
+  bool allowRestart(uint64_t NowMs);
+  bool tripped() const { return Tripped; }
+
+private:
+  unsigned Limit;
+  uint64_t WindowMs;
+  std::deque<uint64_t> Recent; ///< restart timestamps inside the window
+  bool Tripped = false;
+};
+
+struct SupervisorConfig {
+  /// Per-worker daemon template. SocketPath/TcpPort describe where the
+  /// *pool* listens: the supervisor does the unix bind (workers inherit
+  /// the fd) and resolves the TCP port (workers re-bind with
+  /// SO_REUSEPORT).
+  DaemonConfig Worker;
+  unsigned Workers = 2;
+  /// Flap breaker: give up on a slot after this many restarts inside
+  /// RestartWindowMs.
+  unsigned RestartLimit = 5;
+  uint64_t RestartWindowMs = 30000;
+  /// Backoff schedule between restarts.
+  uint64_t RestartBaseMs = 100;
+  uint64_t RestartMaxMs = 5000;
+  /// Jitter seed for the backoff schedule.
+  uint64_t Seed = 1;
+  bool Quiet = true;
+  /// Runs in the child immediately after fork, before the worker daemon
+  /// starts — the CLI resets its signal-handler state here so a restarted
+  /// worker does not inherit the supervisor's SIGTERM plumbing.
+  std::function<void()> ChildInit;
+};
+
+/// The supervisor: single-threaded poll loop over the drain self-pipe,
+/// every worker's control socket, and every worker's pidfd.
+class Supervisor {
+public:
+  explicit Supervisor(SupervisorConfig Cfg);
+  ~Supervisor();
+
+  Supervisor(const Supervisor &) = delete;
+  Supervisor &operator=(const Supervisor &) = delete;
+
+  /// Binds the shared listeners and forks the initial workers.
+  ExpectedVoid start();
+
+  /// Supervises until drained (signal or a worker's shutdown_req).
+  /// Returns 0 after a clean rolling drain, 3 when every slot tripped its
+  /// flap breaker and the pool gave up.
+  int run();
+
+  /// Self-pipe write end for SIGTERM/SIGINT handlers (write one byte to
+  /// request the rolling drain), as Daemon::drainFd().
+  int drainFd() const { return WakeWrite.get(); }
+
+  /// Kernel-assigned port when Worker.TcpPort was 0.
+  uint16_t tcpPort() const { return BoundTcpPort; }
+
+private:
+  enum class SlotState { Running, Backoff, Failed, Exited };
+
+  struct Slot {
+    pid_t Pid = -1;
+    pid_t LastPid = 0; ///< for stats after the slot died/tripped
+    net::Fd Control;   ///< supervisor end of the control socketpair
+    net::Fd PidFd;     ///< invalid on kernels without pidfd_open
+    SlotState St = SlotState::Backoff;
+    unsigned Restarts = 0;
+    uint64_t RestartAtMs = 0; ///< Backoff: when to respawn
+    uint64_t SpawnedAtMs = 0;
+    RestartBackoff Backoff;
+    FlapBreaker Breaker;
+
+    Slot(const SupervisorConfig &C, unsigned Index)
+        : Backoff(C.RestartBaseMs, C.RestartMaxMs, C.Seed ^ (Index * 0x9e37u)),
+          Breaker(C.RestartLimit, C.RestartWindowMs) {}
+  };
+
+  void spawnSlot(size_t I, uint64_t NowMs);
+  void onChildExit(size_t I, int Status, uint64_t NowMs);
+  /// One control frame from worker \p I; queues work it cannot finish
+  /// inline.
+  void handleControl(size_t I);
+  void handleControlMessage(size_t I, const std::string &Msg);
+  /// Fan out "snap" to every live worker, collect replies, answer worker
+  /// \p ReqSlot's stats_req with the aggregated section.
+  void aggregateStats(size_t ReqSlot, const std::string &Token);
+  std::string workersSection(
+      const std::vector<std::string> &Counters) const;
+  /// Sequential zero-drop drain of every live worker.
+  void rollingDrain();
+  void drainSlot(Slot &S);
+  bool allSlotsFailed() const;
+  void closeListeners();
+
+  SupervisorConfig Cfg;
+  std::vector<Slot> Slots;
+  net::Fd CanonicalUnix;       ///< the shared unix listener (fd-passed)
+  net::Fd WakeRead, WakeWrite; ///< drain self-pipe
+  uint16_t BoundTcpPort = 0;
+  bool TcpOn = false;
+  bool Started = false;
+  bool DrainRequested = false;
+  unsigned TotalRestarts = 0;
+  /// Control messages read mid-aggregation that were not the awaited
+  /// snap_reply; replayed once the aggregation finishes.
+  std::deque<std::pair<size_t, std::string>> Deferred;
+};
+
+/// The child side: runs one worker daemon over the inherited control
+/// socket. Adopts the SCM_RIGHTS-passed unix listener, re-binds TCP with
+/// SO_REUSEPORT on \p TcpPort when \p TcpOn, installs the control-channel
+/// link (stats aggregation + delegated shutdown + drain-on-EOF), and
+/// returns the worker's exit code. Called inside the forked child only.
+int runWorkerChild(net::Fd Control, DaemonConfig Template, uint16_t TcpPort,
+                   bool TcpOn);
+
+} // namespace cerb::serve
+
+#endif // CERB_SERVE_SUPERVISOR_H

@@ -1,0 +1,84 @@
+//===-- support/Process.cpp -----------------------------------------------===//
+
+#include "support/Process.h"
+
+#include "support/FaultInjector.h"
+
+#include <sys/syscall.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <cstring>
+
+using namespace cerb;
+
+pid_t cerb::proc::forkChild() {
+  if (int E = 0; fault::shouldFail("proc.fork", &E)) {
+    errno = E;
+    return -1;
+  }
+  return ::fork();
+}
+
+net::Fd cerb::proc::pidfdOpen(pid_t Pid) {
+#ifdef SYS_pidfd_open
+  long Raw = ::syscall(SYS_pidfd_open, Pid, 0u);
+  if (Raw >= 0)
+    return net::Fd(static_cast<int>(Raw));
+#else
+  (void)Pid;
+#endif
+  return net::Fd();
+}
+
+bool cerb::proc::reapNoHang(pid_t Pid, int *OutStatus) {
+  int Status = 0;
+  pid_t R;
+  do
+    R = ::waitpid(Pid, &Status, WNOHANG);
+  while (R < 0 && errno == EINTR);
+  if (R != Pid)
+    return false;
+  if (OutStatus)
+    *OutStatus = Status;
+  return true;
+}
+
+bool cerb::proc::reapBlocking(pid_t Pid, int *OutStatus) {
+  int Status = 0;
+  pid_t R;
+  do
+    R = ::waitpid(Pid, &Status, 0);
+  while (R < 0 && errno == EINTR);
+  if (R != Pid)
+    return false;
+  if (OutStatus)
+    *OutStatus = Status;
+  return true;
+}
+
+std::string cerb::proc::describeStatus(int Status) {
+  if (WIFEXITED(Status))
+    return "exit " + std::to_string(WEXITSTATUS(Status));
+  if (WIFSIGNALED(Status)) {
+    int Sig = WTERMSIG(Status);
+    const char *Name = ::strsignal(Sig);
+    return "signal " + std::to_string(Sig) +
+           (Name ? " (" + std::string(Name) + ")" : std::string());
+  }
+  return "status " + std::to_string(Status);
+}
+
+bool cerb::proc::exitedCleanly(int Status) {
+  return WIFEXITED(Status) && WEXITSTATUS(Status) == 0;
+}
+
+uint64_t cerb::proc::monotonicMs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}

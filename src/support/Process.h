@@ -1,0 +1,59 @@
+//===-- support/Process.h - fork/pidfd/waitpid helpers ----------*- C++ -*-===//
+///
+/// \file
+/// Child-process primitives for the supervised worker pool: a fork wrapper
+/// with a deterministic fault point (`proc.fork`, so spawn-failure paths
+/// are explorable on demand like every other serve seam), pidfd_open with
+/// a portable waitpid fallback, and exit-status helpers.
+///
+/// pidfd is the preferred child monitor — a pollable descriptor with none
+/// of SIGCHLD's global-handler hazards — but the syscall is Linux >= 5.3,
+/// so every caller must cope with an invalid pidfd and fall back to
+/// periodic `waitpid(WNOHANG)` sweeps (supervisors do exactly that; see
+/// serve/Supervisor.cpp).
+///
+//===----------------------------------------------------------------------===//
+#ifndef CERB_SUPPORT_PROCESS_H
+#define CERB_SUPPORT_PROCESS_H
+
+#include "support/Socket.h"
+
+#include <sys/types.h>
+
+#include <cstdint>
+#include <string>
+
+namespace cerb::proc {
+
+/// fork() behind the `proc.fork` fault site: an injected failure returns
+/// -1 with the scheduled errno, exactly as a real EAGAIN/ENOMEM would, so
+/// supervisors' spawn-retry paths can be driven deterministically.
+pid_t forkChild();
+
+/// pidfd_open(pid): a pollable descriptor that becomes readable when the
+/// child exits. Invalid Fd when the kernel lacks the syscall (callers fall
+/// back to waitpid(WNOHANG) polling).
+net::Fd pidfdOpen(pid_t Pid);
+
+/// Non-blocking reap: waitpid(Pid, WNOHANG). Returns true when the child
+/// was reaped (status in *OutStatus); false while it is still running.
+bool reapNoHang(pid_t Pid, int *OutStatus);
+
+/// Blocking reap with EINTR retry. Returns false only on a hard waitpid
+/// error (e.g. the pid was never our child).
+bool reapBlocking(pid_t Pid, int *OutStatus);
+
+/// "exit 3" / "signal 9 (Killed)" — log-friendly decoding of a waitpid
+/// status.
+std::string describeStatus(int Status);
+
+/// True when the status is a normal exit with code 0.
+bool exitedCleanly(int Status);
+
+/// Monotonic milliseconds (steady clock) — the supervisor's time base for
+/// backoff scheduling and flap windows.
+uint64_t monotonicMs();
+
+} // namespace cerb::proc
+
+#endif // CERB_SUPPORT_PROCESS_H

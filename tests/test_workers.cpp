@@ -1,0 +1,608 @@
+//===-- tests/test_workers.cpp - supervised worker-pool tests -------------===//
+//
+// The `cerb serve --workers N` pool, tested at two levels:
+//
+//   - Unit: the RestartBackoff schedule (seeded, exponential, capped,
+//     jittered into [delay/2, delay]) and the FlapBreaker window
+//     accounting (Limit restarts per window, one more trips for good).
+//
+//   - End to end, against the real `cerb` binary (CERB_BIN, baked in by
+//     CMake): supervised stats aggregation and clean SIGTERM drain;
+//     kill -9 of a worker mid-traffic with retrying clients losing
+//     nothing; repeated kills tripping one slot's breaker while the
+//     other keeps serving (pool reports `degraded`); and the injected
+//     `worker.crash` fault tripping every slot until the supervisor
+//     gives up with exit 3.
+//
+// Every E2E reply is checked byte-identical across workers and against a
+// single-process daemon: multi-process must be invisible in the bytes.
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/Client.h"
+#include "serve/Protocol.h"
+#include "serve/Supervisor.h"
+#include "support/Json.h"
+
+#include <gtest/gtest.h>
+
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdlib>
+#include <filesystem>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+using namespace cerb;
+using namespace cerb::serve;
+
+namespace fs = std::filesystem;
+
+//===----------------------------------------------------------------------===//
+// Unit: RestartBackoff
+//===----------------------------------------------------------------------===//
+
+TEST(RestartBackoff, DeterministicPerSeed) {
+  RestartBackoff A(100, 5000, 42), B(100, 5000, 42);
+  for (int I = 0; I < 12; ++I)
+    EXPECT_EQ(A.nextDelayMs(), B.nextDelayMs()) << "attempt " << I;
+}
+
+TEST(RestartBackoff, SeedChangesJitterNotShape) {
+  RestartBackoff A(100, 5000, 1), B(100, 5000, 2);
+  bool AnyDiffer = false;
+  for (int I = 0; I < 12; ++I)
+    AnyDiffer |= A.nextDelayMs() != B.nextDelayMs();
+  EXPECT_TRUE(AnyDiffer) << "different seeds should jitter differently";
+}
+
+TEST(RestartBackoff, ExponentialWithinJitterRangeAndCapped) {
+  const uint64_t Base = 100, Max = 5000;
+  RestartBackoff BO(Base, Max, 7);
+  uint64_t Raw = Base; // un-jittered delay for the current attempt
+  for (int I = 0; I < 16; ++I) {
+    uint64_t D = BO.nextDelayMs();
+    EXPECT_LE(D, Raw) << "attempt " << I;
+    EXPECT_GE(D, Raw - Raw / 2) << "attempt " << I; // jitter is [D/2, D]
+    EXPECT_LE(D, Max);
+    Raw = std::min(Raw * 2, Max);
+  }
+  // Deep into the schedule the un-jittered delay saturates at Max.
+  for (int I = 0; I < 4; ++I) {
+    uint64_t D = BO.nextDelayMs();
+    EXPECT_GE(D, Max / 2);
+    EXPECT_LE(D, Max);
+  }
+}
+
+TEST(RestartBackoff, ResetRestartsTheSchedule) {
+  RestartBackoff A(50, 1000, 9);
+  std::vector<uint64_t> First;
+  for (int I = 0; I < 6; ++I)
+    First.push_back(A.nextDelayMs());
+  EXPECT_EQ(A.attempts(), 6u);
+  A.reset();
+  EXPECT_EQ(A.attempts(), 0u);
+  for (int I = 0; I < 6; ++I)
+    EXPECT_EQ(A.nextDelayMs(), First[I]) << "attempt " << I;
+}
+
+//===----------------------------------------------------------------------===//
+// Unit: FlapBreaker
+//===----------------------------------------------------------------------===//
+
+TEST(FlapBreaker, AllowsLimitRestartsThenTripsForGood) {
+  FlapBreaker B(3, 1000);
+  EXPECT_TRUE(B.allowRestart(0));
+  EXPECT_TRUE(B.allowRestart(10));
+  EXPECT_TRUE(B.allowRestart(20));
+  EXPECT_FALSE(B.tripped());
+  EXPECT_FALSE(B.allowRestart(30)); // 4th inside the window: trip
+  EXPECT_TRUE(B.tripped());
+  // Tripped is terminal — even far outside the window.
+  EXPECT_FALSE(B.allowRestart(1u << 30));
+  EXPECT_TRUE(B.tripped());
+}
+
+TEST(FlapBreaker, WindowExpiryForgivesOldRestarts) {
+  FlapBreaker B(2, 1000);
+  EXPECT_TRUE(B.allowRestart(0));
+  EXPECT_TRUE(B.allowRestart(100));
+  // Both prior restarts age out (> 1000 ms old): budget is fresh.
+  EXPECT_TRUE(B.allowRestart(1200));
+  EXPECT_FALSE(B.tripped());
+  EXPECT_TRUE(B.allowRestart(1300));
+  EXPECT_FALSE(B.allowRestart(1400)); // 3rd inside the new window: trip
+  EXPECT_TRUE(B.tripped());
+}
+
+//===----------------------------------------------------------------------===//
+// E2E harness: the real binary, forked and supervised
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+struct TempDir {
+  fs::path Path;
+  TempDir() {
+    std::string Tmpl =
+        (fs::temp_directory_path() / "cerb-workers-XXXXXX").string();
+    char *P = ::mkdtemp(Tmpl.data());
+    if (!P)
+      std::abort();
+    Path = P;
+  }
+  ~TempDir() {
+    std::error_code EC;
+    fs::remove_all(Path, EC);
+  }
+  std::string str(const char *Leaf) const { return (Path / Leaf).string(); }
+};
+
+uint64_t nowMs() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// One spawned `cerb serve` process (supervised or not). Owns the pid:
+/// the destructor SIGKILLs and reaps anything the test did not.
+struct ServeProc {
+  pid_t Pid = -1;
+  std::string Sock;
+  bool Reaped = false;
+
+  ServeProc() = default;
+  ServeProc(const ServeProc &) = delete;
+  ServeProc &operator=(const ServeProc &) = delete;
+  ServeProc(ServeProc &&O) noexcept
+      : Pid(O.Pid), Sock(std::move(O.Sock)), Reaped(O.Reaped),
+        LastStatus(O.LastStatus) {
+    O.Pid = -1;
+  }
+
+  static ServeProc spawn(const std::string &Sock,
+                         const std::vector<std::string> &Extra,
+                         const char *Faults = nullptr) {
+    std::vector<std::string> Args = {CERB_BIN, "serve", "--socket", Sock,
+                                     "--jobs", "1"};
+    for (const std::string &E : Extra)
+      Args.push_back(E);
+    std::vector<char *> Argv;
+    for (std::string &A : Args)
+      Argv.push_back(A.data());
+    Argv.push_back(nullptr);
+    ServeProc S;
+    S.Sock = Sock;
+    S.Pid = ::fork();
+    if (S.Pid == 0) {
+      if (Faults)
+        ::setenv("CERB_FAULTS", Faults, 1);
+      else
+        ::unsetenv("CERB_FAULTS");
+      ::execv(CERB_BIN, Argv.data());
+      ::_exit(127);
+    }
+    return S;
+  }
+
+  bool alive() {
+    if (Pid <= 0 || Reaped)
+      return false;
+    int St = 0;
+    pid_t R = ::waitpid(Pid, &St, WNOHANG);
+    if (R == Pid) {
+      Reaped = true;
+      LastStatus = St;
+      return false;
+    }
+    return true;
+  }
+
+  /// Polls waitpid until exit or deadline. Returns the wait() status, or
+  /// -1 on timeout (process still running).
+  int waitExit(uint64_t DeadlineMs) {
+    const uint64_t End = nowMs() + DeadlineMs;
+    while (nowMs() < End) {
+      if (!alive())
+        return LastStatus;
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+    return -1;
+  }
+
+  ~ServeProc() {
+    if (Pid > 0 && !Reaped) {
+      ::kill(Pid, SIGKILL);
+      int St = 0;
+      while (::waitpid(Pid, &St, 0) < 0 && errno == EINTR)
+        ;
+    }
+  }
+
+  int LastStatus = -1;
+};
+
+RetryPolicy clientPolicy(unsigned Attempts = 6, uint64_t DeadlineMs = 20000) {
+  RetryPolicy RP;
+  RP.MaxAttempts = Attempts;
+  RP.BaseDelayMs = 2;
+  RP.MaxDelayMs = 50;
+  RP.TotalDeadlineMs = DeadlineMs;
+  RP.CallTimeoutMs = 5000;
+  return RP;
+}
+
+/// Waits until the pool answers a ping, or \p DeadlineMs passes, or the
+/// process dies.
+bool waitReady(ServeProc &P, uint64_t DeadlineMs = 30000) {
+  const uint64_t End = nowMs() + DeadlineMs;
+  while (nowMs() < End) {
+    if (!P.alive())
+      return false;
+    auto C = Client::connect(P.Sock, -1, clientPolicy(1, 2000));
+    if (C) {
+      auto R = C->callParsed(serializeSimpleRequest(Op::Ping, "ready"));
+      if (R && R->Status == "ok")
+        return true;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  return false;
+}
+
+EvalRequest workerEval(unsigned I, std::string Id) {
+  EvalRequest Q;
+  Q.Id = std::move(Id);
+  Q.Name = "workers";
+  Q.Source = "int main(void) { return " + std::to_string(I % 5) + " + " +
+             std::to_string(I % 3) + "; }\n";
+  Q.Policies = {mem::MemoryPolicy::defacto()};
+  Q.Limits.DeadlineMs = 10000;
+  return Q;
+}
+
+/// One retried `stats` call, parsed. nullopt on transport failure.
+std::optional<json::Value> poolStats(const std::string &Sock) {
+  auto C = Client::connect(Sock, -1, clientPolicy());
+  if (!C)
+    return std::nullopt;
+  auto Raw = C->callRetry(serializeSimpleRequest(Op::Stats, "st"));
+  if (!Raw)
+    return std::nullopt;
+  return json::parse(*Raw);
+}
+
+/// stats.<stats>.supervisor / workers accessors (nullptr when absent).
+const json::Value *statsBody(const json::Value &Root) {
+  return Root.get("stats");
+}
+
+struct WorkerRow {
+  int64_t Slot = -1;
+  int64_t Pid = -1;
+  std::string State;
+  int64_t Restarts = -1;
+  bool HasCounters = false;
+};
+
+struct PoolView {
+  int64_t Workers = -1;
+  bool Degraded = false;
+  int64_t RestartsTotal = -1;
+  bool Aggregated = false;
+  std::vector<WorkerRow> Rows;
+};
+
+std::optional<PoolView> viewStats(const std::string &Sock) {
+  auto Root = poolStats(Sock);
+  if (!Root)
+    return std::nullopt;
+  const json::Value *Body = statsBody(*Root);
+  if (!Body)
+    return std::nullopt;
+  const json::Value *Sup = Body->get("supervisor");
+  const json::Value *Wk = Body->get("workers");
+  if (!Sup || !Wk || Wk->K != json::Value::Kind::Array)
+    return std::nullopt;
+  PoolView V;
+  if (const json::Value *N = Sup->get("workers"))
+    V.Workers = N->asI64();
+  if (const json::Value *D = Sup->get("degraded"))
+    V.Degraded = D->asBool();
+  if (const json::Value *R = Sup->get("restarts_total"))
+    V.RestartsTotal = R->asI64();
+  if (const json::Value *A = Sup->get("aggregated"))
+    V.Aggregated = A->asBool();
+  for (const json::Value &Row : Wk->Arr) {
+    WorkerRow W;
+    if (const json::Value *S = Row.get("slot"))
+      W.Slot = S->asI64();
+    if (const json::Value *P = Row.get("pid"))
+      W.Pid = P->asI64();
+    if (const json::Value *S = Row.get("state"))
+      W.State = S->asString();
+    if (const json::Value *R = Row.get("restarts"))
+      W.Restarts = R->asI64();
+    if (const json::Value *C = Row.get("counters"))
+      W.HasCounters = C->K == json::Value::Kind::Object;
+    V.Rows.push_back(std::move(W));
+  }
+  return V;
+}
+
+/// Polls viewStats until \p Pred holds or the deadline passes.
+std::optional<PoolView> waitStats(const std::string &Sock,
+                                  const std::function<bool(const PoolView &)> &Pred,
+                                  uint64_t DeadlineMs = 15000) {
+  const uint64_t End = nowMs() + DeadlineMs;
+  std::optional<PoolView> Last;
+  while (nowMs() < End) {
+    Last = viewStats(Sock);
+    if (Last && Pred(*Last))
+      return Last;
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  return Last; // caller asserts on the predicate result
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// E2E: aggregated stats, byte-identity, clean drain
+//===----------------------------------------------------------------------===//
+
+TEST(WorkerPoolE2E, AggregatedStatsByteIdentityAndCleanDrain) {
+  TempDir T;
+  ServeProc Pool = ServeProc::spawn(
+      T.str("pool.sock"),
+      {"--workers", "2", "--cache-dir", T.str("cache"), "--restart-base-ms",
+       "5"});
+  ASSERT_TRUE(waitReady(Pool)) << "pool never became ready";
+
+  // Cold then warm: the same request id twice, so the *entire raw frame*
+  // must be byte-identical on the warm path, no matter which worker
+  // serves each call.
+  auto C = Client::connect(Pool.Sock, -1, clientPolicy());
+  ASSERT_TRUE(static_cast<bool>(C));
+  std::string Frame = serializeEvalRequest(workerEval(1, "wq-1"));
+  auto Cold = C->callRetry(Frame);
+  ASSERT_TRUE(static_cast<bool>(Cold));
+  for (int I = 0; I < 4; ++I) {
+    auto Warm = C->callRetry(Frame);
+    ASSERT_TRUE(static_cast<bool>(Warm));
+    EXPECT_EQ(*Cold, *Warm) << "warm reply bytes drifted (round " << I << ")";
+  }
+
+  // ... and byte-identical to a single-process daemon over the same
+  // request: multi-process must be invisible in the reply bytes.
+  {
+    TempDir T1;
+    ServeProc Solo = ServeProc::spawn(
+        T1.str("solo.sock"), {"--cache-dir", T1.str("cache")});
+    ASSERT_TRUE(waitReady(Solo)) << "single-process daemon never ready";
+    auto C1 = Client::connect(Solo.Sock, -1, clientPolicy());
+    ASSERT_TRUE(static_cast<bool>(C1));
+    auto R1 = C1->callRetry(Frame);
+    ASSERT_TRUE(static_cast<bool>(R1));
+    EXPECT_EQ(*Cold, *R1)
+        << "supervised reply differs from single-process reply";
+    ::kill(Solo.Pid, SIGTERM);
+    int St = Solo.waitExit(15000);
+    ASSERT_NE(St, -1) << "single-process daemon did not exit on SIGTERM";
+    EXPECT_TRUE(WIFEXITED(St) && WEXITSTATUS(St) == 0);
+  }
+
+  // Aggregated stats: the supervisor section plus one row per slot, each
+  // running with live counters.
+  auto V = viewStats(Pool.Sock);
+  ASSERT_TRUE(V.has_value()) << "stats did not aggregate";
+  EXPECT_EQ(V->Workers, 2);
+  EXPECT_FALSE(V->Degraded);
+  EXPECT_EQ(V->RestartsTotal, 0);
+  EXPECT_TRUE(V->Aggregated);
+  ASSERT_EQ(V->Rows.size(), 2u);
+  for (const WorkerRow &W : V->Rows) {
+    EXPECT_GT(W.Pid, 0) << "slot " << W.Slot;
+    EXPECT_EQ(W.State, "running") << "slot " << W.Slot;
+    EXPECT_EQ(W.Restarts, 0) << "slot " << W.Slot;
+    EXPECT_TRUE(W.HasCounters) << "slot " << W.Slot;
+  }
+  EXPECT_NE(V->Rows[0].Pid, V->Rows[1].Pid);
+
+  // SIGTERM: rolling drain, exit 0, socket unlinked.
+  ::kill(Pool.Pid, SIGTERM);
+  int St = Pool.waitExit(30000);
+  ASSERT_NE(St, -1) << "supervisor did not exit on SIGTERM";
+  EXPECT_TRUE(WIFEXITED(St)) << "supervisor died on a signal";
+  EXPECT_EQ(WEXITSTATUS(St), 0);
+  EXPECT_FALSE(fs::exists(Pool.Sock)) << "socket not unlinked after drain";
+}
+
+//===----------------------------------------------------------------------===//
+// E2E: kill -9 a worker mid-traffic — restart + zero client drops
+//===----------------------------------------------------------------------===//
+
+TEST(WorkerPoolE2E, SigkilledWorkerRestartsWithZeroClientDrops) {
+  TempDir T;
+  ServeProc Pool = ServeProc::spawn(
+      T.str("pool.sock"),
+      {"--workers", "2", "--cache-dir", T.str("cache"), "--restart-base-ms",
+       "5"});
+  ASSERT_TRUE(waitReady(Pool)) << "pool never became ready";
+
+  auto V0 = viewStats(Pool.Sock);
+  ASSERT_TRUE(V0.has_value());
+  ASSERT_EQ(V0->Rows.size(), 2u);
+  const pid_t Victim = static_cast<pid_t>(V0->Rows[0].Pid);
+  ASSERT_GT(Victim, 0);
+
+  // Retrying clients hammer the pool while the victim dies under them.
+  constexpr unsigned NumClients = 4, CallsPerClient = 12, NumSources = 6;
+  std::mutex Mu;
+  uint64_t Failed = 0;
+  std::map<unsigned, std::string> Reports; // source -> first report bytes
+  uint64_t Mismatched = 0;
+  std::vector<std::thread> Fleet;
+  for (unsigned Tid = 0; Tid < NumClients; ++Tid) {
+    Fleet.emplace_back([&, Tid] {
+      RetryPolicy RP = clientPolicy(10, 30000);
+      RP.Seed = 1 + Tid;
+      auto C = Client::connect(Pool.Sock, -1, RP);
+      for (unsigned I = 0; I < CallsPerClient; ++I) {
+        unsigned Src = (Tid * CallsPerClient + I) % NumSources;
+        if (!C)
+          C = Client::connect(Pool.Sock, -1, RP);
+        auto R = C ? C->callRetryParsed(serializeEvalRequest(workerEval(
+                         Src, "k" + std::to_string(Tid) + "-" +
+                                  std::to_string(I))))
+                   : Expected<ParsedResponse>(err("no connection"));
+        std::lock_guard<std::mutex> L(Mu);
+        if (!R || R->Status != "ok") {
+          ++Failed;
+          continue;
+        }
+        auto It = Reports.find(Src);
+        if (It == Reports.end())
+          Reports.emplace(Src, R->Report);
+        else if (It->second != R->Report)
+          ++Mismatched;
+      }
+    });
+  }
+
+  // Let traffic start, then SIGKILL the victim worker mid-batch.
+  std::this_thread::sleep_for(std::chrono::milliseconds(60));
+  ASSERT_EQ(::kill(Victim, SIGKILL), 0);
+
+  for (std::thread &Th : Fleet)
+    Th.join();
+  EXPECT_EQ(Failed, 0u) << "a retrying client dropped a request across the "
+                           "worker restart";
+  EXPECT_EQ(Mismatched, 0u) << "reply bytes drifted across the restart";
+
+  // The supervisor noticed, restarted the slot, and says so in stats.
+  auto V1 = waitStats(Pool.Sock, [&](const PoolView &V) {
+    if (V.RestartsTotal < 1 || V.Rows.size() != 2)
+      return false;
+    for (const WorkerRow &W : V.Rows)
+      if (W.State != "running")
+        return false;
+    return true;
+  });
+  ASSERT_TRUE(V1.has_value());
+  EXPECT_GE(V1->RestartsTotal, 1);
+  EXPECT_FALSE(V1->Degraded);
+  ASSERT_EQ(V1->Rows.size(), 2u);
+  for (const WorkerRow &W : V1->Rows)
+    EXPECT_EQ(W.State, "running") << "slot " << W.Slot;
+  EXPECT_NE(V1->Rows[0].Pid, static_cast<int64_t>(Victim))
+      << "killed pid still listed as slot 0";
+
+  ::kill(Pool.Pid, SIGTERM);
+  int St = Pool.waitExit(30000);
+  ASSERT_NE(St, -1);
+  EXPECT_TRUE(WIFEXITED(St) && WEXITSTATUS(St) == 0);
+}
+
+//===----------------------------------------------------------------------===//
+// E2E: flap breaker — one slot degrades, the pool keeps serving
+//===----------------------------------------------------------------------===//
+
+TEST(WorkerPoolE2E, RepeatedKillsTripOneBreakerPoolDegradesButServes) {
+  TempDir T;
+  // Limit 2 in a huge window: the third kill of slot 0 trips its breaker.
+  ServeProc Pool = ServeProc::spawn(
+      T.str("pool.sock"),
+      {"--workers", "2", "--cache-dir", T.str("cache"), "--restart-base-ms",
+       "5", "--restart-limit", "2", "--restart-window-ms", "600000"});
+  ASSERT_TRUE(waitReady(Pool)) << "pool never became ready";
+
+  int64_t LastKilled = -1;
+  for (int Kill = 0; Kill < 3; ++Kill) {
+    auto V = waitStats(Pool.Sock, [&](const PoolView &W) {
+      return W.Rows.size() == 2 && W.Rows[0].State == "running" &&
+             W.Rows[0].Pid > 0 && W.Rows[0].Pid != LastKilled;
+    });
+    ASSERT_TRUE(V.has_value()) << "kill " << Kill;
+    ASSERT_EQ(V->Rows[0].State, "running")
+        << "slot 0 never came back before kill " << Kill;
+    LastKilled = V->Rows[0].Pid;
+    ASSERT_EQ(::kill(static_cast<pid_t>(LastKilled), SIGKILL), 0);
+  }
+
+  // Third death exceeds the limit: breaker trips, slot abandoned, pool
+  // degraded — but slot 1 still serves, byte-identically.
+  auto V = waitStats(Pool.Sock, [](const PoolView &W) {
+    return W.Degraded && W.Rows.size() == 2 && W.Rows[0].State == "failed";
+  });
+  ASSERT_TRUE(V.has_value());
+  EXPECT_TRUE(V->Degraded);
+  ASSERT_EQ(V->Rows.size(), 2u);
+  EXPECT_EQ(V->Rows[0].State, "failed");
+  EXPECT_EQ(V->Rows[0].Restarts, 2) << "breaker should trip on the 3rd kill";
+  EXPECT_EQ(V->Rows[1].State, "running");
+  EXPECT_EQ(V->RestartsTotal, 2);
+
+  auto C = Client::connect(Pool.Sock, -1, clientPolicy());
+  ASSERT_TRUE(static_cast<bool>(C));
+  std::string Frame = serializeEvalRequest(workerEval(2, "deg-1"));
+  auto R1 = C->callRetry(Frame);
+  auto R2 = C->callRetry(Frame);
+  ASSERT_TRUE(static_cast<bool>(R1));
+  ASSERT_TRUE(static_cast<bool>(R2));
+  EXPECT_EQ(*R1, *R2) << "degraded pool must still answer deterministically";
+
+  ::kill(Pool.Pid, SIGTERM);
+  int St = Pool.waitExit(30000);
+  ASSERT_NE(St, -1);
+  EXPECT_TRUE(WIFEXITED(St) && WEXITSTATUS(St) == 0)
+      << "drain with a failed slot must still exit cleanly";
+}
+
+//===----------------------------------------------------------------------===//
+// E2E: every slot tripped — the supervisor gives up with exit 3
+//===----------------------------------------------------------------------===//
+
+TEST(WorkerPoolE2E, AllBreakersTrippedSupervisorExitsNonzero) {
+  TempDir T;
+  // worker.crash fires on every eval, so each attempt costs one worker;
+  // with limit 1 each slot trips on its second crash. Pings and stats do
+  // not evaluate, so readiness still works.
+  ServeProc Pool = ServeProc::spawn(
+      T.str("pool.sock"),
+      {"--workers", "2", "--cache-dir", T.str("cache"), "--restart-base-ms",
+       "5", "--restart-limit", "1", "--restart-window-ms", "600000"},
+      "seed=7;worker.crash,every=1");
+  ASSERT_TRUE(waitReady(Pool)) << "pool never became ready";
+
+  // Keep poking evals until the pool collapses; each attempt is allowed
+  // to fail (its worker just crashed under it).
+  const uint64_t End = nowMs() + 60000;
+  unsigned Pokes = 0;
+  while (Pool.alive() && nowMs() < End) {
+    RetryPolicy RP = clientPolicy(2, 2000);
+    RP.CallTimeoutMs = 1500;
+    auto C = Client::connect(Pool.Sock, -1, RP);
+    if (C)
+      (void)C->callRetry(
+          serializeEvalRequest(workerEval(Pokes, "crash-" +
+                                                     std::to_string(Pokes))));
+    ++Pokes;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  int St = Pool.waitExit(10000);
+  ASSERT_NE(St, -1) << "supervisor kept flapping after " << Pokes
+                    << " crash-inducing evals";
+  ASSERT_TRUE(WIFEXITED(St)) << "supervisor died on a signal";
+  EXPECT_EQ(WEXITSTATUS(St), 3)
+      << "all-breakers-tripped must exit 3, got " << WEXITSTATUS(St);
+}
