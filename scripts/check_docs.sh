@@ -1,0 +1,83 @@
+#!/bin/sh
+# CI-enforced CLI reference: the fenced block between the
+# `cli-help:begin` / `cli-help:end` markers in docs/cli.md must match
+# `cerb --help` byte for byte (after normalizing the invocation path in
+# the usage line to the bare name `cerb`). Run by the `docs` stage of
+# scripts/ci.sh and .github/workflows/ci.yml, so a flag added to
+# src/tools/cerb_main.cpp without a docs/cli.md update fails the gate.
+#
+# Usage:
+#   scripts/check_docs.sh [path/to/cerb]            # verify (default)
+#   scripts/check_docs.sh --update [path/to/cerb]   # rewrite the block
+#
+# The binary defaults to <repo>/build/cerb.
+set -eu
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+DOC="$ROOT/docs/cli.md"
+
+UPDATE=0
+if [ "${1:-}" = "--update" ]; then
+    UPDATE=1
+    shift
+fi
+CERB="${1:-$ROOT/build/cerb}"
+
+if [ ! -x "$CERB" ]; then
+    echo "check_docs.sh: cerb binary not found at '$CERB'" >&2
+    echo "check_docs.sh: build it first, or pass the path explicitly" >&2
+    exit 2
+fi
+if [ ! -f "$DOC" ]; then
+    echo "check_docs.sh: $DOC is missing" >&2
+    exit 2
+fi
+
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+
+# The authoritative text: --help with the invocation path normalized, so
+# the committed doc does not depend on where the binary was built.
+"$CERB" --help 2>&1 | sed '1s|^usage: .*cerb |usage: cerb |' \
+    > "$TMP/help.actual"
+
+# The documented text: everything strictly between the fence lines that
+# directly follow/precede the markers.
+awk '
+    /<!-- cli-help:begin/ { wait_fence = 1; next }
+    /<!-- cli-help:end/   { in_block = 0; wait_fence = 0; next }
+    wait_fence && /^```/  { in_block = 1; wait_fence = 0; next }
+    in_block && /^```$/   { in_block = 0; next }
+    in_block              { print }
+' "$DOC" > "$TMP/help.documented"
+
+if [ ! -s "$TMP/help.documented" ]; then
+    echo "check_docs.sh: no cli-help block found in docs/cli.md" >&2
+    exit 1
+fi
+
+if [ "$UPDATE" = 1 ]; then
+    awk -v helpfile="$TMP/help.actual" '
+        /<!-- cli-help:begin/ {
+            print; print "```"
+            while ((getline line < helpfile) > 0) print line
+            close(helpfile)
+            print "```"; skipping = 1; next
+        }
+        /<!-- cli-help:end/ { skipping = 0 }
+        !skipping { print }
+    ' "$DOC" > "$TMP/cli.md.new"
+    mv "$TMP/cli.md.new" "$DOC"
+    echo "check_docs.sh: docs/cli.md help block regenerated"
+    exit 0
+fi
+
+if ! diff -u "$TMP/help.documented" "$TMP/help.actual" \
+        > "$TMP/help.diff" 2>&1; then
+    echo "check_docs.sh: docs/cli.md is out of date with 'cerb --help':" >&2
+    cat "$TMP/help.diff" >&2
+    echo >&2
+    echo "check_docs.sh: regenerate with: scripts/check_docs.sh --update" >&2
+    exit 1
+fi
+echo "check_docs.sh: docs/cli.md matches 'cerb --help'"

@@ -46,6 +46,10 @@ run_label() {
 }
 
 run_label tier1
+# Core lowering equivalence sweep (label `lowering`,
+# tests/test_lowering.cpp): also part of tier-1, re-run by label so the
+# lowered-vs-tree-walking contract cannot silently drop out.
+run_label lowering
 run_label slow
 run_label fuzz
 run_label serve_batch
@@ -55,3 +59,7 @@ run_label serve_batch
 run_label workers
 run_label serve_smoke
 run_label chaos
+
+# Docs stage: docs/cli.md must match `cerb --help` byte for byte, so the
+# CLI reference cannot drift from the binary.
+sh "$ROOT/scripts/check_docs.sh" "$BUILD/cerb"

@@ -477,6 +477,22 @@ definitions    def    ::= fun name(ident: bTy ..): bTy := pe
 )";
 }
 
+PureFn core::pureFnByName(std::string_view Name) {
+  if (Name == "is_representable")
+    return PureFn::IsRepresentable;
+  if (Name == "shr_arith")
+    return PureFn::ShrArith;
+  if (Name == "bw_and")
+    return PureFn::BwAnd;
+  if (Name == "bw_or")
+    return PureFn::BwOr;
+  if (Name == "bw_xor")
+    return PureFn::BwXor;
+  if (Name == "bw_compl")
+    return PureFn::BwCompl;
+  return PureFn::None;
+}
+
 ExprPtr core::cloneExpr(const Expr &E) {
   auto Out = std::make_unique<Expr>();
   Out->K = E.K;
@@ -496,6 +512,11 @@ ExprPtr core::cloneExpr(const Expr &E) {
   Out->MemberIdx = E.MemberIdx;
   Out->IndetId = E.IndetId;
   Out->SeqPoint = E.SeqPoint;
+  Out->Slot = E.Slot;
+  Out->PoolIdx = E.PoolIdx;
+  Out->SaveMask = E.SaveMask;
+  Out->Pure = E.Pure;
+  Out->ValueOnly = E.ValueOnly;
   Out->Pat = E.Pat;
   Out->Scope = E.Scope;
   for (const ExprPtr &K : E.Kids)

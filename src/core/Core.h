@@ -26,6 +26,7 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace cerb::core {
@@ -143,6 +144,10 @@ struct Pattern {
   PatKind K = PatKind::Wild;
   Symbol S;
   std::vector<Pattern> Subs;
+  /// Dense environment-slot index for Sym patterns, assigned by
+  /// core::lower (-1 until lowered). The evaluator's slot-vector fast
+  /// path binds through this instead of the name-keyed map.
+  int Slot = -1;
 
   static Pattern wild() { return Pattern{}; }
   static Pattern sym(Symbol Sym) {
@@ -205,6 +210,22 @@ enum class ActionKind {
   Load,   ///< Cty, Kids[0] = pointer
 };
 
+/// The fixed set of named pure builtins a PureCall can target (Str names
+/// one of these). core::lower interns the name into Expr::Pure so the
+/// evaluator's dispatch is a switch, not a string-comparison chain.
+enum class PureFn : int8_t {
+  None = -1, ///< not interned (unlowered tree or unknown name)
+  IsRepresentable,
+  ShrArith,
+  BwAnd,
+  BwOr,
+  BwXor,
+  BwCompl,
+};
+
+/// Maps a PureCall name to its PureFn, None if outside the fixed set.
+PureFn pureFnByName(std::string_view Name);
+
 enum class ExprKind {
   //===--- pure (pe) ---===//
   Sym,         ///< Core identifier
@@ -260,6 +281,7 @@ using ExprPtr = std::unique_ptr<Expr>;
 struct ScopeObject {
   Symbol Obj;
   CType Ty;
+  int Slot = -1; ///< environment slot of Obj (core::lower)
 };
 
 struct Expr {
@@ -290,6 +312,27 @@ struct Expr {
   /// (-1 unknown). Used to avoid scheduling unseq branches whose order is
   /// unobservable.
   mutable int HasEffectsCache = -1;
+  /// Environment slot for Sym nodes (core::lower; -1 until lowered).
+  int Slot = -1;
+  /// Index into CoreProgram::ConstPool for interned Val nodes (-1 when
+  /// not pooled). The literal in V is retained — printers and the
+  /// unlowered differential path keep reading it.
+  int PoolIdx = -1;
+  /// Bloom summary (bit = label Id mod 64) of every Save label in this
+  /// subtree, filled by core::lower. Zero means "definitely no save
+  /// here", which lets the evaluator's jump routing skip the subtree
+  /// scan; a set bit only admits the exact recursive check.
+  uint64_t SaveMask = 0;
+  /// Interned PureCall target (core::lower): the evaluator dispatches on
+  /// this instead of string-comparing Str. None = unresolved (unlowered
+  /// trees, or a name outside the fixed builtin set).
+  PureFn Pure = PureFn::None;
+  /// Lowering-proved guarantee: this subtree performs no memory actions,
+  /// binds no symbols, raises no signals, and counts no events — it either
+  /// produces a value or (on operand-kind surprises) defers to the general
+  /// evaluator, whose re-evaluation is safe precisely because the subtree
+  /// is effect-free. Gates Evaluator::evalPure on the slot path.
+  bool ValueOnly = false;
   Pattern Pat;           // lets
   std::vector<ExprPtr> Kids;
   std::vector<std::pair<Pattern, ExprPtr>> Branches; // Case/ECase
@@ -315,6 +358,8 @@ struct CoreProc {
   std::vector<std::pair<Symbol, CType>> Params; ///< value parameters
   ExprPtr Body;
   SourceLoc Loc;
+  /// Parallel to Params: environment slot of each parameter (core::lower).
+  std::vector<int> ParamSlots;
 };
 
 /// A C object with static storage duration: name, type, and the Core
@@ -326,6 +371,7 @@ struct CoreGlobal {
   ExprPtr Init; ///< null = zero-initialised
   SourceLoc Loc;
   bool ReadOnly = false; ///< string literal: immutable after initialisation
+  int Slot = -1; ///< environment slot of Name (core::lower)
 };
 
 /// The result of elaborating a C translation unit (Fig. 2 caption).
@@ -336,6 +382,14 @@ struct CoreProgram {
   std::map<unsigned, CoreProc> Procs;
   std::map<unsigned, ail::Builtin> Builtins;
   Symbol MainProc;
+
+  /// Set by core::lower: every binding/reference carries a slot index into
+  /// a dense environment of NumSlots entries, and interned literals live
+  /// in ConstPool. The evaluator selects its slot-vector fast path on
+  /// Lowered; CERB_NO_LOWERING=1 compiles keep it false.
+  bool Lowered = false;
+  unsigned NumSlots = 0;
+  std::vector<Value> ConstPool;
 
   const CoreProc *findProc(Symbol S) const {
     auto It = Procs.find(S.Id);

@@ -1,0 +1,24 @@
+//===-- exec/EvalArena.cpp - Per-evaluation scratch recycling -------------===//
+#include "exec/EvalArena.h"
+
+using namespace cerb::exec;
+
+EvalArena &EvalArena::threadLocal() {
+  thread_local EvalArena Arena;
+  return Arena;
+}
+
+std::vector<cerb::core::Value> EvalArena::takeValues() { return take(Values); }
+void EvalArena::give(std::vector<cerb::core::Value> &&Buf) {
+  giveTo(Values, std::move(Buf));
+}
+
+std::vector<uint8_t> EvalArena::takeBytes() { return take(Bytes); }
+void EvalArena::give(std::vector<uint8_t> &&Buf) {
+  giveTo(Bytes, std::move(Buf));
+}
+
+std::vector<uint64_t> EvalArena::takeStamps() { return take(Stamps); }
+void EvalArena::give(std::vector<uint64_t> &&Buf) {
+  giveTo(Stamps, std::move(Buf));
+}

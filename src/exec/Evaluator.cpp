@@ -54,7 +54,26 @@ std::string Outcome::str() const {
 Evaluator::Evaluator(const CoreProgram &Prog, Scheduler &Sched,
                      mem::MemoryPolicy Policy, ExecLimits Limits)
     : Prog(Prog), Env(Prog.Tags), Sched(Sched),
-      Mem(Env, Sched, std::move(Policy)), Limits(Limits) {}
+      Mem(Env, Sched, std::move(Policy)), Limits(Limits),
+      UseSlots(Prog.Lowered), Arena(EvalArena::threadLocal()) {
+  if (UseSlots) {
+    Slots = Arena.takeValues();
+    Slots.resize(Prog.NumSlots);
+    SlotBound = Arena.takeBytes();
+    SlotBound.resize(Prog.NumSlots, 0);
+    SlotStamp = Arena.takeStamps();
+    SlotStamp.resize(Prog.NumSlots, 0);
+  }
+}
+
+Evaluator::~Evaluator() {
+  // Retire the slot-frame buffers to the thread's pool: the exhaustive
+  // explorer builds one Evaluator per path, and these are its largest
+  // fixed-shape allocations.
+  Arena.give(std::move(Slots));
+  Arena.give(std::move(SlotBound));
+  Arena.give(std::move(SlotStamp));
+}
 
 Outcome Evaluator::run() {
   static trace::Counter CntRuns("exec.eval_runs");
@@ -79,7 +98,12 @@ Outcome Evaluator::runImpl() {
   for (const CoreGlobal &G : Prog.Globals) {
     mem::PointerValue P =
         Mem.allocateObject(G.Ty, Prog.Syms.nameOf(G.Name), /*Static=*/true);
-    Bindings[G.Name.Id] = Value::pointer(P);
+    if (UseSlots) {
+      Slots[G.Slot] = Value::pointer(P);
+      SlotBound[G.Slot] = 1;
+    } else {
+      Bindings[G.Name.Id] = Value::pointer(P);
+    }
   }
 
   auto Finish = [&](Res R) {
@@ -127,7 +151,7 @@ Outcome Evaluator::runImpl() {
     }
     if (G.ReadOnly) {
       // String literals become immutable once initialised (6.4.5p7).
-      auto P = asPointer(Bindings[G.Name.Id]);
+      auto P = asPointer(UseSlots ? Slots[G.Slot] : Bindings[G.Name.Id]);
       if (P)
         Mem.markReadOnly(*P);
     }
@@ -171,7 +195,7 @@ Evaluator::asInteger(const Value &V) const {
   return std::nullopt;
 }
 
-void Evaluator::bind(unsigned Id, Value V) {
+void Evaluator::bind(unsigned Id, Value &&V) {
   if (!UndoStack.empty()) {
     auto &Frame = UndoStack.back();
     if (Frame.find(Id) == Frame.end()) {
@@ -184,12 +208,29 @@ void Evaluator::bind(unsigned Id, Value V) {
   Bindings[Id] = std::move(V);
 }
 
+void Evaluator::bindSlot(int Slot, Value &&V) {
+  if (!UndoFrames.empty() && SlotStamp[Slot] != FrameEpoch) {
+    int ValIdx = -1;
+    if (SlotBound[Slot]) {
+      ValIdx = static_cast<int>(UndoVals.size());
+      UndoVals.push_back(std::move(Slots[Slot]));
+    }
+    UndoLog.push_back(UndoRec{Slot, ValIdx});
+    SlotStamp[Slot] = FrameEpoch;
+  }
+  Slots[Slot] = std::move(V);
+  SlotBound[Slot] = 1;
+}
+
 bool Evaluator::matchPattern(const Pattern &P, const Value &V) {
   switch (P.K) {
   case PatKind::Wild:
     return true;
   case PatKind::Sym:
-    bind(P.S.Id, V);
+    if (UseSlots)
+      bindSlot(P.Slot, Value(V));
+    else
+      bind(P.S.Id, Value(V));
     return true;
   case PatKind::Tuple: {
     if (V.K != ValueKind::Tuple || V.Elems.size() != P.Subs.size())
@@ -201,6 +242,30 @@ bool Evaluator::matchPattern(const Pattern &P, const Value &V) {
   }
   case PatKind::SpecifiedP:
     return V.K == ValueKind::Specified && matchPattern(P.Subs[0], V.Elems[0]);
+  case PatKind::UnspecifiedP:
+    return V.K == ValueKind::Unspecified;
+  }
+  return false;
+}
+
+bool Evaluator::matchPatternMove(const Pattern &P, Value &&V) {
+  switch (P.K) {
+  case PatKind::Wild:
+    return true;
+  case PatKind::Sym:
+    bindSlot(P.Slot, std::move(V));
+    return true;
+  case PatKind::Tuple: {
+    if (V.K != ValueKind::Tuple || V.Elems.size() != P.Subs.size())
+      return false;
+    for (size_t I = 0; I < P.Subs.size(); ++I)
+      if (!matchPatternMove(P.Subs[I], std::move(V.Elems[I])))
+        return false;
+    return true;
+  }
+  case PatKind::SpecifiedP:
+    return V.K == ValueKind::Specified &&
+           matchPatternMove(P.Subs[0], std::move(V.Elems[0]));
   case PatKind::UnspecifiedP:
     return V.K == ValueKind::Unspecified;
   }
@@ -237,6 +302,12 @@ Evaluator::conflict(const Footprint &A, const Footprint &B,
 using core::hasEffects;
 
 bool Evaluator::containsSave(const Expr &E, Symbol Label) const {
+  // Lowered programs carry a per-node Save-label bloom: a clear bit
+  // refutes the subtree without walking it, turning the per-jump O(tree)
+  // routing scans into O(path). A set bit (possible collision) falls
+  // through to the exact scan, whose recursion re-checks masks.
+  if (UseSlots && !(E.SaveMask & (1ull << (Label.Id & 63))))
+    return false;
   if (E.K == ExprKind::Save && E.Sym == Label)
     return true;
   for (const ExprPtr &K : E.Kids)
@@ -261,10 +332,18 @@ Evaluator::Res Evaluator::applyScopeDiff(
   for (const ScopeObject &O : RunScope) {
     if (In(SaveScope, O.Obj))
       continue;
-    auto It = Bindings.find(O.Obj.Id);
-    if (It == Bindings.end())
+    const Value *BV = nullptr;
+    if (UseSlots) {
+      if (O.Slot >= 0 && SlotBound[O.Slot])
+        BV = &Slots[O.Slot];
+    } else {
+      auto It = Bindings.find(O.Obj.Id);
+      if (It != Bindings.end())
+        BV = &It->second;
+    }
+    if (!BV)
       continue; // the binding never materialised on this path
-    auto P = asPointer(It->second);
+    auto P = asPointer(*BV);
     if (!P || !P->Prov.isAlloc())
       continue;
     if (Mem.allocations()[P->Prov.AllocId].Alive)
@@ -280,7 +359,10 @@ Evaluator::Res Evaluator::applyScopeDiff(
         Mem.allocateObject(O.Ty, Prog.Syms.nameOf(O.Obj), /*Static=*/false);
     if (!Frames.empty())
       Frames.back().Created.push_back(P);
-    bind(O.Obj.Id, Value::pointer(P));
+    if (UseSlots)
+      bindSlot(O.Slot, Value::pointer(P));
+    else
+      bind(O.Obj.Id, Value::pointer(P));
   }
   return Res::value(Value::unit());
 }
@@ -290,6 +372,18 @@ Evaluator::Res Evaluator::applyScopeDiff(
 //===----------------------------------------------------------------------===//
 
 Evaluator::Res Evaluator::eval(const Expr &E, Footprint &FP) {
+  // Lowering-proved effect-free subtree: run the Res-free interpreter.
+  // A null return (operand-kind surprise) falls through to the general
+  // switch, which re-evaluates — harmless, the subtree has no effects.
+  if (UseSlots && E.ValueOnly) {
+    Value Tmp;
+    const Value *P = evalPure(E, Tmp);
+    if (P == &Tmp)
+      return Res::value(std::move(Tmp));
+    if (P)
+      return Res::value(*P);
+  }
+
   if (!budget()) {
     Res R = Res::error(DeadlineHit ? "wall-clock deadline exceeded"
                                    : "step limit exceeded");
@@ -300,6 +394,13 @@ Evaluator::Res Evaluator::eval(const Expr &E, Footprint &FP) {
 
   switch (E.K) {
   case ExprKind::Sym: {
+    if (UseSlots) {
+      int S = E.Slot;
+      if (S < 0 || !SlotBound[S])
+        return Res::error(fmt("unbound Core identifier '{0}'",
+                              Prog.Syms.nameOf(E.Sym)));
+      return Res::value(Slots[S]);
+    }
     auto It = Bindings.find(E.Sym.Id);
     if (It == Bindings.end())
       return Res::error(fmt("unbound Core identifier '{0}'",
@@ -307,6 +408,8 @@ Evaluator::Res Evaluator::eval(const Expr &E, Footprint &FP) {
     return Res::value(It->second);
   }
   case ExprKind::Val:
+    if (E.PoolIdx >= 0)
+      return Res::value(Prog.ConstPool[E.PoolIdx]);
     return Res::value(E.V);
   case ExprKind::ImplConst:
     return Res::error(fmt("unknown implementation constant '{0}'", E.Str));
@@ -341,11 +444,20 @@ Evaluator::Res Evaluator::eval(const Expr &E, Footprint &FP) {
 
   case ExprKind::Case:
   case ExprKind::ECase: {
-    Res S = eval(*E.Kids[0], FP);
-    if (!S.isValue())
-      return S;
+    // The scrutinee is usually a slot read or pure boolean after
+    // lowering: read it in place, no Res.
+    Value STmp;
+    const Value *SO =
+        UseSlots && E.Kids[0]->ValueOnly ? evalPure(*E.Kids[0], STmp) : nullptr;
+    Res S;
+    if (!SO) {
+      S = eval(*E.Kids[0], FP);
+      if (!S.isValue())
+        return S;
+      SO = &S.V;
+    }
     for (const auto &[Pat, Body] : E.Branches)
-      if (matchPattern(Pat, S.V)) {
+      if (matchPattern(Pat, *SO)) {
         Res R = eval(*Body, FP);
         // Forward/backward jumps across case branches.
         if (R.K == Res::RunSig)
@@ -572,8 +684,17 @@ Evaluator::Res Evaluator::eval(const Expr &E, Footprint &FP) {
   }
 
   case ExprKind::ProcCall: {
-    std::vector<Value> Args;
+    std::vector<Value> Args = Arena.takeValues();
     for (const ExprPtr &K : E.Kids) {
+      // Arguments are overwhelmingly slot reads after lowering: copy
+      // them out of the environment directly, skipping the Res plumbing.
+      if (UseSlots && K->ValueOnly) {
+        Value Tmp;
+        if (const Value *P = evalPure(*K, Tmp)) {
+          Args.push_back(P == &Tmp ? std::move(Tmp) : Value(*P));
+          continue;
+        }
+      }
       Res R = eval(*K, FP);
       if (!R.isValue())
         return R;
@@ -592,7 +713,7 @@ Evaluator::Res Evaluator::eval(const Expr &E, Footprint &FP) {
       U.Loc = E.Loc;
       return Res::undef(std::move(U));
     }
-    std::vector<Value> Args;
+    std::vector<Value> Args = Arena.takeValues();
     for (size_t I = 1; I < E.Kids.size(); ++I) {
       Res R = eval(*E.Kids[I], FP);
       if (!R.isValue())
@@ -647,6 +768,24 @@ Evaluator::Res Evaluator::evalLet(const Expr &E, Footprint &FP) {
   Footprint *T1 = (Discard || Weak) ? &Local1 : &FP;
   Footprint *T2 = (Discard || Weak) ? &Local2 : &FP;
 
+  // Fast path for the dominant shape lowering produces: `let <sym> =
+  // <ValueOnly expr> in k`. The bound value comes straight out of the
+  // pure interpreter into the slot — no Res round-trip, no signal or
+  // jump handling (a ValueOnly subtree contains no Save and performs no
+  // actions, so the weak-let race check is vacuous and Local1 stays
+  // empty). A nullptr bail falls through to the general path, which is
+  // safe to re-run because the subtree is effect-free.
+  if (UseSlots && E.Pat.K == PatKind::Sym && E.Kids[0]->ValueOnly) {
+    Value Tmp;
+    if (const Value *P = evalPure(*E.Kids[0], Tmp)) {
+      bindSlot(E.Pat.Slot, P == &Tmp ? std::move(Tmp) : Value(*P));
+      Res R2 = eval(*E.Kids[1], *T2);
+      if (Weak && !Discard)
+        FP.merge(std::move(Local2));
+      return R2;
+    }
+  }
+
   Res R1 = eval(*E.Kids[0], *T1);
   for (;;) {
     if (!R1.isValue()) {
@@ -662,7 +801,10 @@ Evaluator::Res Evaluator::evalLet(const Expr &E, Footprint &FP) {
       }
       return R1;
     }
-    if (!matchPattern(E.Pat, R1.V))
+    // The slot path consumes R1.V: the bound value is moved, not
+    // deep-copied (R1 is only ever overwritten below).
+    if (UseSlots ? !matchPatternMove(E.Pat, std::move(R1.V))
+                 : !matchPattern(E.Pat, R1.V))
       return Res::error("let pattern mismatch");
 
     Local2.Acts.clear();
@@ -688,17 +830,36 @@ Evaluator::Res Evaluator::evalLet(const Expr &E, Footprint &FP) {
 }
 
 Evaluator::Res Evaluator::evalUnseq(const Expr &E, Footprint &FP) {
+  // Unseq nodes are overwhelmingly small (the operands of one C
+  // operator), and this is the hottest allocation site in evaluation:
+  // small arities run entirely in stack scratch, the heap path exists
+  // only for unusually wide nodes.
   size_t N = E.Kids.size();
-  std::vector<Value> Values(N);
-  std::vector<Footprint> FPs(N);
-  std::vector<bool> Done(N, false);
+  constexpr size_t StkN = 4;
+  Value ValStk[StkN];
+  Footprint FPStk[StkN];
+  size_t RemStk[StkN];
+  std::vector<Value> ValHeap;
+  std::vector<Footprint> FPHeap;
+  std::vector<size_t> RemHeap;
+  Value *Values = ValStk;
+  Footprint *FPs = FPStk;
+  size_t *Remaining = RemStk;
+  if (N > StkN) {
+    ValHeap.resize(N);
+    FPHeap.resize(N);
+    RemHeap.resize(N);
+    Values = ValHeap.data();
+    FPs = FPHeap.data();
+    Remaining = RemHeap.data();
+  }
+  size_t NRem = 0;
 
   // Effect-free branches evaluate in syntactic order: their order is
   // unobservable, so exploring it would only multiply identical paths.
-  std::vector<size_t> Remaining;
   for (size_t I = 0; I < N; ++I) {
     if (hasEffects(*E.Kids[I])) {
-      Remaining.push_back(I);
+      Remaining[NRem++] = I;
       continue;
     }
     Res R = eval(*E.Kids[I], FPs[I]);
@@ -708,21 +869,22 @@ Evaluator::Res Evaluator::evalUnseq(const Expr &E, Footprint &FP) {
       return R;
     }
     Values[I] = std::move(R.V);
-    Done[I] = true;
   }
 
   // The scheduler picks the branch order among the effectful ones;
   // action-granularity interleaving is unnecessary for observable
   // outcomes because cross-branch conflicts are unsequenced races (UB) —
   // see DESIGN.md.
-  while (!Remaining.empty()) {
+  while (NRem > 0) {
     unsigned PickIdx =
-        Remaining.size() == 1
-            ? 0
-            : Sched.choose(static_cast<unsigned>(Remaining.size()),
-                           "unseq-order");
+        NRem == 1 ? 0
+                  : Sched.choose(static_cast<unsigned>(NRem), "unseq-order");
     size_t I = Remaining[PickIdx];
-    Remaining.erase(Remaining.begin() + PickIdx);
+    // Close the gap in place (order must be preserved: the scheduler's
+    // choice points enumerate identically to the erase()-based version).
+    for (size_t J = PickIdx; J + 1 < NRem; ++J)
+      Remaining[J] = Remaining[J + 1];
+    --NRem;
     Res R = eval(*E.Kids[I], FPs[I]);
     if (!R.isValue()) {
       for (size_t J = 0; J < N; ++J)
@@ -730,9 +892,7 @@ Evaluator::Res Evaluator::evalUnseq(const Expr &E, Footprint &FP) {
       return R;
     }
     Values[I] = std::move(R.V);
-    Done[I] = true;
   }
-  (void)Done;
 
   for (size_t I = 0; I < N; ++I)
     for (size_t J = I + 1; J < N; ++J)
@@ -743,7 +903,13 @@ Evaluator::Res Evaluator::evalUnseq(const Expr &E, Footprint &FP) {
 
   if (N == 1)
     return Res::value(std::move(Values[0]));
-  return Res::value(Value::tuple(std::move(Values)));
+  if (N > StkN)
+    return Res::value(Value::tuple(std::move(ValHeap)));
+  std::vector<Value> Out;
+  Out.reserve(N);
+  for (size_t I = 0; I < N; ++I)
+    Out.push_back(std::move(Values[I]));
+  return Res::value(Value::tuple(std::move(Out)));
 }
 
 Evaluator::Res Evaluator::evalPar(const Expr &E, Footprint &FP) {
@@ -842,7 +1008,8 @@ Evaluator::Res Evaluator::evalJump(const Expr &E, Symbol Label,
           return evalJump(*E.Kids[1], R1.RunLabel, R1.RunScope, FP);
         return R1;
       }
-      if (!matchPattern(E.Pat, R1.V))
+      if (UseSlots ? !matchPatternMove(E.Pat, std::move(R1.V))
+                   : !matchPattern(E.Pat, R1.V))
         return Res::error("let pattern mismatch after jump");
       Res R2 = eval(*E.Kids[1], FP);
       if (R2.K == Res::RunSig && containsSave(*E.Kids[0], R2.RunLabel))
@@ -902,10 +1069,17 @@ Evaluator::Res Evaluator::evalAction(const Expr &E, Footprint &FP) {
     return Res::value(Value::pointer(P));
   }
   case ActionKind::Kill: {
-    Res P = eval(*E.Kids[0], FP);
-    if (!P.isValue())
-      return P;
-    auto PV = asPointer(P.V);
+    Value PTmp;
+    const Value *PO =
+        UseSlots && E.Kids[0]->ValueOnly ? evalPure(*E.Kids[0], PTmp) : nullptr;
+    Res P;
+    if (!PO) {
+      P = eval(*E.Kids[0], FP);
+      if (!P.isValue())
+        return P;
+      PO = &P.V;
+    }
+    auto PV = asPointer(*PO);
     if (!PV)
       return Res::error("kill of a non-pointer");
     if (auto R = Mem.killObject(*PV); !R) {
@@ -930,12 +1104,21 @@ Evaluator::Res Evaluator::evalAction(const Expr &E, Footprint &FP) {
     return Res::value(Value::unit());
   }
   case ActionKind::Load: {
-    Res P = eval(*E.Kids[0], FP);
-    if (!P.isValue())
-      return P;
-    auto PV = asPointer(P.V);
+    // Operand fast path: lowering usually reduces the address to a slot
+    // read, which the pure interpreter serves in place — no Res.
+    Value PTmp;
+    const Value *PO =
+        UseSlots && E.Kids[0]->ValueOnly ? evalPure(*E.Kids[0], PTmp) : nullptr;
+    Res P;
+    if (!PO) {
+      P = eval(*E.Kids[0], FP);
+      if (!P.isValue())
+        return P;
+      PO = &P.V;
+    }
+    auto PV = asPointer(*PO);
     if (!PV) {
-      if (P.V.K == ValueKind::Unspecified) {
+      if (PO->K == ValueKind::Unspecified) {
         auto U = mem::undef(mem::UBKind::IndeterminateValueUse,
                             "load through an unspecified pointer");
         U.Loc = E.Loc;
@@ -955,15 +1138,28 @@ Evaluator::Res Evaluator::evalAction(const Expr &E, Footprint &FP) {
     return Res::value(memToValue(*R));
   }
   case ActionKind::Store: {
-    Res P = eval(*E.Kids[0], FP);
-    if (!P.isValue())
-      return P;
-    Res V = eval(*E.Kids[1], FP);
-    if (!V.isValue())
-      return V;
-    auto PV = asPointer(P.V);
+    Value PTmp, VTmp;
+    const Value *PO =
+        UseSlots && E.Kids[0]->ValueOnly ? evalPure(*E.Kids[0], PTmp) : nullptr;
+    Res P;
+    if (!PO) {
+      P = eval(*E.Kids[0], FP);
+      if (!P.isValue())
+        return P;
+      PO = &P.V;
+    }
+    const Value *VO =
+        UseSlots && E.Kids[1]->ValueOnly ? evalPure(*E.Kids[1], VTmp) : nullptr;
+    Res V;
+    if (!VO) {
+      V = eval(*E.Kids[1], FP);
+      if (!V.isValue())
+        return V;
+      VO = &V.V;
+    }
+    auto PV = asPointer(*PO);
     if (!PV) {
-      if (P.V.K == ValueKind::Unspecified) {
+      if (PO->K == ValueKind::Unspecified) {
         auto U = mem::undef(mem::UBKind::IndeterminateValueUse,
                             "store through an unspecified pointer");
         U.Loc = E.Loc;
@@ -971,7 +1167,7 @@ Evaluator::Res Evaluator::evalAction(const Expr &E, Footprint &FP) {
       }
       return Res::error("store through a non-pointer");
     }
-    mem::MemValue MV = valueToMem(E.Cty, V.V);
+    mem::MemValue MV = valueToMem(E.Cty, *VO);
     if (auto R = Mem.store(E.Cty, *PV, MV); !R) {
       auto U = R.takeUB();
       U.Loc = E.Loc;
@@ -1076,67 +1272,321 @@ Evaluator::Res Evaluator::evalPtrOp(const Expr &E, Footprint &FP) {
 // Pure builtin functions
 //===----------------------------------------------------------------------===//
 
-Evaluator::Res Evaluator::evalPureCall(const Expr &E, Footprint &FP) {
-  std::vector<Value> Args;
-  for (const ExprPtr &K : E.Kids) {
-    Res R = eval(*K, FP);
-    if (!R.isValue())
-      return R;
-    Args.push_back(std::move(R.V));
-  }
-  const std::string &Name = E.Str;
-
-  if (Name == "is_representable") {
-    if (Args.size() != 2 || Args[0].K != ValueKind::Ctype)
-      return Res::error("is_representable(ctype, int) misuse");
-    auto IV = asInteger(Args[1]);
+std::optional<Value> Evaluator::tryPureFn(PureFn F,
+                                          const Value *const *Args,
+                                          size_t N) {
+  // The acceptance conditions here mirror evalPureCall's diagnostics
+  // exactly: nullopt if and only if the general path would error.
+  switch (F) {
+  case PureFn::IsRepresentable: {
+    if (N != 2 || Args[0]->K != ValueKind::Ctype)
+      return std::nullopt;
+    auto IV = asInteger(*Args[1]);
     if (!IV)
-      return Res::error("is_representable on a non-integer");
-    return Res::value(
-        Value::boolean(Env.inRange(Args[0].Cty.intKind(), IV->V)));
+      return std::nullopt;
+    return Value::boolean(Env.inRange(Args[0]->Cty.intKind(), IV->V));
   }
-  if (Name == "shr_arith") {
-    auto A = asInteger(Args[0]), B = asInteger(Args[1]);
+  case PureFn::ShrArith: {
+    auto A = asInteger(*Args[0]), B = asInteger(*Args[1]);
     if (!A || !B)
-      return Res::error("shr_arith misuse");
+      return std::nullopt;
     // Arithmetic shift = floor division by 2^b (the impl-defined 6.5.7p5
     // behaviour of every mainstream implementation).
     Int128 Divisor = Int128(1) << static_cast<unsigned>(B->V);
     Int128 Q = A->V / Divisor;
     if (A->V < 0 && A->V % Divisor != 0)
       --Q;
-    return Res::value(Value::integer(Q));
+    return Value::integer(Q);
   }
-  if (Name == "bw_and" || Name == "bw_or" || Name == "bw_xor") {
-    if (Args.size() != 3 || Args[0].K != ValueKind::Ctype)
-      return Res::error("bitwise builtin misuse");
-    auto A = asInteger(Args[1]), B = asInteger(Args[2]);
+  case PureFn::BwAnd:
+  case PureFn::BwOr:
+  case PureFn::BwXor: {
+    if (N != 3 || Args[0]->K != ValueKind::Ctype)
+      return std::nullopt;
+    auto A = asInteger(*Args[1]), B = asInteger(*Args[2]);
     if (!A || !B)
-      return Res::error("bitwise builtin on non-integers");
-    ail::IntKind K = Args[0].Cty.intKind();
+      return std::nullopt;
+    ail::IntKind K = Args[0]->Cty.intKind();
     unsigned W = Env.widthOf(K);
     UInt128 Mask = W >= 128 ? ~UInt128(0) : (UInt128(1) << W) - 1;
     UInt128 X = static_cast<UInt128>(A->V) & Mask;
     UInt128 Y = static_cast<UInt128>(B->V) & Mask;
-    UInt128 R = Name == "bw_and" ? (X & Y) : Name == "bw_or" ? (X | Y)
-                                                             : (X ^ Y);
-    return Res::value(
-        Value::integer(Env.convert(K, static_cast<Int128>(R))));
+    UInt128 R = F == PureFn::BwAnd   ? (X & Y)
+                : F == PureFn::BwOr ? (X | Y)
+                                     : (X ^ Y);
+    return Value::integer(Env.convert(K, static_cast<Int128>(R)));
   }
-  if (Name == "bw_compl") {
-    if (Args.size() != 2 || Args[0].K != ValueKind::Ctype)
-      return Res::error("bw_compl misuse");
-    auto A = asInteger(Args[1]);
+  case PureFn::BwCompl: {
+    if (N != 2 || Args[0]->K != ValueKind::Ctype)
+      return std::nullopt;
+    auto A = asInteger(*Args[1]);
     if (!A)
-      return Res::error("bw_compl on a non-integer");
-    ail::IntKind K = Args[0].Cty.intKind();
+      return std::nullopt;
+    ail::IntKind K = Args[0]->Cty.intKind();
     unsigned W = Env.widthOf(K);
     UInt128 Mask = W >= 128 ? ~UInt128(0) : (UInt128(1) << W) - 1;
     UInt128 R = (~static_cast<UInt128>(A->V)) & Mask;
-    return Res::value(
-        Value::integer(Env.convert(K, static_cast<Int128>(R))));
+    return Value::integer(Env.convert(K, static_cast<Int128>(R)));
   }
-  return Res::error(fmt("unknown pure builtin '{0}'", Name));
+  case PureFn::None:
+    break;
+  }
+  return std::nullopt;
+}
+
+const Value *Evaluator::evalPure(const Expr &E, Value &Tmp) {
+  ++Steps; // keep step accounting close to the general path's
+  switch (E.K) {
+  case ExprKind::Sym: {
+    int S = E.Slot;
+    if (S < 0 || !SlotBound[S])
+      return nullptr;
+    return &Slots[S]; // no copy: the subtree cannot rebind slots
+  }
+  case ExprKind::Val:
+    return E.PoolIdx >= 0 ? &Prog.ConstPool[E.PoolIdx] : &E.V;
+  case ExprKind::Skip:
+    Tmp = Value::unit();
+    return &Tmp;
+  case ExprKind::UnspecifiedE:
+    Tmp = Value::unspecified(E.Cty);
+    return &Tmp;
+  case ExprKind::Tuple: {
+    std::vector<Value> Elems;
+    Elems.reserve(E.Kids.size());
+    for (const ExprPtr &K : E.Kids) {
+      Value KT;
+      const Value *KV = evalPure(*K, KT);
+      if (!KV)
+        return nullptr;
+      Elems.push_back(KV == &KT ? std::move(KT) : *KV);
+    }
+    Tmp = Value::tuple(std::move(Elems));
+    return &Tmp;
+  }
+  case ExprKind::SpecifiedE: {
+    Value KT;
+    const Value *KV = evalPure(*E.Kids[0], KT);
+    if (!KV)
+      return nullptr;
+    Tmp = Value::specified(KV == &KT ? std::move(KT) : *KV);
+    return &Tmp;
+  }
+  case ExprKind::Not: {
+    Value KT;
+    const Value *KV = evalPure(*E.Kids[0], KT);
+    if (!KV)
+      return nullptr;
+    if (KV->K != ValueKind::True && KV->K != ValueKind::False)
+      return nullptr;
+    Tmp = Value::boolean(KV->K == ValueKind::False);
+    return &Tmp;
+  }
+  case ExprKind::Binop: {
+    Value TA, TB;
+    const Value *A = evalPure(*E.Kids[0], TA);
+    if (!A)
+      return nullptr;
+    const Value *B = evalPure(*E.Kids[1], TB);
+    if (!B)
+      return nullptr;
+    if (E.BOp == CoreBinop::And || E.BOp == CoreBinop::Or) {
+      bool BA = A->isTrue(), BB = B->isTrue();
+      Tmp = Value::boolean(E.BOp == CoreBinop::And ? (BA && BB)
+                                                   : (BA || BB));
+      return &Tmp;
+    }
+    auto IA = asInteger(*A), IB = asInteger(*B);
+    if (!IA || !IB)
+      return nullptr;
+    Int128 X = IA->V, Y = IB->V;
+    switch (E.BOp) {
+    case CoreBinop::Add:
+      Tmp = Value::integer(Int128(UInt128(X) + UInt128(Y)));
+      return &Tmp;
+    case CoreBinop::Sub:
+      Tmp = Value::integer(Int128(UInt128(X) - UInt128(Y)));
+      return &Tmp;
+    case CoreBinop::Mul:
+      Tmp = Value::integer(Int128(UInt128(X) * UInt128(Y)));
+      return &Tmp;
+    case CoreBinop::Div:
+      if (Y == 0)
+        return nullptr;
+      Tmp = Value::integer(X / Y);
+      return &Tmp;
+    case CoreBinop::RemT:
+      if (Y == 0)
+        return nullptr;
+      Tmp = Value::integer(X % Y);
+      return &Tmp;
+    case CoreBinop::Eq:
+      Tmp = Value::boolean(X == Y);
+      return &Tmp;
+    case CoreBinop::Lt:
+      Tmp = Value::boolean(X < Y);
+      return &Tmp;
+    case CoreBinop::Le:
+      Tmp = Value::boolean(X <= Y);
+      return &Tmp;
+    case CoreBinop::Gt:
+      Tmp = Value::boolean(X > Y);
+      return &Tmp;
+    case CoreBinop::Ge:
+      Tmp = Value::boolean(X >= Y);
+      return &Tmp;
+    default:
+      return nullptr; // Exp and oddities: the general path handles them
+    }
+  }
+  case ExprKind::ConvInt: {
+    Value KT;
+    const Value *KV = evalPure(*E.Kids[0], KT);
+    if (!KV)
+      return nullptr;
+    auto IV = asInteger(*KV);
+    if (!IV)
+      return nullptr;
+    mem::IntegerValue OutV(Env.convert(E.Cty.intKind(), IV->V), IV->Prov);
+    if (IV->Cap && Env.widthOf(E.Cty.intKind()) == 64)
+      OutV.Cap = IV->Cap;
+    Tmp = Value::integer(OutV);
+    return &Tmp;
+  }
+  case ExprKind::FinishArith: {
+    Value TA, TB, TN;
+    const Value *A = evalPure(*E.Kids[0], TA);
+    if (!A)
+      return nullptr;
+    const Value *B = evalPure(*E.Kids[1], TB);
+    if (!B)
+      return nullptr;
+    const Value *NV = evalPure(*E.Kids[2], TN);
+    if (!NV)
+      return nullptr;
+    auto IA = asInteger(*A), IB = asInteger(*B), IN = asInteger(*NV);
+    if (!IA || !IB || !IN)
+      return nullptr;
+    Tmp = Value::integer(Mem.finishArith(E.AOp, *IA, *IB, IN->V, E.Cty));
+    return &Tmp;
+  }
+  case ExprKind::IsInteger:
+  case ExprKind::IsSigned:
+  case ExprKind::IsUnsigned:
+  case ExprKind::IsScalar: {
+    Value KT;
+    const Value *KV = evalPure(*E.Kids[0], KT);
+    if (!KV)
+      return nullptr;
+    if (KV->K != ValueKind::Ctype)
+      return nullptr;
+    const CType &T = KV->Cty;
+    bool B = false;
+    if (E.K == ExprKind::IsInteger)
+      B = T.isInteger();
+    else if (E.K == ExprKind::IsSigned)
+      B = T.isSigned();
+    else if (E.K == ExprKind::IsUnsigned)
+      B = T.isUnsigned();
+    else
+      B = T.isScalar();
+    Tmp = Value::boolean(B);
+    return &Tmp;
+  }
+  case ExprKind::PureIf:
+  case ExprKind::EIf: {
+    // ValueOnly branches contain no Save, so no run-signal routing here.
+    Value CT;
+    const Value *C = evalPure(*E.Kids[0], CT);
+    if (!C)
+      return nullptr;
+    if (C->K != ValueKind::True && C->K != ValueKind::False)
+      return nullptr;
+    return evalPure(*E.Kids[C->isTrue() ? 1 : 2], Tmp);
+  }
+  case ExprKind::MemberShiftE: {
+    Value KT;
+    const Value *KV = evalPure(*E.Kids[0], KT);
+    if (!KV)
+      return nullptr;
+    auto PV = asPointer(*KV);
+    if (!PV)
+      return nullptr;
+    Tmp = Value::pointer(Mem.memberShift(*PV, E.Tag, E.MemberIdx));
+    return &Tmp;
+  }
+  case ExprKind::PureCall: {
+    size_t N = E.Kids.size();
+    if (N > 4 || E.Pure == PureFn::None)
+      return nullptr; // lowering only marks interned calls, but be safe
+    Value ArgT[4];
+    const Value *Args[4] = {&ArgT[0], &ArgT[1], &ArgT[2], &ArgT[3]};
+    for (size_t I = 0; I < N; ++I) {
+      Args[I] = evalPure(*E.Kids[I], ArgT[I]);
+      if (!Args[I])
+        return nullptr;
+    }
+    auto R = tryPureFn(E.Pure, Args, N);
+    if (!R)
+      return nullptr;
+    Tmp = std::move(*R);
+    return &Tmp;
+  }
+  default:
+    return nullptr; // non-ValueOnly kind: lowering never marks these
+  }
+}
+
+Evaluator::Res Evaluator::evalPureCall(const Expr &E, Footprint &FP) {
+  // Every known pure builtin takes at most three operands, so arguments
+  // evaluate into stack storage (no per-call allocation); the heap path
+  // only exists to keep unknown over-long calls evaluating their
+  // arguments before erroring, exactly as before.
+  size_t N = E.Kids.size();
+  Value Stk[4];
+  std::vector<Value> Heap;
+  Value *Args = Stk;
+  if (N > 4) {
+    Heap.resize(N);
+    Args = Heap.data();
+  }
+  for (size_t I = 0; I < N; ++I) {
+    Res R = eval(*E.Kids[I], FP);
+    if (!R.isValue())
+      return R;
+    Args[I] = std::move(R.V);
+  }
+  // Lowered trees carry the interned target; unlowered ones resolve the
+  // name here (same table, so both paths produce identical dispatch).
+  PureFn F = E.Pure != PureFn::None ? E.Pure : core::pureFnByName(E.Str);
+
+  const Value *ArgP[4] = {&Args[0], &Args[1], &Args[2], &Args[3]};
+  if (auto R = tryPureFn(F, ArgP, N))
+    return Res::value(std::move(*R));
+
+  // tryPureFn declined, so one of its (exactly mirrored) acceptance checks
+  // failed; replay them to produce the historical diagnostic.
+  switch (F) {
+  case PureFn::IsRepresentable:
+    if (N != 2 || Args[0].K != ValueKind::Ctype)
+      return Res::error("is_representable(ctype, int) misuse");
+    return Res::error("is_representable on a non-integer");
+  case PureFn::ShrArith:
+    return Res::error("shr_arith misuse");
+  case PureFn::BwAnd:
+  case PureFn::BwOr:
+  case PureFn::BwXor:
+    if (N != 3 || Args[0].K != ValueKind::Ctype)
+      return Res::error("bitwise builtin misuse");
+    return Res::error("bitwise builtin on non-integers");
+  case PureFn::BwCompl:
+    if (N != 2 || Args[0].K != ValueKind::Ctype)
+      return Res::error("bw_compl misuse");
+    return Res::error("bw_compl on a non-integer");
+  case PureFn::None:
+    break;
+  }
+  return Res::error(fmt("unknown pure builtin '{0}'", E.Str));
 }
 
 //===----------------------------------------------------------------------===//
@@ -1147,7 +1597,11 @@ Evaluator::Res Evaluator::callProc(Symbol S, std::vector<Value> Args,
                                    SourceLoc Loc) {
   auto BIt = Prog.Builtins.find(S.Id);
   if (BIt != Prog.Builtins.end())
-    return callBuiltin(BIt->second, Args, Loc);
+    {
+      Res R = callBuiltin(BIt->second, Args, Loc);
+      Arena.give(std::move(Args));
+      return R;
+    }
 
   const CoreProc *Proc = Prog.findProc(S);
   if (!Proc)
@@ -1161,9 +1615,17 @@ Evaluator::Res Evaluator::callProc(Symbol S, std::vector<Value> Args,
     return Res::error("call depth limit exceeded (runaway recursion)");
   }
 
-  UndoStack.emplace_back();
-  for (size_t I = 0; I < Args.size(); ++I)
-    bind(Proc->Params[I].first.Id, std::move(Args[I]));
+  if (UseSlots) {
+    UndoFrames.push_back(
+        UndoFrame{UndoLog.size(), UndoVals.size(), ++EpochCounter});
+    FrameEpoch = EpochCounter;
+    for (size_t I = 0; I < Args.size(); ++I)
+      bindSlot(Proc->ParamSlots[I], std::move(Args[I]));
+  } else {
+    UndoStack.emplace_back();
+    for (size_t I = 0; I < Args.size(); ++I)
+      bind(Proc->Params[I].first.Id, std::move(Args[I]));
+  }
 
   Frames.push_back(Frame{});
   Footprint FP; // function bodies are indeterminately sequenced w.r.t. the
@@ -1176,15 +1638,36 @@ Evaluator::Res Evaluator::callProc(Symbol S, std::vector<Value> Args,
       (void)Mem.killObject(P);
   }
   Frames.pop_back();
-  // Restore the caller's bindings.
-  for (auto &[Id, Old] : UndoStack.back()) {
-    if (Old)
-      Bindings[Id] = std::move(*Old);
-    else
-      Bindings.erase(Id);
+  // Restore the caller's bindings. On the slot path the log is replayed
+  // in reverse: a slot may carry duplicate records when an inner frame's
+  // stamp went stale, and reverse order applies the frame-entry value
+  // last (see Evaluator.h SlotStamp).
+  if (UseSlots) {
+    size_t Base = UndoFrames.back().Base;
+    for (size_t I = UndoLog.size(); I > Base; --I) {
+      UndoRec &U = UndoLog[I - 1];
+      if (U.ValIdx >= 0) {
+        Slots[U.Slot] = std::move(UndoVals[U.ValIdx]);
+        SlotBound[U.Slot] = 1;
+      } else {
+        SlotBound[U.Slot] = 0;
+      }
+    }
+    UndoLog.resize(Base);
+    UndoVals.resize(UndoFrames.back().ValsBase);
+    UndoFrames.pop_back();
+    FrameEpoch = UndoFrames.empty() ? 0 : UndoFrames.back().Epoch;
+  } else {
+    for (auto &[Id, Old] : UndoStack.back()) {
+      if (Old)
+        Bindings[Id] = std::move(*Old);
+      else
+        Bindings.erase(Id);
+    }
+    UndoStack.pop_back();
   }
-  UndoStack.pop_back();
   --CallDepth;
+  Arena.give(std::move(Args)); // retire the argument buffer
 
   if (R.K == Res::RetSig)
     return Res::value(std::move(R.V));

@@ -25,6 +25,7 @@
 #define CERB_EXEC_EVALUATOR_H
 
 #include "core/Core.h"
+#include "exec/EvalArena.h"
 #include "exec/Outcome.h"
 #include "mem/Memory.h"
 #include "support/Scheduler.h"
@@ -65,6 +66,9 @@ class Evaluator {
 public:
   Evaluator(const core::CoreProgram &Prog, Scheduler &Sched,
             mem::MemoryPolicy Policy, ExecLimits Limits = ExecLimits());
+  ~Evaluator();
+  Evaluator(const Evaluator &) = delete;
+  Evaluator &operator=(const Evaluator &) = delete;
 
   /// Runs the whole program: creates static objects, evaluates their
   /// initialisers in declaration order, then calls main.
@@ -88,6 +92,40 @@ private:
   /// Per-call-frame undo log: the value each rebound symbol had at frame
   /// entry (recursion must not clobber the caller's bindings).
   std::vector<std::map<unsigned, std::optional<core::Value>>> UndoStack;
+
+  /// Slot-environment fast path, selected when the program was lowered
+  /// (core::lower resolves every binding to a dense slot index): the
+  /// environment is a flat Value array plus a bound bitmap, and the
+  /// per-call undo discipline is a flat log with frame-epoch stamps for
+  /// first-write-per-frame deduplication. CERB_NO_LOWERING=1 compiles
+  /// keep Prog.Lowered false and run the map path above unchanged.
+  const bool UseSlots;
+  EvalArena &Arena;                ///< thread-local scratch pool
+  std::vector<core::Value> Slots;  ///< slot -> current value
+  std::vector<uint8_t> SlotBound;  ///< slot currently bound?
+  /// Last frame epoch that pushed an undo record for the slot. Epochs are
+  /// never reused, so a stale stamp (from a popped frame) simply triggers
+  /// a benign duplicate record; reverse-order restoration applies the
+  /// oldest (true frame-entry) value last.
+  std::vector<uint64_t> SlotStamp;
+  /// Undo records are slim: the displaced Value lives in UndoVals only
+  /// when the slot was actually bound (ValIdx >= 0). First binds in a
+  /// frame overwhelmingly hit unbound slots, so the common record is
+  /// eight bytes with no Value traffic at all.
+  struct UndoRec {
+    int Slot;
+    int ValIdx; ///< index into UndoVals, or -1 = slot was unbound
+  };
+  std::vector<UndoRec> UndoLog;
+  std::vector<core::Value> UndoVals;
+  struct UndoFrame {
+    size_t Base;     ///< UndoLog size at frame entry
+    size_t ValsBase; ///< UndoVals size at frame entry
+    uint64_t Epoch;  ///< this frame's stamp value
+  };
+  std::vector<UndoFrame> UndoFrames;
+  uint64_t EpochCounter = 0;
+  uint64_t FrameEpoch = 0; ///< current frame's epoch (0 = top level)
   std::string Out;
   uint64_t Steps = 0;
   unsigned CallDepth = 0;
@@ -174,6 +212,20 @@ private:
   Res evalAction(const core::Expr &E, Footprint &FP);
   Res evalPtrOp(const core::Expr &E, Footprint &FP);
   Res evalPureCall(const core::Expr &E, Footprint &FP);
+  /// Res-free fast path for subtrees lowering marked ValueOnly (slot path
+  /// only): no Res, footprint, or signal plumbing, and operands are read
+  /// in place — a Sym returns &Slots[slot], a pooled constant returns
+  /// &ConstPool[i] (no 224-byte Value copies; sound because the subtree
+  /// cannot rebind slots). Computed results land in \p Tmp and &Tmp is
+  /// returned. nullptr defers to the general evaluator — safe to re-run
+  /// because ValueOnly subtrees are effect-free.
+  const core::Value *evalPure(const core::Expr &E, core::Value &Tmp);
+  /// Computes a known pure builtin when the operands are well-formed;
+  /// nullopt on any shape the general path diagnoses. \p Args must have
+  /// at least max(N, 4) valid pointers (callers pad with defaults).
+  std::optional<core::Value> tryPureFn(core::PureFn F,
+                                       const core::Value *const *Args,
+                                       size_t N);
   Res evalPar(const core::Expr &E, Footprint &FP);
 
   Res callProc(ail::Symbol S, std::vector<core::Value> Args, SourceLoc Loc);
@@ -183,8 +235,16 @@ private:
 
   /// Binds a symbol, recording the previous value in the innermost undo
   /// frame (first write per frame only).
-  void bind(unsigned Id, core::Value V);
+  void bind(unsigned Id, core::Value &&V);
+  /// Slot-path bind with the same per-frame undo discipline.
+  void bindSlot(int Slot, core::Value &&V);
   bool matchPattern(const core::Pattern &P, const core::Value &V);
+  /// Slot-path matchPattern that consumes \p V: bound sub-values are
+  /// moved into their slots instead of deep-copied. Accept/reject
+  /// decisions mirror matchPattern exactly; a rejected match may leave
+  /// \p V partially consumed, so callers must not read it afterwards
+  /// (the copying version has the same partial-bind caveat).
+  bool matchPatternMove(const core::Pattern &P, core::Value &&V);
   /// Checks two footprints for a conflicting (same-location, >=1 write)
   /// pair; returns the UB if found. OnlyNegLeft restricts the left side to
   /// negative-polarity actions (let weak).

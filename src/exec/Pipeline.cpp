@@ -9,6 +9,7 @@
 #include "typing/TypeCheck.h"
 
 #include <chrono>
+#include <cstdlib>
 #include <fstream>
 #include <sstream>
 
@@ -29,10 +30,20 @@ auto timed(double &Ms, const char *SpanName, Fn &&F) {
 }
 } // namespace
 
+bool cerb::exec::FrontendOptions::defaultCoreLower() {
+  static const bool On = [] {
+    const char *V = std::getenv("CERB_NO_LOWERING");
+    return !(V && V[0] == '1' && V[1] == '\0');
+  }();
+  return On;
+}
+
 uint64_t cerb::exec::FrontendOptions::fingerprint() const {
   // FNV-1a over a version tag plus one byte per knob; bump the tag whenever
   // a knob is added so old fingerprints cannot alias new option vectors.
-  static constexpr const char kFrontendVersion[] = "cerb-frontend/1";
+  // /2: added CoreLower; the lowering pass version is mixed in so a
+  // lowering change re-keys cached lowered artifacts too.
+  static constexpr const char kFrontendVersion[] = "cerb-frontend/2";
   uint64_t H = 0xcbf29ce484222325ull;
   for (const char *P = kFrontendVersion; *P; ++P) {
     H ^= static_cast<unsigned char>(*P);
@@ -40,6 +51,13 @@ uint64_t cerb::exec::FrontendOptions::fingerprint() const {
   }
   H ^= static_cast<unsigned char>(CoreSimplify ? 1 : 0);
   H *= 0x100000001b3ull;
+  H ^= static_cast<unsigned char>(CoreLower ? 1 : 0);
+  H *= 0x100000001b3ull;
+  if (CoreLower)
+    for (char C : core::loweringVersion()) {
+      H ^= static_cast<unsigned char>(C);
+      H *= 0x100000001b3ull;
+    }
   return H;
 }
 
@@ -63,11 +81,32 @@ cerb::exec::compileWithStats(std::string_view Src, const FrontendOptions &FE) {
   CERB_TRY(Prog, timed(T.ElaborateMs, "pipeline.elaborate", [&] {
     return elab::elaborate(std::move(Ail));
   }));
-  CompileResult Result{std::move(Prog), {}, {}};
+  CompileResult Result{std::move(Prog), {}, {}, {}};
   trace::Span Core("pipeline.core-prep", "pipeline");
   auto T0 = std::chrono::steady_clock::now();
   if (FE.CoreSimplify)
     Result.Rewrites = core::rewrite(Result.Prog);
+  if (FE.CoreLower) {
+    static trace::Counter CntLowered("lower.programs");
+    static trace::Counter CntSlots("lower.slots");
+    static trace::Counter CntFolds("lower.const_folds");
+    static trace::Counter CntFlattened("lower.lets_flattened");
+    static trace::Counter CntInterned("lower.consts_interned");
+    static trace::Counter CntPure("lower.pure_nodes");
+    trace::Span Lower("lower.run", "pipeline");
+    Result.Lowering = core::lower(Result.Prog);
+    CntLowered.add();
+    CntSlots.add(Result.Lowering.SlotsAssigned);
+    CntFolds.add(Result.Lowering.ConstFolds);
+    CntFlattened.add(Result.Lowering.LetsFlattened);
+    CntInterned.add(Result.Lowering.ConstsInterned);
+    CntPure.add(Result.Lowering.PureNodes);
+    if (Lower.active())
+      Lower.arg("slots", Result.Lowering.SlotsAssigned);
+  }
+  // Type checking runs on the final (possibly lowered) tree, so a lowering
+  // bug that breaks scoping or purity fails the compile rather than
+  // corrupting an evaluation.
   if (auto Err = core::typeCheck(Result.Prog))
     return err("Core type checking failed: " + *Err);
   // Pre-warm the per-node dynamics caches: after this, evaluation never
@@ -129,6 +168,13 @@ uint64_t cerb::exec::semanticsFingerprint() {
     // policy knob reshapes every model, so it must invalidate too.
     for (const mem::MemoryPolicy &P : mem::MemoryPolicy::allPresets())
       Mix(P.fingerprint());
+    // The lowering pass rewrites what the evaluator executes; its version
+    // is part of the semantics identity so result-cache entries persisted
+    // across a lowering change are orphaned, never wrongly replayed.
+    for (char C : core::loweringVersion()) {
+      H ^= static_cast<unsigned char>(C);
+      H *= 0x100000001b3ull;
+    }
     return H;
   }();
   return FP;

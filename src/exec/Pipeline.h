@@ -20,6 +20,7 @@
 #define CERB_EXEC_PIPELINE_H
 
 #include "core/Core.h"
+#include "core/Lowering.h"
 #include "exec/Driver.h"
 #include "support/Expected.h"
 
@@ -43,6 +44,7 @@ struct StageTimings {
 struct CompileResult {
   core::CoreProgram Prog;
   core::RewriteStats Rewrites;
+  core::LoweringStats Lowering; ///< all-zero when lowering was disabled
   StageTimings Timings;
 };
 
@@ -56,8 +58,19 @@ struct FrontendOptions {
   /// 1:1 with the elaboration rules, which is what debugging wants.
   bool CoreSimplify = true;
 
+  /// Run core::lower after elaboration (slot resolution, constant folding,
+  /// let flattening, constant interning — see core/Lowering.h). Defaults
+  /// from the environment: CERB_NO_LOWERING=1 turns it off, keeping the
+  /// tree-walking evaluator path for differential testing. A knob (not a
+  /// raw env read at use sites) so compile caches key lowered and
+  /// unlowered artifacts separately.
+  bool CoreLower = defaultCoreLower();
+
+  /// True unless CERB_NO_LOWERING=1 is set (read once per process).
+  static bool defaultCoreLower();
+
   bool operator==(const FrontendOptions &O) const {
-    return CoreSimplify == O.CoreSimplify;
+    return CoreSimplify == O.CoreSimplify && CoreLower == O.CoreLower;
   }
   bool operator!=(const FrontendOptions &O) const { return !(*this == O); }
 

@@ -260,6 +260,17 @@ void Memory::beginStaticLayout(
   NextAddr = Addr;
 }
 
+MemByte *Memory::poolBytes(uint64_t N) {
+  if (PoolUsed + N > PoolCap) {
+    PoolCap = std::max<size_t>(N, 4096);
+    BytePool.push_back(std::make_unique<MemByte[]>(PoolCap));
+    PoolUsed = 0;
+  }
+  MemByte *P = BytePool.back().get() + PoolUsed;
+  PoolUsed += N;
+  return P;
+}
+
 PointerValue Memory::allocateObject(const CType &Ty, std::string Name,
                                     bool Static) {
   static trace::Counter CntAllocs("mem.allocs");
@@ -269,7 +280,8 @@ PointerValue Memory::allocateObject(const CType &Ty, std::string Name,
   uint64_t Size = Env.sizeOf(Ty);
   uint64_t Align = Env.alignOf(Ty);
   uint64_t Base;
-  auto Planned = PlannedAddr.find(Name);
+  auto Planned =
+      PlannedAddr.empty() ? PlannedAddr.end() : PlannedAddr.find(Name);
   if (Planned != PlannedAddr.end()) {
     Base = Planned->second;
     PlannedAddr.erase(Planned);
@@ -284,10 +296,10 @@ PointerValue Memory::allocateObject(const CType &Ty, std::string Name,
   A.Name = std::move(Name);
   A.Static = Static;
   A.DeclaredTy = Ty;
-  A.Bytes.resize(Size);
+  A.Bytes = poolBytes(Size);
   if (Static)
-    for (MemByte &B : A.Bytes)
-      B.Value = 0; // static storage is zero-initialised (6.7.9p10)
+    for (uint64_t I = 0; I < Size; ++I)
+      A.Bytes[I].Value = 0; // static storage is zero-initialised (6.7.9p10)
   Allocs.push_back(std::move(A));
 
   PointerValue P = PointerValue::object(
@@ -309,7 +321,7 @@ PointerValue Memory::allocateRegion(uint64_t Size, uint64_t Align) {
   A.Size = Size;
   A.Dynamic = true;
   A.Name = "<malloc>";
-  A.Bytes.resize(Size);
+  A.Bytes = poolBytes(Size);
   Allocs.push_back(std::move(A));
 
   PointerValue P = PointerValue::object(
@@ -731,7 +743,7 @@ MemRes<MemValue> Memory::load(const CType &Ty, const PointerValue &P) {
         return undef(UBKind::UninitialisedRead,
                      fmt("byte {0} of '{1}'", P.Addr - A.Base + I, A.Name));
   }
-  return deserialize(Ty, A.Bytes.data() + (P.Addr - A.Base));
+  return deserialize(Ty, A.Bytes + (P.Addr - A.Base));
 }
 
 MemRes<Unit> Memory::store(const CType &Ty, const PointerValue &P,
@@ -750,12 +762,12 @@ MemRes<Unit> Memory::store(const CType &Ty, const PointerValue &P,
     return undef(UBKind::WriteToReadOnly,
                  fmt("store into string literal '{0}'", A.Name));
   CERB_MEMCHECK(checkEffectiveType(A, P.Addr - A.Base, Ty, true));
-  std::vector<MemByte> Image;
-  Image.reserve(Size);
-  serialize(Ty, V, Image);
-  assert(Image.size() == Size && "serialized size mismatch");
-  std::copy(Image.begin(), Image.end(),
-            A.Bytes.begin() + (P.Addr - A.Base));
+  StoreScratch.clear();
+  StoreScratch.reserve(Size);
+  serialize(Ty, V, StoreScratch);
+  assert(StoreScratch.size() == Size && "serialized size mismatch");
+  std::copy(StoreScratch.begin(), StoreScratch.end(),
+            A.Bytes + (P.Addr - A.Base));
   return Unit{};
 }
 
@@ -944,9 +956,9 @@ MemRes<Unit> Memory::copyBytes(const PointerValue &Dst,
   const Allocation &SA = Allocs[SrcId];
   // Copy representation bytes verbatim: provenance travels with the bytes,
   // which is what makes user-level memcpy of pointers work (§2.3).
-  std::vector<MemByte> Tmp(SA.Bytes.begin() + (Src.Addr - SA.Base),
-                           SA.Bytes.begin() + (Src.Addr - SA.Base) + N);
-  std::copy(Tmp.begin(), Tmp.end(), DA.Bytes.begin() + (Dst.Addr - DA.Base));
+  std::vector<MemByte> Tmp(SA.Bytes + (Src.Addr - SA.Base),
+                           SA.Bytes + (Src.Addr - SA.Base) + N);
+  std::copy(Tmp.begin(), Tmp.end(), DA.Bytes + (Dst.Addr - DA.Base));
   return Unit{};
 }
 

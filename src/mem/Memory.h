@@ -125,7 +125,11 @@ struct Allocation {
   /// Effective types established by stores into a malloc'd region
   /// (offset -> scalar type); used when StrictEffectiveTypes.
   std::map<uint64_t, ail::CType> EffectiveAt;
-  std::vector<MemByte> Bytes;
+  /// Representation bytes (Size of them). Points into the owning Memory's
+  /// bump pool: objects are never released individually (kill only marks
+  /// !Alive), so one pool freed with the Memory replaces one heap
+  /// allocation per created object.
+  MemByte *Bytes = nullptr;
 };
 
 /// The memory state of one execution.
@@ -224,6 +228,16 @@ private:
   uint64_t NextAddr = 0x1000;
   /// Pre-computed addresses for the reverse global layout.
   std::map<std::string, uint64_t> PlannedAddr;
+
+  /// Chunked bump pool backing Allocation::Bytes. Chunk growth never moves
+  /// previously handed-out storage, so Allocation::Bytes pointers stay
+  /// valid for the Memory's lifetime.
+  std::vector<std::unique_ptr<MemByte[]>> BytePool;
+  size_t PoolUsed = 0, PoolCap = 0;
+  MemByte *poolBytes(uint64_t N);
+  /// Staging buffer for store() serialization, reused across stores so a
+  /// scalar store does not heap-allocate.
+  std::vector<MemByte> StoreScratch;
 
   /// Finds the allocation footprint an access [Addr, Addr+Size) must lie
   /// in, honouring provenance per the policy. Returns the allocation id.
